@@ -1,0 +1,49 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These do not correspond to a numbered figure; they quantify the individual
+ingredients of the methodology (§5): per-use-case resource state vs. one
+shared configuration, flow-ordering policy, candidate-path policy and TDMA
+slot-table size.
+"""
+
+from repro.analysis import (
+    ablation_flow_ordering,
+    ablation_grouping,
+    ablation_routing_policy,
+    ablation_slot_table_size,
+)
+from repro.gen import generate_benchmark
+from repro.io import format_rows
+
+
+def _workload():
+    return generate_benchmark("spread", 5, seed=3)
+
+
+def test_ablation_grouping(benchmark, once):
+    rows = once(benchmark, ablation_grouping, _workload())
+    print()
+    print(format_rows(rows, title="Ablation — per-use-case state vs. single shared configuration"))
+    by_label = {row.label: row["switch_count"] for row in rows}
+    assert by_label["per-use-case-configuration"] is not None
+
+
+def test_ablation_flow_ordering(benchmark, once):
+    rows = once(benchmark, ablation_flow_ordering, _workload())
+    print()
+    print(format_rows(rows, title="Ablation — flow ordering (prefer mapped endpoints)"))
+    assert len(rows) == 2
+
+
+def test_ablation_routing_policy(benchmark, once):
+    rows = once(benchmark, ablation_routing_policy, _workload())
+    print()
+    print(format_rows(rows, title="Ablation — candidate-path policy"))
+    assert {row.label for row in rows} == {"xy", "west_first", "minimal", "k_shortest"}
+
+
+def test_ablation_slot_table_size(benchmark, once):
+    rows = once(benchmark, ablation_slot_table_size, _workload())
+    print()
+    print(format_rows(rows, title="Ablation — TDMA slot-table size"))
+    assert len(rows) == 4

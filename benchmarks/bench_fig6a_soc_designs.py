@@ -1,0 +1,25 @@
+"""Figure 6(a): switch count of the proposed method vs. the WC baseline on D1-D4.
+
+Regenerates the per-design normalised switch counts (proposed / worst-case)
+for the four SoC designs at the paper's reference operating point (500 MHz,
+32-bit links).
+"""
+
+from repro.analysis import normalized_switch_count_study
+from repro.io import format_rows
+
+
+def test_fig6a_soc_designs(benchmark, once):
+    rows = once(benchmark, normalized_switch_count_study)
+    print()
+    print(format_rows(
+        rows,
+        columns=["label", "unified_switches", "worst_case_switches",
+                 "normalized_switch_count", "area_reduction"],
+        title="Figure 6(a) — SoC designs D1-D4 (normalised switch count, proposed vs. WC)",
+    ))
+    assert len(rows) == 4
+    for row in rows:
+        assert row["unified_switches"] is not None
+        if row["worst_case_switches"] is not None:
+            assert row["unified_switches"] <= row["worst_case_switches"]

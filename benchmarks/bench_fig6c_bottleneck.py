@@ -1,0 +1,26 @@
+"""Figure 6(c): normalised switch count vs. #use-cases for Bottleneck (Bot) benchmarks.
+
+Same sweep as Figure 6(b) but with bottleneck (shared external memory style)
+traffic, where one or two hub cores attract most of the communication.
+"""
+
+from repro.analysis import use_case_count_sweep
+from repro.io import format_rows
+
+USE_CASE_COUNTS = (2, 5, 10, 15, 20)
+
+
+def test_fig6c_bottleneck_benchmarks(benchmark, once):
+    rows = once(benchmark, use_case_count_sweep, "bottleneck", USE_CASE_COUNTS)
+    print()
+    print(format_rows(
+        rows,
+        columns=["use_cases", "unified_switches", "worst_case_switches",
+                 "normalized_switch_count"],
+        title="Figure 6(c) — Bottleneck (Bot) benchmarks, 20 cores",
+    ))
+    assert len(rows) == len(USE_CASE_COUNTS)
+    ratios = [row["normalized_switch_count"] for row in rows
+              if row["normalized_switch_count"] is not None]
+    assert all(ratio <= 1.0 for ratio in ratios)
+    assert ratios[-1] <= ratios[0]

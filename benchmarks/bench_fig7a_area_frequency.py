@@ -1,0 +1,44 @@
+"""Figure 7(a): area-frequency trade-off (Pareto curve) for the D1 design.
+
+Sweeps the NoC operating frequency, re-maps the D1 set-top-box design at
+every point and reports the resulting switch count and total switch area.
+Low frequencies need large networks (or become infeasible); high frequencies
+shrink the network to the minimum imposed by the NI-per-switch limit.
+"""
+
+from repro.gen import set_top_box_design
+from repro.io import format_rows
+from repro.power import area_frequency_tradeoff, pareto_front
+
+
+def _sweep():
+    design = set_top_box_design(use_case_count=4)
+    return area_frequency_tradeoff(design.use_cases)
+
+
+def test_fig7a_area_frequency_tradeoff(benchmark, once):
+    points = once(benchmark, _sweep)
+    rows = [
+        {
+            "frequency_mhz": point.frequency_mhz,
+            "feasible": point.feasible,
+            "switch_count": point.switch_count if point.feasible else None,
+            "area_mm2": point.area_mm2 if point.feasible else None,
+        }
+        for point in points
+    ]
+    print()
+    print(format_rows(
+        rows,
+        columns=["frequency_mhz", "feasible", "switch_count", "area_mm2"],
+        title="Figure 7(a) — Area-frequency trade-off for D1 (set-top box, 4 use-cases)",
+    ))
+    front = pareto_front(points)
+    print(f"Pareto-optimal points: {[(p.frequency_mhz, round(p.area_mm2, 3)) for p in front]}")
+
+    feasible = [point for point in points if point.feasible]
+    assert feasible, "D1 must be mappable somewhere on the sweep"
+    # Switch count is non-increasing with frequency (more bandwidth per link
+    # never requires a larger network).
+    counts = [point.switch_count for point in feasible]
+    assert counts == sorted(counts, reverse=True)

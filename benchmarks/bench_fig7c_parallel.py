@@ -1,0 +1,37 @@
+"""Figure 7(c): required NoC frequency vs. number of use-cases running in parallel.
+
+A 20-core, 10-use-case Spread benchmark; 1 to 4 of its use-cases are declared
+to run in parallel (compound modes are generated automatically), the topology
+size is pinned, and the study reports the lowest clock frequency at which the
+resulting use-case set can still be mapped.
+"""
+
+from repro.analysis import parallel_use_case_study
+from repro.io import format_rows
+from repro.units import mhz
+
+FREQUENCY_GRID = tuple(mhz(value) for value in range(100, 2001, 100))
+
+
+def _study():
+    return parallel_use_case_study(parallelism_levels=(1, 2, 3, 4))
+
+
+def test_fig7c_parallel_use_cases(benchmark, once):
+    rows = once(benchmark, _study)
+    print()
+    print(format_rows(
+        rows,
+        columns=["parallel_use_cases", "required_frequency_mhz"],
+        title="Figure 7(c) — Required NoC frequency vs. parallel use-cases "
+              "(20-core, 10-use-case Sp benchmark)",
+    ))
+    assert len(rows) == 4
+    frequencies = [row["required_frequency_mhz"] for row in rows]
+    measured = [f for f in frequencies if f is not None]
+    assert measured, "at least the single-use-case point must be feasible"
+    # The overall trend is rising: the most parallel point needs the fastest
+    # clock and at least as fast a clock as the single-use-case point.  (The
+    # greedy mapper makes individual intermediate points slightly noisy.)
+    assert measured[-1] >= measured[0]
+    assert max(measured) == measured[-1]

@@ -1,0 +1,30 @@
+"""§6.2 / §6.4 headline numbers: average area reduction and DVS/DFS power saving.
+
+The paper's abstract claims "a large reduction in NoC area (an average of
+80%) and power consumption (an average of 54%) compared to traditional
+design approaches".  This bench regenerates both averages over the SoC
+designs plus two synthetic benchmarks (one Sp, one Bot), which is the mix the
+abstract's averages are drawn from.
+"""
+
+from repro.analysis import headline_summary
+from repro.gen import generate_benchmark, standard_designs
+from repro.io import format_summary
+
+
+def _designs():
+    designs = {name: design.use_cases for name, design in standard_designs().items()}
+    designs["Sp-10uc"] = generate_benchmark("spread", 10, seed=3)
+    designs["Bot-10uc"] = generate_benchmark("bottleneck", 10, seed=3)
+    return designs
+
+
+def test_headline_summary(benchmark, once):
+    summary = once(benchmark, headline_summary, _designs())
+    print()
+    print(format_summary(summary, title="Headline summary (paper: ~80% area, ~54% power)"))
+    assert summary["average_dvfs_savings_percent"] is not None
+    assert summary["average_area_reduction_percent"] is not None
+    # The proposed method reduces area on average (the magnitude depends on
+    # the synthetic stand-in workloads; the direction must hold).
+    assert summary["average_area_reduction_percent"] >= 0.0

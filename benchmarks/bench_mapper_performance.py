@@ -1,0 +1,28 @@
+"""Mapper runtime benchmarks (§6.2: "both methods produced results in minutes").
+
+These are conventional pytest-benchmark micro-benchmarks: they time a single
+mapping run of the proposed method on a SoC design and on a synthetic
+benchmark, confirming the heuristic's runtime stays in the interactive range
+the paper reports.
+"""
+
+from repro import UnifiedMapper, WorstCaseMapper
+from repro.gen import generate_benchmark, set_top_box_design
+
+
+def test_unified_mapping_runtime_d1(benchmark):
+    design = set_top_box_design(use_case_count=4)
+    result = benchmark(lambda: UnifiedMapper().map(design.use_cases))
+    assert result.switch_count >= 1
+
+
+def test_unified_mapping_runtime_spread_10uc(benchmark):
+    use_cases = generate_benchmark("spread", 10, seed=3)
+    result = benchmark(lambda: UnifiedMapper().map(use_cases))
+    assert result.switch_count >= 1
+
+
+def test_worst_case_mapping_runtime_d1(benchmark):
+    design = set_top_box_design(use_case_count=4)
+    result = benchmark(lambda: WorstCaseMapper().map(design.use_cases))
+    assert result.switch_count >= 1

@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-regeneration benchmark harness.
+
+Every ``bench_fig*`` module regenerates the data behind one table or figure
+of the paper's evaluation section and prints it (so the console output of
+``pytest benchmarks/ --benchmark-only`` is the reproduced dataset), while
+pytest-benchmark records how long the regeneration takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments themselves are deterministic and comparatively slow
+    (they run the full mapper many times), so one round is both sufficient
+    and necessary to keep the harness runtime reasonable.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Parallel use-cases: how the required NoC frequency grows with parallelism.
+
+Reproduces the designer-facing trade-off of the paper's Figure 7(c): take a
+20-core, 10-use-case spread benchmark, let 1-4 of its use-cases run in
+parallel (compound modes generated automatically) and find the lowest NoC
+clock that still supports the design on a fixed-size mesh.
+
+Run with:  python examples/parallel_use_cases.py
+"""
+
+from repro.analysis import parallel_use_case_study
+from repro.io import format_rows
+
+
+def main() -> None:
+    rows = parallel_use_case_study(parallelism_levels=(1, 2, 3, 4))
+    print(format_rows(
+        rows,
+        columns=["parallel_use_cases", "required_frequency_mhz"],
+        title="Required NoC frequency vs. number of parallel use-cases",
+    ))
+    print()
+    print("Reading the table: every additional concurrently-running use-case adds")
+    print("its traffic to the compound mode, so the NoC needs a faster clock (or a")
+    print("larger topology) to keep satisfying all bandwidth and latency constraints.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""TV-processor SoC walkthrough: many picture modes, area-frequency trade-offs.
+
+The TV processor's picture modes activate very different processing pipelines,
+which is exactly the situation where designing for a single worst-case
+use-case over-provisions the NoC.  This example maps the 8-mode design,
+compares against the worst-case baseline and sweeps the operating frequency
+to draw the area-frequency Pareto curve (paper Figure 7a, applied to D3).
+
+Run with:  python examples/tv_processor.py
+"""
+
+from repro import MappingError, UnifiedMapper, WorstCaseMapper
+from repro.gen import tv_processor_design
+from repro.power import area_frequency_tradeoff, pareto_front
+from repro.units import mhz
+
+
+def main() -> None:
+    design = tv_processor_design(use_case_count=8)
+    use_cases = design.use_cases
+    print(f"design: {design.name} — {design.description}")
+    print(f"cores: {design.core_count}, use-cases: {design.use_case_count}")
+    print()
+
+    unified = UnifiedMapper().map(use_cases)
+    print(f"proposed method : {unified.topology.name} ({unified.switch_count} switches)")
+    try:
+        worst = WorstCaseMapper().map(use_cases)
+        print(f"worst-case      : {worst.topology.name} ({worst.switch_count} switches)")
+        ratio = unified.switch_count / worst.switch_count
+        print(f"normalised size : {ratio:.2f}")
+    except MappingError:
+        print("worst-case      : no feasible mapping within the topology limit")
+
+    print()
+    print("area-frequency trade-off (proposed method):")
+    points = area_frequency_tradeoff(
+        use_cases,
+        frequencies=[mhz(f) for f in (200, 300, 400, 500, 750, 1000, 1500, 2000)],
+    )
+    for point in points:
+        if point.feasible:
+            print(f"  {point.frequency_mhz:6.0f} MHz  {point.switch_count:3d} switches  "
+                  f"{point.area_mm2:6.2f} mm²")
+        else:
+            print(f"  {point.frequency_mhz:6.0f} MHz  infeasible")
+    knee = pareto_front(points)
+    print()
+    print("Pareto-optimal operating points:")
+    for point in knee:
+        print(f"  {point.frequency_mhz:6.0f} MHz  {point.area_mm2:6.2f} mm²")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Analysis utilities: metrics, frequency search and experiment sweeps.
+
+* :mod:`repro.analysis.metrics` — switch-count / area / power comparisons
+  between the proposed method and the worst-case baseline.
+* :mod:`repro.analysis.frequency` — minimum-frequency searches (used by the
+  parallel-use-case study of Figure 7c).
+* :mod:`repro.analysis.sweeps` — the experiment drivers behind every figure
+  of the evaluation section; the benchmark harness calls these.
+"""
+
+from repro.analysis.metrics import MethodComparison, compare_methods
+from repro.analysis.frequency import minimum_design_frequency
+from repro.analysis.sweeps import (
+    SweepRow,
+    headline_summary,
+    normalized_switch_count_study,
+    parallel_use_case_study,
+    use_case_count_sweep,
+    ablation_flow_ordering,
+    ablation_grouping,
+    ablation_routing_policy,
+    ablation_slot_table_size,
+)
+
+__all__ = [
+    "MethodComparison",
+    "compare_methods",
+    "minimum_design_frequency",
+    "SweepRow",
+    "normalized_switch_count_study",
+    "use_case_count_sweep",
+    "headline_summary",
+    "parallel_use_case_study",
+    "ablation_flow_ordering",
+    "ablation_grouping",
+    "ablation_routing_policy",
+    "ablation_slot_table_size",
+]

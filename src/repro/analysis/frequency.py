@@ -1,0 +1,67 @@
+"""Minimum-frequency searches.
+
+Two related questions come up in the evaluation:
+
+* **Figure 7c** — how fast must the NoC run to support ``k`` use-cases in
+  parallel?  The answer is the lowest frequency at which the (compound)
+  use-case set still maps onto an admissible topology.
+* **DVS/DFS (§6.4)** — how slow may the NoC run while one particular
+  use-case is active?  That cheaper, per-use-case question is answered
+  analytically in :mod:`repro.power.dvfs`; this module answers the global
+  design-time question by re-running the mapper over a frequency grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+from repro.core.mapping import UnifiedMapper
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import MappingError
+from repro.params import MapperConfig, NoCParameters
+from repro.units import mhz
+
+__all__ = ["default_frequency_grid", "minimum_design_frequency"]
+
+
+def default_frequency_grid() -> Tuple[float, ...]:
+    """Candidate NoC frequencies from 100 MHz to 2 GHz in realistic steps."""
+    values = list(range(100, 1000, 50)) + list(range(1000, 2001, 100))
+    return tuple(mhz(value) for value in values)
+
+
+def minimum_design_frequency(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+    frequencies: Sequence[float] | None = None,
+    groups=None,
+    max_switches: Optional[int] = None,
+) -> Optional[float]:
+    """Lowest frequency of the grid at which the design can be mapped.
+
+    Parameters
+    ----------
+    max_switches:
+        Optionally restrict the topology search (e.g. to the switch count of
+        an already-chosen NoC) so the answer is "how fast must *this* NoC
+        run", not "how fast must some NoC run".
+
+    Returns the frequency in Hz, or ``None`` when even the fastest grid
+    point cannot support the constraints.
+    """
+    base_params = params or NoCParameters()
+    base_config = config or MapperConfig()
+    if max_switches is not None:
+        base_config = replace(base_config, max_switches=max_switches)
+    grid = sorted(frequencies or default_frequency_grid())
+    for frequency in grid:
+        candidate = base_params.with_frequency(frequency)
+        mapper = UnifiedMapper(params=candidate, config=base_config)
+        try:
+            mapper.map(use_cases, groups=groups)
+        except MappingError:
+            continue
+        return frequency
+    return None

@@ -1,0 +1,121 @@
+"""Comparison metrics between the proposed method and the worst-case baseline.
+
+The paper's primary quality metric is the number of switches of the smallest
+mesh that satisfies every use-case (Figure 6 reports the proposed method's
+switch count normalised to the WC method's).  Secondary metrics derived from
+it are the total switch area and the NoC power, which feed the headline
+"80 % smaller, 54 % less power" claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mapping import UnifiedMapper
+from repro.core.result import MappingResult
+from repro.core.switching import SwitchingGraph
+from repro.core.usecase import UseCaseSet
+from repro.core.worstcase import WorstCaseMapper
+from repro.exceptions import MappingError
+from repro.params import MapperConfig, NoCParameters
+from repro.power.area import AreaModel
+from repro.power.dvfs import DvfsAnalysis
+from repro.power.energy import PowerModel
+
+__all__ = ["MethodComparison", "compare_methods"]
+
+
+@dataclass
+class MethodComparison:
+    """Side-by-side result of the proposed method and the WC baseline."""
+
+    design: str
+    unified: Optional[MappingResult]
+    worst_case: Optional[MappingResult]
+    unified_area_mm2: float = float("nan")
+    worst_case_area_mm2: float = float("nan")
+
+    @property
+    def unified_switches(self) -> Optional[int]:
+        """Switch count of the proposed method (None when it failed)."""
+        return None if self.unified is None else self.unified.switch_count
+
+    @property
+    def worst_case_switches(self) -> Optional[int]:
+        """Switch count of the WC baseline (None when it failed)."""
+        return None if self.worst_case is None else self.worst_case.switch_count
+
+    @property
+    def normalized_switch_count(self) -> Optional[float]:
+        """Proposed-method switches / WC switches (Figure 6's y-axis).
+
+        ``None`` when either method failed to produce a mapping — the paper
+        likewise omits the points where the WC method fails.
+        """
+        if self.unified is None or self.worst_case is None:
+            return None
+        return self.unified.switch_count / self.worst_case.switch_count
+
+    @property
+    def area_reduction(self) -> Optional[float]:
+        """Fractional switch-area reduction of the proposed method vs. WC."""
+        if self.unified is None or self.worst_case is None:
+            return None
+        if self.worst_case_area_mm2 <= 0:
+            return None
+        return 1.0 - self.unified_area_mm2 / self.worst_case_area_mm2
+
+    def as_row(self) -> dict:
+        """Plain-dict row for reports and the benchmark harness."""
+        return {
+            "design": self.design,
+            "unified_switches": self.unified_switches,
+            "worst_case_switches": self.worst_case_switches,
+            "normalized_switch_count": self.normalized_switch_count,
+            "unified_area_mm2": round(self.unified_area_mm2, 3)
+            if self.unified is not None
+            else None,
+            "worst_case_area_mm2": round(self.worst_case_area_mm2, 3)
+            if self.worst_case is not None
+            else None,
+            "area_reduction": self.area_reduction,
+        }
+
+
+def compare_methods(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+    switching_graph: Optional[SwitchingGraph] = None,
+    area_model: AreaModel | None = None,
+    design_name: Optional[str] = None,
+) -> MethodComparison:
+    """Run both mapping methods on one design and compare them.
+
+    A method that cannot produce a valid mapping within the configured
+    topology limit is recorded as ``None`` (this happens to the WC baseline
+    on the large synthetic benchmarks, as in the paper).
+    """
+    params = params or NoCParameters()
+    config = config or MapperConfig()
+    model = area_model or AreaModel()
+    name = design_name or use_cases.name
+
+    try:
+        unified = UnifiedMapper(params=params, config=config).map(
+            use_cases, switching_graph=switching_graph
+        )
+    except MappingError:
+        unified = None
+    try:
+        worst_case = WorstCaseMapper(params=params, config=config).map(use_cases)
+    except MappingError:
+        worst_case = None
+
+    comparison = MethodComparison(design=name, unified=unified, worst_case=worst_case)
+    if unified is not None:
+        comparison.unified_area_mm2 = model.mapping_area(unified)
+    if worst_case is not None:
+        comparison.worst_case_area_mm2 = model.mapping_area(worst_case)
+    return comparison

@@ -1,0 +1,305 @@
+"""Experiment drivers for every figure of the paper's evaluation section.
+
+Each function here corresponds to one figure (or to the ablation studies the
+design decisions call for) and returns plain rows of data; the benchmark
+harness in ``benchmarks/`` and the report writer in :mod:`repro.io.report`
+print them in the same form the paper plots them.
+
+| Function                          | Paper figure                          |
+|-----------------------------------|---------------------------------------|
+| ``normalized_switch_count_study`` | Figure 6(a) — SoC designs D1-D4       |
+| ``use_case_count_sweep``          | Figures 6(b)/(c) — Sp / Bot sweeps    |
+| ``headline_summary``              | §6.2 headline (80 % area, 54 % power) |
+| ``parallel_use_case_study``       | Figure 7(c) — parallel use-cases      |
+| ``ablation_*``                    | §5 design-choice ablations            |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.frequency import minimum_design_frequency
+from repro.analysis.metrics import MethodComparison, compare_methods
+from repro.core.compound import CompoundModeSpec, generate_compound_modes
+from repro.core.mapping import UnifiedMapper
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import MappingError
+from repro.gen.soc import standard_designs
+from repro.gen.synthetic import generate_benchmark
+from repro.params import MapperConfig, NoCParameters
+from repro.power.dvfs import DvfsAnalysis
+
+__all__ = [
+    "SweepRow",
+    "normalized_switch_count_study",
+    "use_case_count_sweep",
+    "headline_summary",
+    "parallel_use_case_study",
+    "ablation_flow_ordering",
+    "ablation_grouping",
+    "ablation_routing_policy",
+    "ablation_slot_table_size",
+]
+
+
+@dataclass
+class SweepRow:
+    """One row of an experiment sweep (one design / parameter point)."""
+
+    label: str
+    values: Dict[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        return self.values[key]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The row as a flat dictionary including its label."""
+        merged = {"label": self.label}
+        merged.update(self.values)
+        return merged
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6(a): SoC designs
+# --------------------------------------------------------------------------- #
+def normalized_switch_count_study(
+    designs: Optional[Mapping[str, UseCaseSet]] = None,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> List[SweepRow]:
+    """Normalised switch count of the proposed method vs. WC for D1-D4."""
+    if designs is None:
+        designs = {name: design.use_cases for name, design in standard_designs().items()}
+    rows: List[SweepRow] = []
+    for name, use_cases in designs.items():
+        comparison = compare_methods(
+            use_cases, params=params, config=config, design_name=name
+        )
+        rows.append(SweepRow(label=name, values=comparison.as_row()))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 6(b) and 6(c): synthetic benchmark sweeps
+# --------------------------------------------------------------------------- #
+def use_case_count_sweep(
+    kind: str,
+    use_case_counts: Sequence[int] = (2, 5, 10, 15, 20),
+    core_count: int = 20,
+    seed: int = 3,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> List[SweepRow]:
+    """Normalised switch count vs. number of use-cases for Sp or Bot benchmarks."""
+    rows: List[SweepRow] = []
+    for count in use_case_counts:
+        use_cases = generate_benchmark(kind, count, core_count=core_count, seed=seed)
+        comparison = compare_methods(
+            use_cases, params=params, config=config,
+            design_name=f"{kind}-{count}uc",
+        )
+        values = comparison.as_row()
+        values["use_cases"] = count
+        rows.append(SweepRow(label=f"{kind}-{count}uc", values=values))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# §6.2 / §6.4 headline numbers
+# --------------------------------------------------------------------------- #
+def headline_summary(
+    designs: Optional[Mapping[str, UseCaseSet]] = None,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> Dict[str, object]:
+    """Average area reduction vs. WC and average DVS/DFS power saving.
+
+    Mirrors the abstract's headline claims (80 % average NoC area reduction,
+    54 % average power reduction).  Designs on which the WC baseline fails
+    outright are excluded from the area average (the reduction there is
+    effectively unbounded) but still contribute to the DVS/DFS average.
+    """
+    if designs is None:
+        designs = {name: design.use_cases for name, design in standard_designs().items()}
+    area_reductions: List[float] = []
+    dvfs_savings: List[float] = []
+    per_design: Dict[str, Dict[str, object]] = {}
+    analysis = DvfsAnalysis()
+    for name, use_cases in designs.items():
+        comparison = compare_methods(use_cases, params=params, config=config,
+                                     design_name=name)
+        entry: Dict[str, object] = comparison.as_row()
+        if comparison.area_reduction is not None:
+            area_reductions.append(comparison.area_reduction)
+        if comparison.unified is not None:
+            dvfs = analysis.analyze(comparison.unified)
+            entry["dvfs_savings_percent"] = round(dvfs.savings_percent, 1)
+            dvfs_savings.append(dvfs.savings)
+        per_design[name] = entry
+    return {
+        "designs": per_design,
+        "average_area_reduction_percent": (
+            round(100.0 * sum(area_reductions) / len(area_reductions), 1)
+            if area_reductions
+            else None
+        ),
+        "average_dvfs_savings_percent": (
+            round(100.0 * sum(dvfs_savings) / len(dvfs_savings), 1)
+            if dvfs_savings
+            else None
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7(c): frequency cost of parallel use-cases
+# --------------------------------------------------------------------------- #
+def parallel_use_case_study(
+    parallelism_levels: Sequence[int] = (1, 2, 3, 4),
+    use_case_count: int = 10,
+    core_count: int = 20,
+    seed: int = 3,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+    max_switches: Optional[int] = None,
+) -> List[SweepRow]:
+    """Required NoC frequency as more use-cases of an Sp benchmark run in parallel.
+
+    For parallelism level ``k`` the first ``k`` use-cases of the benchmark
+    are declared parallel; the compound mode generated from them (plus the
+    remaining use-cases) must be supported, and the study reports the lowest
+    frequency at which that succeeds.  ``max_switches`` (default: just
+    enough switches for the core count) pins the topology size so the study
+    isolates the frequency cost, as the paper's figure does.
+    """
+    base = generate_benchmark("spread", use_case_count, core_count=core_count, seed=seed)
+    base_params = params or NoCParameters()
+    base_config = config or MapperConfig()
+    if max_switches is None:
+        per_switch = base_params.max_cores_per_switch or core_count
+        minimum = -(-core_count // per_switch)  # ceil division
+        max_switches = max(minimum, base_config.min_switches) + 2
+    rows: List[SweepRow] = []
+    for level in parallelism_levels:
+        level = min(level, len(base))
+        if level >= 2:
+            spec = CompoundModeSpec(base.names[:level], name=f"parallel-{level}")
+            expanded, _ = generate_compound_modes(base, [spec])
+        else:
+            expanded = base
+        frequency = minimum_design_frequency(
+            expanded,
+            params=base_params,
+            config=base_config,
+            max_switches=max_switches,
+        )
+        rows.append(
+            SweepRow(
+                label=f"parallel-{level}",
+                values={
+                    "parallel_use_cases": level,
+                    "required_frequency_mhz": None
+                    if frequency is None
+                    else frequency / 1e6,
+                },
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Ablations of the design choices called out in DESIGN.md
+# --------------------------------------------------------------------------- #
+def _switches_or_none(use_cases: UseCaseSet, params: NoCParameters, config: MapperConfig):
+    try:
+        return UnifiedMapper(params=params, config=config).map(use_cases).switch_count
+    except MappingError:
+        return None
+
+
+def ablation_flow_ordering(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> List[SweepRow]:
+    """Largest-flow-first ordering (paper) vs. ignoring already-mapped endpoints."""
+    params = params or NoCParameters()
+    base = config or MapperConfig()
+    variants = {
+        "prefer-mapped-endpoints": base,
+        "ignore-mapped-endpoints": replace(base, prefer_mapped_endpoints=False),
+    }
+    return [
+        SweepRow(label=name,
+                 values={"switch_count": _switches_or_none(use_cases, params, cfg)})
+        for name, cfg in variants.items()
+    ]
+
+
+def ablation_routing_policy(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> List[SweepRow]:
+    """Effect of the candidate-path policy (XY vs. minimal vs. detours)."""
+    params = params or NoCParameters()
+    base = config or MapperConfig()
+    rows = []
+    for policy in ("xy", "west_first", "minimal", "k_shortest"):
+        cfg = replace(base, routing_policy=policy)
+        rows.append(
+            SweepRow(label=policy,
+                     values={"switch_count": _switches_or_none(use_cases, params, cfg)})
+        )
+    return rows
+
+
+def ablation_slot_table_size(
+    use_cases: UseCaseSet,
+    sizes: Sequence[int] = (8, 16, 32, 64),
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> List[SweepRow]:
+    """Effect of the TDMA slot-table size on the achievable NoC size."""
+    base_params = params or NoCParameters()
+    cfg = config or MapperConfig()
+    rows = []
+    for size in sizes:
+        point = replace(base_params, slot_table_size=size)
+        rows.append(
+            SweepRow(label=f"slots-{size}",
+                     values={"slot_table_size": size,
+                             "switch_count": _switches_or_none(use_cases, point, cfg)})
+        )
+    return rows
+
+
+def ablation_grouping(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> List[SweepRow]:
+    """Fully re-configurable NoC vs. one shared configuration for all use-cases.
+
+    Forcing every use-case into a single smooth-switching group makes the
+    proposed method behave like the worst-case baseline (one configuration
+    must absorb everything), which is the cleanest demonstration of where
+    the paper's gain comes from.
+    """
+    params = params or NoCParameters()
+    cfg = config or MapperConfig()
+    separate = _switches_or_none(use_cases, params, cfg)
+    single_group = [list(use_cases.names)]
+    try:
+        shared = (
+            UnifiedMapper(params=params, config=cfg)
+            .map(use_cases, groups=single_group)
+            .switch_count
+        )
+    except MappingError:
+        shared = None
+    return [
+        SweepRow(label="per-use-case-configuration", values={"switch_count": separate}),
+        SweepRow(label="single-shared-configuration", values={"switch_count": shared}),
+    ]

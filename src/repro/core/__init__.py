@@ -1,0 +1,46 @@
+"""Core data model and algorithms of the multi-use-case mapping methodology.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.usecase` — cores, flows, use-cases and sets of use-cases.
+* :mod:`repro.core.compound` — automatic generation of compound (parallel)
+  modes from constituent use-cases (design-flow phase 1).
+* :mod:`repro.core.switching` — the switching graph and Algorithm 1 grouping
+  of use-cases that must share one NoC configuration (phase 2).
+* :mod:`repro.core.mapping` — Algorithm 2, the unified mapping / path
+  selection / TDMA slot reservation heuristic (phase 3).
+* :mod:`repro.core.worstcase` — the worst-case single-use-case baseline the
+  paper compares against (ref. [25]).
+* :mod:`repro.core.design_flow` — the end-to-end methodology pipeline.
+"""
+
+from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
+from repro.core.compound import CompoundModeSpec, generate_compound_modes
+from repro.core.switching import SwitchingGraph, group_use_cases
+from repro.core.config import MapperConfig, NoCParameters
+from repro.core.result import FlowAllocation, MappingResult, UseCaseConfiguration
+from repro.core.mapping import UnifiedMapper, map_use_cases
+from repro.core.worstcase import build_worst_case_use_case, WorstCaseMapper
+from repro.core.design_flow import DesignFlow, DesignFlowResult
+
+__all__ = [
+    "Core",
+    "Flow",
+    "UseCase",
+    "UseCaseSet",
+    "CompoundModeSpec",
+    "generate_compound_modes",
+    "SwitchingGraph",
+    "group_use_cases",
+    "MapperConfig",
+    "NoCParameters",
+    "FlowAllocation",
+    "MappingResult",
+    "UseCaseConfiguration",
+    "UnifiedMapper",
+    "map_use_cases",
+    "build_worst_case_use_case",
+    "WorstCaseMapper",
+    "DesignFlow",
+    "DesignFlowResult",
+]

@@ -1,0 +1,133 @@
+"""Compound-mode generation (design-flow phase 1).
+
+SoCs run several use-cases *in parallel* (the paper's example: video display
+and recording on a set-top box).  The designer only specifies *which*
+use-cases may run together; the methodology then generates a new use-case —
+a *compound mode* — representing the combined traffic:
+
+* the bandwidth of a flow between two cores in the compound mode is the
+  **sum** of the bandwidths of the matching flows in the constituent
+  use-cases, and
+* the latency requirement is the **minimum** of the constituents' latency
+  requirements.
+
+Compound modes are then treated as ordinary use-cases for the rest of the
+design flow, and the constituent use-cases are implicitly required to switch
+smoothly into the compound mode (handled by
+:mod:`repro.core.switching`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
+from repro.exceptions import SpecificationError
+
+__all__ = ["CompoundModeSpec", "generate_compound_modes", "merge_use_cases"]
+
+
+@dataclass(frozen=True)
+class CompoundModeSpec:
+    """Designer declaration that a set of use-cases can run in parallel.
+
+    Parameters
+    ----------
+    members:
+        Names of the use-cases that run concurrently (at least two).
+    name:
+        Optional name for the generated compound use-case.  When omitted the
+        name is derived from the members (``"U1+U2"`` style), mirroring the
+        paper's ``U_123`` / ``U_45`` naming.
+    """
+
+    members: Tuple[str, ...]
+    name: str = ""
+
+    def __init__(self, members: Sequence[str], name: str = "") -> None:
+        unique = tuple(dict.fromkeys(members))
+        if len(unique) < 2:
+            raise SpecificationError(
+                f"a compound mode needs at least two distinct use-cases, got {members!r}"
+            )
+        object.__setattr__(self, "members", unique)
+        object.__setattr__(self, "name", name or "+".join(unique))
+
+
+def merge_use_cases(use_cases: Sequence[UseCase], name: str) -> UseCase:
+    """Merge use-cases that run in parallel into a single compound use-case.
+
+    Implements the paper's rule directly: per (source, destination) pair the
+    bandwidths are summed and the latency requirement is the minimum over
+    the constituents.  Cores are the union of the constituents' cores.
+    """
+    if not use_cases:
+        raise SpecificationError("cannot merge an empty collection of use-cases")
+    merged_flows: Dict[Tuple[str, str], Flow] = {}
+    merged_cores: Dict[str, Core] = {}
+    for use_case in use_cases:
+        for core in use_case.cores:
+            existing = merged_cores.get(core.name)
+            if existing is not None and existing != core:
+                raise SpecificationError(
+                    f"use-cases disagree on the definition of core {core.name!r}"
+                )
+            merged_cores.setdefault(core.name, core)
+        for flow in use_case.flows:
+            existing_flow = merged_flows.get(flow.pair)
+            merged_flows[flow.pair] = (
+                flow if existing_flow is None else existing_flow.merged_with(flow)
+            )
+    return UseCase(
+        name=name,
+        flows=merged_flows.values(),
+        cores=merged_cores.values(),
+        parents=tuple(uc.name for uc in use_cases),
+    )
+
+
+def generate_compound_modes(
+    use_cases: UseCaseSet,
+    parallel_specs: Iterable[CompoundModeSpec],
+) -> Tuple[UseCaseSet, List[UseCase]]:
+    """Phase 1 of the design flow: expand parallel-mode declarations.
+
+    Parameters
+    ----------
+    use_cases:
+        The designer-provided use-cases (``U1 ... Un`` in Figure 3).
+    parallel_specs:
+        The ``PUC`` input: which use-cases can run in parallel.
+
+    Returns
+    -------
+    (expanded_set, generated)
+        ``expanded_set`` is a *new* :class:`UseCaseSet` containing the
+        original use-cases plus one generated compound use-case per spec;
+        ``generated`` lists just the generated compound use-cases (useful to
+        feed the smooth-switching constraints of phase 2).
+
+    Raises
+    ------
+    SpecificationError
+        If a spec references an unknown use-case or would collide with an
+        existing use-case name.
+    """
+    expanded = UseCaseSet(use_cases.use_cases, name=use_cases.name)
+    generated: List[UseCase] = []
+    for spec in parallel_specs:
+        missing = [member for member in spec.members if member not in use_cases]
+        if missing:
+            raise SpecificationError(
+                f"compound mode {spec.name!r} references unknown use-case(s) {missing}"
+            )
+        if spec.name in expanded:
+            raise SpecificationError(
+                f"compound mode name {spec.name!r} collides with an existing use-case"
+            )
+        members = [use_cases[member] for member in spec.members]
+        compound = merge_use_cases(members, name=spec.name)
+        expanded.add(compound)
+        generated.append(compound)
+    return expanded, generated

@@ -1,0 +1,11 @@
+"""Convenience re-exports of the parameter objects used by the core algorithms.
+
+The actual definitions live in :mod:`repro.params` (kept free of any other
+library dependency so the NoC substrate can use them without import cycles);
+this module exists so that user code can import everything algorithm-related
+from :mod:`repro.core`.
+"""
+
+from repro.params import MapperConfig, NoCParameters
+
+__all__ = ["MapperConfig", "NoCParameters"]

@@ -1,0 +1,724 @@
+"""Unified multi-use-case mapping, path selection and slot reservation.
+
+This module implements Algorithm 2 of the paper — the primary contribution:
+
+1. Start from the smallest topology (a single switch) and grow it until a
+   valid mapping exists (outer loop).
+2. Sort the traffic flows of *all* use-cases together in non-increasing
+   bandwidth order.
+3. Repeatedly pick the largest remaining flow — preferring flows whose
+   source or destination core is already mapped — and
+4. choose a least-cost path for it; if its endpoints are unmapped, map them
+   onto the switches at the ends of the chosen path.  Reserve bandwidth and
+   TDMA slots for the flow.
+5. For every *other* use-case that has a flow between the same pair of
+   cores, select a least-cost path in **that use-case's own resource state**
+   and reserve its resources there.  Use-cases inside the same
+   smooth-switching group share one configuration, so their reservation is
+   made once, in the group's shared state, sized for the largest bandwidth
+   requirement among the group members.
+6. Repeat until every flow of every use-case is mapped; if some flow cannot
+   be placed, grow the topology and start over.
+
+The key departure from the worst-case baseline (ref [25]) is step 5: each
+use-case (or each smooth-switching group) owns an independent
+:class:`~repro.noc.resources.ResourceState`, so traffic of use-cases that
+never run simultaneously does not compete for the same bandwidth and slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.result import FlowAllocation, MappingResult, UseCaseConfiguration
+from repro.core.switching import SwitchingGraph
+from repro.core.usecase import Flow, TrafficClass, UseCase, UseCaseSet
+from repro.exceptions import ConfigurationError, MappingError, ResourceError, SpecificationError
+from repro.noc.resources import INFEASIBLE_COST, ResourceState
+from repro.noc.routing import PathSelector
+from repro.noc.slot_table import slots_needed
+from repro.noc.topology import Topology, mesh_growth_schedule
+from repro.params import MapperConfig, NoCParameters
+from repro.perf.latency import latency_hop_budget
+
+__all__ = ["UnifiedMapper", "map_use_cases", "GroupRequirement"]
+
+GroupSpec = Optional[Sequence[Iterable[str]]]
+
+
+@dataclass(frozen=True)
+class _PairRequirement:
+    """Aggregated requirement of one core pair within one configuration group."""
+
+    group_id: int
+    source: str
+    destination: str
+    bandwidth: float
+    latency: float
+    guaranteed: bool
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.source, self.destination)
+
+
+class GroupRequirement:
+    """Per-pair aggregated traffic requirements of one smooth-switching group.
+
+    Use-cases inside a group share one NoC configuration, so the group's slot
+    tables must accommodate — for every core pair used by any member — the
+    *largest* bandwidth and the *tightest* latency any member requires for
+    that pair (the same rule the paper applies in step 6 of Algorithm 2).
+    """
+
+    def __init__(self, group_id: int, members: Sequence[UseCase]) -> None:
+        self.group_id = group_id
+        self.members: Tuple[UseCase, ...] = tuple(members)
+        self.member_names: Tuple[str, ...] = tuple(uc.name for uc in members)
+        self._pairs: Dict[Tuple[str, str], _PairRequirement] = {}
+        for use_case in members:
+            for flow in use_case.flows:
+                existing = self._pairs.get(flow.pair)
+                guaranteed = flow.traffic_class == TrafficClass.GUARANTEED
+                if existing is None:
+                    self._pairs[flow.pair] = _PairRequirement(
+                        group_id=group_id,
+                        source=flow.source,
+                        destination=flow.destination,
+                        bandwidth=flow.bandwidth,
+                        latency=flow.latency,
+                        guaranteed=guaranteed,
+                    )
+                else:
+                    self._pairs[flow.pair] = _PairRequirement(
+                        group_id=group_id,
+                        source=flow.source,
+                        destination=flow.destination,
+                        bandwidth=max(existing.bandwidth, flow.bandwidth),
+                        latency=min(existing.latency, flow.latency),
+                        guaranteed=existing.guaranteed or guaranteed,
+                    )
+
+    @property
+    def pair_requirements(self) -> Tuple[_PairRequirement, ...]:
+        """All aggregated pair requirements of this group."""
+        return tuple(self._pairs.values())
+
+    def requirement_for(self, pair: Tuple[str, str]) -> Optional[_PairRequirement]:
+        """The aggregated requirement of one core pair, or ``None``."""
+        return self._pairs.get(pair)
+
+    def core_loads(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """(egress, ingress) aggregated bandwidth per core for this group."""
+        egress: Dict[str, float] = {}
+        ingress: Dict[str, float] = {}
+        for req in self._pairs.values():
+            egress[req.source] = egress.get(req.source, 0.0) + req.bandwidth
+            ingress[req.destination] = ingress.get(req.destination, 0.0) + req.bandwidth
+        return egress, ingress
+
+
+class UnifiedMapper:
+    """The paper's unified mapping / path-selection / slot-reservation engine."""
+
+    def __init__(
+        self,
+        params: NoCParameters | None = None,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.params = params or NoCParameters()
+        self.config = config or MapperConfig()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        use_cases: UseCaseSet,
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+        method_name: str = "unified",
+    ) -> MappingResult:
+        """Map a multi-use-case design onto the smallest feasible topology.
+
+        Parameters
+        ----------
+        use_cases:
+            The (already compound-expanded) use-case set.
+        groups:
+            Explicit smooth-switching groups as collections of use-case
+            names.  When omitted, ``switching_graph`` is consulted; when
+            that is also omitted every use-case forms its own group (fully
+            re-configurable NoC).
+        switching_graph:
+            A :class:`SwitchingGraph` whose connected components define the
+            groups (Algorithm 1).
+        method_name:
+            Recorded in the result (the worst-case baseline re-uses this
+            engine with a different name).
+
+        Returns
+        -------
+        MappingResult
+            The smallest topology, shared core mapping and per-use-case
+            configurations.
+
+        Raises
+        ------
+        MappingError
+            When no topology up to ``config.max_switches`` switches can
+            satisfy every use-case's constraints.
+        """
+        use_cases.validate()
+        resolved_groups = self._resolve_groups(use_cases, groups, switching_graph)
+        requirements = [
+            GroupRequirement(group_id, [use_cases[name] for name in sorted(group)])
+            for group_id, group in enumerate(resolved_groups)
+        ]
+        if self.config.enable_quick_infeasibility_check:
+            self._quick_infeasibility_check(requirements)
+
+        core_names = list(use_cases.all_core_names())
+        attempted: List[str] = []
+        for topology in self._topology_schedule(len(core_names)):
+            attempted.append(topology.name)
+            outcome = self._attempt(topology, use_cases, requirements, resolved_groups)
+            if outcome is not None:
+                core_mapping, configurations = outcome
+                return MappingResult(
+                    method=method_name,
+                    topology=topology,
+                    params=self.params,
+                    config=self.config,
+                    core_mapping=core_mapping,
+                    groups=resolved_groups,
+                    configurations=configurations,
+                    attempted_topologies=attempted,
+                )
+        raise MappingError(
+            f"no topology with up to {self.config.max_switches} switches satisfies "
+            f"the constraints of {len(use_cases)} use-case(s)",
+            largest_topology=attempted[-1] if attempted else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # group resolution and feasibility pre-checks
+    # ------------------------------------------------------------------ #
+    def _resolve_groups(
+        self,
+        use_cases: UseCaseSet,
+        groups: GroupSpec,
+        switching_graph: Optional[SwitchingGraph],
+    ) -> Tuple[FrozenSet[str], ...]:
+        if groups is not None and switching_graph is not None:
+            raise ConfigurationError("pass either explicit groups or a switching graph, not both")
+        if groups is None and switching_graph is None:
+            return tuple(frozenset({name}) for name in use_cases.names)
+        if switching_graph is not None:
+            resolved = [frozenset(group) for group in switching_graph.groups()]
+        else:
+            resolved = [frozenset(group) for group in groups or ()]
+        covered: Set[str] = set()
+        for group in resolved:
+            for name in group:
+                if name not in use_cases:
+                    raise SpecificationError(f"group references unknown use-case {name!r}")
+                if name in covered:
+                    raise SpecificationError(f"use-case {name!r} appears in more than one group")
+                covered.add(name)
+        missing = [name for name in use_cases.names if name not in covered]
+        resolved.extend(frozenset({name}) for name in missing)
+        return tuple(resolved)
+
+    def _quick_infeasibility_check(self, requirements: Sequence[GroupRequirement]) -> None:
+        """Fail fast when no topology of any size could carry the traffic.
+
+        Every flow must cross its source core's NI injection link and its
+        destination core's NI ejection link, whose capacity equals one link
+        capacity regardless of topology size.  If any group requires more
+        than that from a single core, growing the mesh cannot help — this is
+        what makes the worst-case baseline fail outright on the 40-use-case
+        benchmarks in the paper.
+        """
+        capacity = self.params.link_capacity
+        for requirement in requirements:
+            for req in requirement.pair_requirements:
+                if req.bandwidth > capacity + 1e-9:
+                    raise MappingError(
+                        f"flow {req.source}->{req.destination} needs "
+                        f"{req.bandwidth:.3g} B/s which exceeds the link capacity "
+                        f"{capacity:.3g} B/s at {self.params.frequency_hz / 1e6:.0f} MHz",
+                        largest_topology=None,
+                    )
+            egress, ingress = requirement.core_loads()
+            for core, load in egress.items():
+                if load > capacity + 1e-9:
+                    raise MappingError(
+                        f"core {core!r} must source {load:.3g} B/s in group "
+                        f"{requirement.group_id}, exceeding its NI injection capacity "
+                        f"{capacity:.3g} B/s; no topology size can fix this",
+                        largest_topology=None,
+                    )
+            for core, load in ingress.items():
+                if load > capacity + 1e-9:
+                    raise MappingError(
+                        f"core {core!r} must sink {load:.3g} B/s in group "
+                        f"{requirement.group_id}, exceeding its NI ejection capacity "
+                        f"{capacity:.3g} B/s; no topology size can fix this",
+                        largest_topology=None,
+                    )
+
+    def _topology_schedule(self, core_count: int) -> Iterable[Topology]:
+        """The outer-loop topology growth schedule of Algorithm 2."""
+        limit = self.params.max_cores_per_switch
+        kind = self.params.topology_kind
+        if kind == "ring":
+            sizes = range(max(1, self.config.min_switches), self.config.max_switches + 1)
+            for count in sizes:
+                if limit is not None and count * limit < core_count:
+                    continue
+                yield Topology.ring(count)
+            return
+        builder = Topology.mesh if kind == "mesh" else Topology.torus
+        for rows, cols in mesh_growth_schedule(self.config.max_switches):
+            count = rows * cols
+            if count < self.config.min_switches:
+                continue
+            if limit is not None and count * limit < core_count:
+                continue
+            yield builder(rows, cols)
+
+    # ------------------------------------------------------------------ #
+    # one topology attempt
+    # ------------------------------------------------------------------ #
+    def map_with_placement(
+        self,
+        use_cases: UseCaseSet,
+        topology: Topology,
+        placement: Mapping[str, int],
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+        method_name: str = "unified-fixed-placement",
+    ) -> MappingResult:
+        """Map a design onto a *fixed* topology and core placement.
+
+        Used by the refinement passes (:mod:`repro.optimize`), which explore
+        alternative placements by swapping cores: path selection and slot
+        reservation are re-run from scratch for the given placement.
+
+        Raises :class:`MappingError` when the placement cannot satisfy every
+        use-case's constraints on this topology.
+        """
+        use_cases.validate()
+        resolved_groups = self._resolve_groups(use_cases, groups, switching_graph)
+        requirements = [
+            GroupRequirement(group_id, [use_cases[name] for name in sorted(group)])
+            for group_id, group in enumerate(resolved_groups)
+        ]
+        outcome = self._attempt(
+            topology, use_cases, requirements, resolved_groups,
+            initial_placement=placement,
+        )
+        if outcome is None:
+            raise MappingError(
+                f"placement is infeasible on topology {topology.name!r}",
+                largest_topology=topology.name,
+            )
+        core_mapping, configurations = outcome
+        return MappingResult(
+            method=method_name,
+            topology=topology,
+            params=self.params,
+            config=self.config,
+            core_mapping=core_mapping,
+            groups=resolved_groups,
+            configurations=configurations,
+            attempted_topologies=(topology.name,),
+        )
+
+    def _attempt(
+        self,
+        topology: Topology,
+        use_cases: UseCaseSet,
+        requirements: Sequence[GroupRequirement],
+        groups: Sequence[FrozenSet[str]],
+        initial_placement: Optional[Mapping[str, int]] = None,
+    ) -> Optional[Tuple[Dict[str, int], Dict[str, UseCaseConfiguration]]]:
+        """Try to map every flow onto one fixed topology.
+
+        Returns ``None`` when some flow cannot be placed (the caller then
+        grows the topology); otherwise returns the core mapping and the
+        per-use-case configurations.  ``initial_placement`` pre-attaches
+        cores to switches (used by :meth:`map_with_placement`).
+        """
+        selector = PathSelector(topology, self.config)
+        states: Dict[int, ResourceState] = {
+            requirement.group_id: ResourceState(
+                topology, self.params, name=f"group-{requirement.group_id}"
+            )
+            for requirement in requirements
+        }
+        configurations: Dict[str, UseCaseConfiguration] = {}
+        group_index: Dict[str, int] = {}
+        for requirement in requirements:
+            for name in requirement.member_names:
+                configurations[name] = UseCaseConfiguration(name, requirement.group_id)
+                group_index[name] = requirement.group_id
+
+        # Step 2: sort all aggregated pair requirements by bandwidth, largest first.
+        items: List[_PairRequirement] = [
+            req for requirement in requirements for req in requirement.pair_requirements
+        ]
+        items.sort(key=lambda req: (-req.bandwidth, req.source, req.destination, req.group_id))
+        by_pair: Dict[Tuple[str, str], List[_PairRequirement]] = {}
+        for req in items:
+            by_pair.setdefault(req.pair, []).append(req)
+
+        core_mapping: Dict[str, int] = {}
+        all_cores = list(use_cases.all_core_names())
+        # Used by the placement heuristic to derive the target core spacing.
+        self._core_count_hint = len(all_cores)
+        done: Set[Tuple[int, Tuple[str, str]]] = set()
+
+        if initial_placement is not None:
+            try:
+                for core, switch in initial_placement.items():
+                    self._attach_everywhere(core, switch, core_mapping, states)
+            except ResourceError:
+                return None
+
+        pending = list(items)
+        while pending:
+            # Step 3: choose the largest remaining flow, preferring flows with
+            # already-mapped endpoints while unmapped cores remain.
+            index = self._next_item_index(pending, core_mapping, len(core_mapping) < len(all_cores))
+            chosen = pending[index]
+            if (chosen.group_id, chosen.pair) in done:
+                pending.pop(index)
+                continue
+            # Steps 4-6: place this pair in the chosen group first, then in
+            # every other group that communicates between the same cores.
+            ordered = by_pair[chosen.pair]
+            first = chosen
+            rest = [req for req in ordered if req is not chosen]
+            for req in [first] + rest:
+                if (req.group_id, req.pair) in done:
+                    continue
+                success = self._place_pair(
+                    req, states[req.group_id], selector, core_mapping, states, requirements,
+                    configurations,
+                )
+                if not success:
+                    return None
+                done.add((req.group_id, req.pair))
+            pending = [req for req in pending if (req.group_id, req.pair) not in done]
+
+        # Attach cores that have no traffic at all so the mapping is complete.
+        for core in all_cores:
+            if core not in core_mapping:
+                switch = self._switch_with_room(topology, core_mapping)
+                if switch is None:
+                    return None
+                self._attach_everywhere(core, switch, core_mapping, states)
+        return core_mapping, configurations
+
+    def _next_item_index(
+        self,
+        pending: Sequence[_PairRequirement],
+        core_mapping: Mapping[str, int],
+        prefer_mapped: bool,
+    ) -> int:
+        """Index of the next pair requirement to place (paper step 3)."""
+        if not prefer_mapped or not self.config.prefer_mapped_endpoints or not core_mapping:
+            return 0
+        for index, req in enumerate(pending):
+            if req.source in core_mapping or req.destination in core_mapping:
+                return index
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # placing a single pair requirement
+    # ------------------------------------------------------------------ #
+    def _place_pair(
+        self,
+        req: _PairRequirement,
+        state: ResourceState,
+        selector: PathSelector,
+        core_mapping: Dict[str, int],
+        states: Mapping[int, ResourceState],
+        requirements: Sequence[GroupRequirement],
+        configurations: Dict[str, UseCaseConfiguration],
+    ) -> bool:
+        max_hops = self._hop_budget(req)
+        if max_hops is not None and max_hops < 0:
+            return False
+        source_switch = core_mapping.get(req.source)
+        destination_switch = core_mapping.get(req.destination)
+        flow_id = f"g{req.group_id}:{req.source}->{req.destination}"
+
+        if source_switch is None or destination_switch is None:
+            placement = self._choose_placement(
+                req, state, selector, core_mapping, max_hops
+            )
+            if placement is None:
+                return False
+            source_switch, destination_switch, path = placement
+            if req.source not in core_mapping:
+                self._attach_everywhere(req.source, source_switch, core_mapping, states)
+            if req.destination not in core_mapping:
+                self._attach_everywhere(req.destination, destination_switch, core_mapping, states)
+            try:
+                reservation = state.reserve(
+                    flow_id, req.source, req.destination, path, req.bandwidth,
+                    guaranteed=req.guaranteed,
+                )
+            except ResourceError:
+                return False
+        else:
+            selection = selector.select_least_cost(
+                state,
+                req.source,
+                req.destination,
+                req.bandwidth,
+                guaranteed=req.guaranteed,
+                max_hops=max_hops,
+            )
+            if selection is None:
+                return False
+            path, _cost = selection
+            reservation = state.reserve(
+                flow_id, req.source, req.destination, path, req.bandwidth,
+                guaranteed=req.guaranteed,
+            )
+
+        # Record the allocation for every member use-case that has this flow,
+        # carrying the member's own bandwidth/latency (the shared path and
+        # slot assignment come from the group configuration).
+        requirement = requirements[req.group_id]
+        for use_case in requirement.members:
+            flow = use_case.flow_between(req.source, req.destination)
+            if flow is None:
+                continue
+            configurations[use_case.name].add(
+                FlowAllocation(
+                    use_case=use_case.name,
+                    flow=flow,
+                    switch_path=reservation.switch_path,
+                    link_slots=dict(reservation.link_slots),
+                )
+            )
+        return True
+
+    def _hop_budget(self, req: _PairRequirement) -> Optional[int]:
+        """Maximum hop count allowed by the pair's latency constraint."""
+        if not self.config.check_latency or not req.guaranteed:
+            return None
+        owned = slots_needed(
+            req.bandwidth, self.params.link_capacity, self.params.slot_table_size
+        )
+        return latency_hop_budget(req.latency, owned, self.params)
+
+    def _choose_placement(
+        self,
+        req: _PairRequirement,
+        state: ResourceState,
+        selector: PathSelector,
+        core_mapping: Mapping[str, int],
+        max_hops: Optional[int],
+    ) -> Optional[Tuple[int, int, Tuple[int, ...]]]:
+        """Pick switches for unmapped endpoints and the path between them.
+
+        Implements the paper's "map them onto the NIs on the ends of the
+        chosen path": every admissible (source switch, destination switch)
+        combination is scored by the cheapest candidate path between the two
+        switches in the group's resource state, and the overall cheapest
+        combination wins.
+        """
+        topology = state.topology
+        source_fixed = core_mapping.get(req.source)
+        destination_fixed = core_mapping.get(req.destination)
+        # Anchor the candidate pools near the already-placed counterpart (or
+        # near the centroid of everything placed so far) so the pool offers
+        # spatially compact, routing-diverse options instead of degenerating
+        # into one row of a large mesh.
+        anchor = source_fixed if source_fixed is not None else destination_fixed
+        if anchor is None:
+            anchor = self._centroid_switch(topology, core_mapping)
+        source_candidates = (
+            [source_fixed]
+            if source_fixed is not None
+            else self._placement_candidates(topology, core_mapping, anchor)
+        )
+        destination_candidates = (
+            [destination_fixed]
+            if destination_fixed is not None
+            else self._placement_candidates(topology, core_mapping, anchor)
+        )
+        if not source_candidates or not destination_candidates:
+            return None
+
+        best: Optional[Tuple[float, int, int, Tuple[int, ...]]] = None
+        for source_switch in source_candidates:
+            for destination_switch in destination_candidates:
+                if (
+                    source_switch == destination_switch
+                    and req.source != req.destination
+                    and source_fixed is None
+                    and destination_fixed is None
+                ):
+                    # Both cores on one switch: allowed only if the switch has
+                    # room for two more cores.
+                    limit = self.params.max_cores_per_switch
+                    occupied = sum(
+                        1 for sw in core_mapping.values() if sw == source_switch
+                    )
+                    if limit is not None and occupied + 2 > limit:
+                        continue
+                for path in selector.candidate_paths(source_switch, destination_switch):
+                    if max_hops is not None and len(path) - 1 > max_hops:
+                        continue
+                    cost = state.path_cost(
+                        path, req.bandwidth, self.config, guaranteed=req.guaranteed
+                    )
+                    if cost == INFEASIBLE_COST:
+                        continue
+                    key = (cost, source_switch, destination_switch, path)
+                    if best is None or key < best:
+                        best = key
+        if best is None:
+            return None
+        _, source_switch, destination_switch, path = best
+        return source_switch, destination_switch, path
+
+    def _placement_candidates(
+        self,
+        topology: Topology,
+        core_mapping: Mapping[str, int],
+        anchor: Optional[int] = None,
+    ) -> List[int]:
+        """Switches that can still accept a core, closest to the anchor first.
+
+        The anchor is the switch of the already-mapped flow endpoint (or the
+        centroid of all placed cores); ordering candidates by distance from
+        it keeps the placement spatially compact and, crucially, keeps path
+        diversity available on large meshes — a pool of the N least-occupied
+        switches alone would line the cores up along the lowest switch
+        indices and starve colinear pairs of alternative minimal paths.
+        """
+        limit = self.params.max_cores_per_switch
+        occupancy: Dict[int, int] = {sw.index: 0 for sw in topology.switches}
+        for switch in core_mapping.values():
+            occupancy[switch] = occupancy.get(switch, 0) + 1
+        candidates = [
+            index
+            for index, count in occupancy.items()
+            if limit is None or count < limit
+        ]
+        if anchor is None:
+            anchor = self._centroid_switch(topology, core_mapping)
+        distances = {
+            index: self._switch_distance(topology, anchor, index) for index in candidates
+        }
+        # Larger topologies are only useful if the cores actually spread out
+        # over them (that is what adds link capacity between the cores), so
+        # aim for an inter-core spacing proportional to the available area.
+        spacing = self._target_spacing(topology, core_mapping)
+        occupied_switches = set(core_mapping.values())
+        if occupied_switches:
+            nearest_core = {
+                index: min(
+                    self._switch_distance(topology, index, other)
+                    for other in occupied_switches
+                )
+                for index in candidates
+            }
+        else:
+            nearest_core = {index: spacing for index in candidates}
+        # Least-occupied first so cores spread over distinct switches, then
+        # prefer switches whose distance to the nearest placed core matches
+        # the target spacing, then stay close to the anchor.
+        candidates.sort(
+            key=lambda index: (
+                occupancy[index],
+                abs(nearest_core[index] - spacing),
+                distances[index],
+                index,
+            )
+        )
+        return candidates[: self.config.placement_candidates]
+
+    def _target_spacing(self, topology: Topology, core_mapping: Mapping[str, int]) -> int:
+        """Desired distance between neighbouring cores on this topology.
+
+        Roughly ``sqrt(switches / cores)``: on a mesh just big enough to host
+        the cores this is 1 (adjacent placement); on the large meshes the
+        worst-case baseline is forced to, cores spread out so the links
+        between them actually add capacity.
+        """
+        cores_total = max(1, len(core_mapping) + 1)
+        # Estimate with the full core count once known; fall back to the
+        # number already placed plus one during the first placements.
+        estimated = max(cores_total, getattr(self, "_core_count_hint", cores_total))
+        ratio = topology.switch_count / estimated
+        return max(1, int(round(ratio ** 0.5)))
+
+    @staticmethod
+    def _switch_distance(topology: Topology, first: int, second: int) -> int:
+        """Hop distance between two switches (Manhattan on grids)."""
+        a = topology.switch(first)
+        b = topology.switch(second)
+        if a.position is not None and b.position is not None:
+            return abs(a.row - b.row) + abs(a.col - b.col)
+        return topology.shortest_hop_count(first, second)
+
+    @staticmethod
+    def _centroid_switch(topology: Topology, core_mapping: Mapping[str, int]) -> int:
+        """The switch nearest the centroid of all placed cores (mesh centre when empty)."""
+        switches = topology.switches
+        positioned = all(sw.position is not None for sw in switches)
+        if not positioned:
+            return switches[len(switches) // 2].index
+        if core_mapping:
+            rows = [topology.switch(sw).row for sw in core_mapping.values()]
+            cols = [topology.switch(sw).col for sw in core_mapping.values()]
+            target = (sum(rows) / len(rows), sum(cols) / len(cols))
+        else:
+            rows = [sw.row for sw in switches]
+            cols = [sw.col for sw in switches]
+            target = (sum(rows) / len(rows), sum(cols) / len(cols))
+        best = min(
+            switches,
+            key=lambda sw: (abs(sw.row - target[0]) + abs(sw.col - target[1]), sw.index),
+        )
+        return best.index
+
+    def _switch_with_room(
+        self, topology: Topology, core_mapping: Mapping[str, int]
+    ) -> Optional[int]:
+        candidates = self._placement_candidates(topology, core_mapping)
+        return candidates[0] if candidates else None
+
+    def _attach_everywhere(
+        self,
+        core: str,
+        switch: int,
+        core_mapping: Dict[str, int],
+        states: Mapping[int, ResourceState],
+    ) -> None:
+        """Attach a core to a switch in the shared mapping and every group state."""
+        core_mapping[core] = switch
+        for state in states.values():
+            state.attach_core(core, switch)
+
+
+def map_use_cases(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+    groups: GroupSpec = None,
+    switching_graph: Optional[SwitchingGraph] = None,
+) -> MappingResult:
+    """Convenience wrapper around :class:`UnifiedMapper` for one-shot mapping."""
+    mapper = UnifiedMapper(params=params, config=config)
+    return mapper.map(use_cases, groups=groups, switching_graph=switching_graph)

@@ -1,0 +1,213 @@
+"""Switching graph and use-case grouping (design-flow phase 2, Algorithm 1).
+
+Between two use-cases the NoC paths and TDMA slot tables can be
+*re-configured* — but only when the use-case switching time is long enough
+(hundreds of microseconds to milliseconds) and the switch does not have to be
+*smooth*.  Use-cases that require smooth switching (the ``SUC`` input of the
+methodology, plus — automatically — every use-case that participates in a
+compound mode together with that compound mode) must share one NoC
+configuration.
+
+Definition 1 of the paper captures this as an undirected *switching graph*
+``SG(SV, SE)``: vertices are use-cases, an edge means "these two use-cases
+need smooth switching".  Algorithm 1 groups the vertices into connected
+components; each component shares a single NoC configuration during mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.usecase import UseCase, UseCaseSet
+from repro.exceptions import SpecificationError
+
+__all__ = ["SwitchingGraph", "group_use_cases"]
+
+
+class SwitchingGraph:
+    """Undirected graph of smooth-switching requirements between use-cases.
+
+    The graph always contains one vertex per use-case of the design, even if
+    the use-case has no smooth-switching constraints (it then forms a
+    singleton group, i.e. it gets its own re-configurable NoC configuration).
+    """
+
+    def __init__(self, use_case_names: Iterable[str] = ()) -> None:
+        self._graph = nx.Graph()
+        for name in use_case_names:
+            self.add_use_case(name)
+
+    @classmethod
+    def from_use_case_set(
+        cls,
+        use_cases: UseCaseSet,
+        smooth_pairs: Iterable[Tuple[str, str]] = (),
+        include_compound_members: bool = True,
+    ) -> "SwitchingGraph":
+        """Build the switching graph for a design.
+
+        Parameters
+        ----------
+        use_cases:
+            The full (already compound-expanded) use-case set.
+        smooth_pairs:
+            The ``SUC`` designer input: pairs of use-case names that require
+            smooth switching.
+        include_compound_members:
+            When True (the paper's behaviour), every compound use-case is
+            connected to each of its constituent use-cases, because the
+            transition from single-use-case mode to the parallel mode must
+            be smooth and therefore cannot re-configure the network.
+        """
+        graph = cls(use_cases.names)
+        for first, second in smooth_pairs:
+            graph.require_smooth_switching(first, second, known=use_cases)
+        if include_compound_members:
+            for use_case in use_cases:
+                if not use_case.is_compound:
+                    continue
+                for parent in use_case.parents:
+                    if parent in use_cases:
+                        graph.require_smooth_switching(use_case.name, parent, known=use_cases)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_use_case(self, name: str) -> None:
+        """Add a vertex for a use-case (idempotent)."""
+        if not name:
+            raise SpecificationError("use-case name must be non-empty")
+        self._graph.add_node(name)
+
+    def require_smooth_switching(
+        self,
+        first: str,
+        second: str,
+        known: UseCaseSet | None = None,
+    ) -> None:
+        """Record that ``first`` and ``second`` must share a NoC configuration."""
+        if first == second:
+            raise SpecificationError(
+                f"a use-case cannot require smooth switching with itself ({first!r})"
+            )
+        if known is not None:
+            for name in (first, second):
+                if name not in known:
+                    raise SpecificationError(
+                        f"smooth-switching constraint references unknown use-case {name!r}"
+                    )
+        self._graph.add_edge(first, second)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def use_case_names(self) -> Tuple[str, ...]:
+        """All use-case vertices."""
+        return tuple(self._graph.nodes())
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """All smooth-switching edges."""
+        return tuple(self._graph.edges())
+
+    def requires_smooth_switching(self, first: str, second: str) -> bool:
+        """Whether the two use-cases have a direct smooth-switching edge."""
+        return self._graph.has_edge(first, second)
+
+    def shares_configuration(self, first: str, second: str) -> bool:
+        """Whether the two use-cases end up in the same configuration group.
+
+        True when they are connected (possibly transitively) in the
+        switching graph — i.e. reachable from each other, exactly the
+        grouping criterion of Algorithm 1.
+        """
+        if first not in self._graph or second not in self._graph:
+            return False
+        if first == second:
+            return True
+        return nx.has_path(self._graph, first, second)
+
+    def groups(self) -> List[FrozenSet[str]]:
+        """Algorithm 1: group use-cases that must share one configuration.
+
+        The paper's algorithm repeatedly performs a depth-first search from
+        an unvisited vertex and groups all vertices reached — i.e. it
+        computes the connected components of the switching graph.  We
+        implement it literally (iterative DFS) so the correspondence with
+        Algorithm 1 is obvious; the result equals
+        ``networkx.connected_components``.
+
+        Returns the groups ordered by the first appearance of any member in
+        the graph's insertion order, which keeps results deterministic.
+        """
+        unvisited: Set[str] = set(self._graph.nodes())
+        order: Dict[str, int] = {name: idx for idx, name in enumerate(self._graph.nodes())}
+        groups: List[FrozenSet[str]] = []
+        # Step 2: pick unvisited vertices in deterministic (insertion) order.
+        for vertex in self._graph.nodes():
+            if vertex not in unvisited:
+                continue
+            # Step 3: depth-first search from the chosen vertex.
+            stack = [vertex]
+            component: Set[str] = set()
+            while stack:
+                node = stack.pop()
+                if node not in unvisited:
+                    continue
+                unvisited.discard(node)
+                component.add(node)
+                for neighbour in self._graph.neighbors(node):
+                    if neighbour in unvisited:
+                        stack.append(neighbour)
+            groups.append(frozenset(component))
+        groups.sort(key=lambda grp: min(order[name] for name in grp))
+        return groups
+
+    def group_of(self, name: str) -> FrozenSet[str]:
+        """The configuration group containing the given use-case."""
+        if name not in self._graph:
+            raise SpecificationError(f"unknown use-case {name!r} in switching graph")
+        for group in self.groups():
+            if name in group:
+                return group
+        raise AssertionError("unreachable: every vertex belongs to a group")
+
+    def group_index(self) -> Dict[str, int]:
+        """Map from use-case name to the index of its configuration group."""
+        index: Dict[str, int] = {}
+        for group_id, group in enumerate(self.groups()):
+            for name in group:
+                index[name] = group_id
+        return index
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SwitchingGraph(use_cases={self._graph.number_of_nodes()}, "
+            f"edges={self._graph.number_of_edges()}, groups={len(self.groups())})"
+        )
+
+
+def group_use_cases(
+    use_cases: UseCaseSet,
+    smooth_pairs: Sequence[Tuple[str, str]] = (),
+    include_compound_members: bool = True,
+) -> List[FrozenSet[str]]:
+    """Convenience wrapper: build the switching graph and return its groups.
+
+    This is the function most callers (and the design flow) use; build a
+    :class:`SwitchingGraph` explicitly when you need incremental edits or
+    the per-pair queries.
+    """
+    graph = SwitchingGraph.from_use_case_set(
+        use_cases,
+        smooth_pairs=smooth_pairs,
+        include_compound_members=include_compound_members,
+    )
+    return graph.groups()

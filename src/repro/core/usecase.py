@@ -1,0 +1,412 @@
+"""Use-case data model: cores, traffic flows, use-cases and use-case sets.
+
+The paper (Definition 2) models each use-case ``i`` as a set of flows
+``F_i`` between pairs of cores, every flow carrying a bandwidth requirement
+``bw_{i,j}`` (maximum rate of traffic) and a latency constraint
+``lat_{i,j}`` (maximum delay for a packet of the flow).
+
+The classes here are deliberately simple, immutable-where-possible value
+objects; all algorithmic behaviour lives in the mapping / analysis modules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["Core", "Flow", "UseCase", "UseCaseSet", "TrafficClass"]
+
+
+#: Default latency constraint (seconds) for flows that do not specify one.
+#: One millisecond is far looser than any hop-count latency a single chip
+#: can produce, so an unspecified latency never constrains the mapping.
+UNCONSTRAINED_LATENCY = 1e-3
+
+
+class TrafficClass:
+    """Service classes offered by the Æthereal-style NoC.
+
+    Guaranteed-throughput (GT) flows get TDMA slot reservations and
+    analytical latency bounds; best-effort (BE) flows only get bandwidth
+    accounting (they share the slack left by GT traffic).
+    """
+
+    GUARANTEED = "GT"
+    BEST_EFFORT = "BE"
+
+    #: All valid traffic-class identifiers.
+    ALL = (GUARANTEED, BEST_EFFORT)
+
+
+@dataclass(frozen=True)
+class Core:
+    """A processing or storage element of the SoC that attaches to one NI.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the core within the design
+        (e.g. ``"mem1"``, ``"filter 3"``).
+    kind:
+        Free-form classification used by the benchmark generators and the
+        reports (``"processor"``, ``"memory"``, ``"io"`` ...).  It does not
+        influence the mapping algorithm.
+    """
+
+    name: str
+    kind: str = "core"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecificationError(f"core name must be a non-empty string, got {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A directed traffic flow between two cores inside one use-case.
+
+    Parameters
+    ----------
+    source, destination:
+        Names of the communicating cores.
+    bandwidth:
+        Required bandwidth in bytes/s (use :func:`repro.units.mbps` to write
+        paper-style values).  Must be positive.
+    latency:
+        Maximum tolerated packet latency in seconds.  Defaults to a value
+        loose enough to never constrain the mapping.
+    traffic_class:
+        ``"GT"`` (guaranteed throughput, gets TDMA slots) or ``"BE"``.
+    name:
+        Optional label; auto-derived from the endpoints when omitted.
+    """
+
+    source: str
+    destination: str
+    bandwidth: float
+    latency: float = UNCONSTRAINED_LATENCY
+    traffic_class: str = TrafficClass.GUARANTEED
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.destination:
+            raise SpecificationError("flow endpoints must be non-empty core names")
+        if self.source == self.destination:
+            raise SpecificationError(
+                f"flow source and destination must differ, got {self.source!r} for both"
+            )
+        if not math.isfinite(self.bandwidth) or self.bandwidth <= 0:
+            raise SpecificationError(
+                f"flow {self.source}->{self.destination} must have positive finite "
+                f"bandwidth, got {self.bandwidth!r}"
+            )
+        if not math.isfinite(self.latency) or self.latency <= 0:
+            raise SpecificationError(
+                f"flow {self.source}->{self.destination} must have positive finite "
+                f"latency, got {self.latency!r}"
+            )
+        if self.traffic_class not in TrafficClass.ALL:
+            raise SpecificationError(
+                f"unknown traffic class {self.traffic_class!r}; expected one of {TrafficClass.ALL}"
+            )
+        if self.name is None:
+            object.__setattr__(self, "name", f"{self.source}->{self.destination}")
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The ordered (source, destination) core-name pair."""
+        return (self.source, self.destination)
+
+    def scaled(self, factor: float) -> "Flow":
+        """Return a copy of this flow with bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise SpecificationError(f"scale factor must be positive, got {factor}")
+        return Flow(
+            source=self.source,
+            destination=self.destination,
+            bandwidth=self.bandwidth * factor,
+            latency=self.latency,
+            traffic_class=self.traffic_class,
+            name=self.name,
+        )
+
+    def merged_with(self, other: "Flow") -> "Flow":
+        """Combine this flow with a same-pair flow from a parallel use-case.
+
+        Implements the paper's compound-mode rule: bandwidths are summed and
+        the latency requirement is the minimum of the two.  GT wins over BE
+        because a guaranteed flow must keep its guarantee in the compound
+        mode.
+        """
+        if other.pair != self.pair:
+            raise SpecificationError(
+                f"cannot merge flows with different endpoints: {self.pair} vs {other.pair}"
+            )
+        traffic_class = TrafficClass.GUARANTEED if (
+            TrafficClass.GUARANTEED in (self.traffic_class, other.traffic_class)
+        ) else TrafficClass.BEST_EFFORT
+        return Flow(
+            source=self.source,
+            destination=self.destination,
+            bandwidth=self.bandwidth + other.bandwidth,
+            latency=min(self.latency, other.latency),
+            traffic_class=traffic_class,
+        )
+
+
+class UseCase:
+    """One use-case (operating mode) of the SoC: a named set of flows.
+
+    A use-case may carry the subset of cores it uses explicitly; cores not
+    mentioned by any flow can still be listed so that the mapper places them
+    (they will be attached to whichever switch has spare NI ports).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        flows: Iterable[Flow] = (),
+        cores: Iterable[Core] = (),
+        parents: Sequence[str] = (),
+    ) -> None:
+        if not name:
+            raise SpecificationError("use-case name must be non-empty")
+        self.name = name
+        #: Names of the constituent use-cases if this is a compound mode.
+        self.parents: Tuple[str, ...] = tuple(parents)
+        self._flows: List[Flow] = []
+        self._flow_by_pair: Dict[Tuple[str, str], Flow] = {}
+        self._cores: Dict[str, Core] = {}
+        for core in cores:
+            self.add_core(core)
+        for flow in flows:
+            self.add_flow(flow)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_core(self, core: Core) -> None:
+        """Register a core with the use-case (idempotent for identical cores)."""
+        existing = self._cores.get(core.name)
+        if existing is not None and existing != core:
+            raise SpecificationError(
+                f"use-case {self.name!r} already has a different core named {core.name!r}"
+            )
+        self._cores[core.name] = core
+
+    def add_flow(self, flow: Flow) -> None:
+        """Add a traffic flow, implicitly registering its endpoint cores.
+
+        Adding a second flow for the same (source, destination) pair merges
+        the two (bandwidths summed, latencies min-ed) — a use-case has at
+        most one aggregate requirement per ordered pair, matching the
+        paper's per-pair formulation.
+        """
+        for endpoint in (flow.source, flow.destination):
+            if endpoint not in self._cores:
+                self._cores[endpoint] = Core(endpoint)
+        existing = self._flow_by_pair.get(flow.pair)
+        if existing is not None:
+            merged = existing.merged_with(flow)
+            index = self._flows.index(existing)
+            self._flows[index] = merged
+            self._flow_by_pair[flow.pair] = merged
+        else:
+            self._flows.append(flow)
+            self._flow_by_pair[flow.pair] = flow
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def flows(self) -> Tuple[Flow, ...]:
+        """All flows of the use-case, in insertion order."""
+        return tuple(self._flows)
+
+    @property
+    def cores(self) -> Tuple[Core, ...]:
+        """All cores referenced (or explicitly added) by the use-case."""
+        return tuple(self._cores.values())
+
+    @property
+    def core_names(self) -> Tuple[str, ...]:
+        """Names of all cores of the use-case."""
+        return tuple(self._cores.keys())
+
+    @property
+    def is_compound(self) -> bool:
+        """True when this use-case was generated from parallel use-cases."""
+        return bool(self.parents)
+
+    def flow_between(self, source: str, destination: str) -> Optional[Flow]:
+        """The flow from ``source`` to ``destination``, or ``None``."""
+        return self._flow_by_pair.get((source, destination))
+
+    def has_core(self, name: str) -> bool:
+        """Whether the use-case references a core called ``name``."""
+        return name in self._cores
+
+    def total_bandwidth(self) -> float:
+        """Sum of all flow bandwidth requirements (bytes/s)."""
+        return sum(flow.bandwidth for flow in self._flows)
+
+    def max_bandwidth(self) -> float:
+        """Largest single-flow bandwidth requirement (bytes/s), 0 if empty."""
+        return max((flow.bandwidth for flow in self._flows), default=0.0)
+
+    def communication_degree(self) -> Dict[str, int]:
+        """Number of flows each core participates in (as source or destination)."""
+        degree: Dict[str, int] = {name: 0 for name in self._cores}
+        for flow in self._flows:
+            degree[flow.source] += 1
+            degree[flow.destination] += 1
+        return degree
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UseCase(name={self.name!r}, cores={len(self._cores)}, "
+            f"flows={len(self._flows)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UseCase):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and set(self._cores.values()) == set(other._cores.values())
+            and set(self._flows) == set(other._flows)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class UseCaseSet:
+    """The collection of use-cases a design must support.
+
+    The set owns the global core universe (the union of all per-use-case
+    cores) because the paper requires a **single** mapping of cores onto the
+    NoC shared by all use-cases; the mapper therefore needs the union.
+    """
+
+    def __init__(self, use_cases: Iterable[UseCase] = (), name: str = "design") -> None:
+        self.name = name
+        self._use_cases: Dict[str, UseCase] = {}
+        for use_case in use_cases:
+            self.add(use_case)
+
+    def add(self, use_case: UseCase) -> None:
+        """Add a use-case; names must be unique within the set."""
+        if use_case.name in self._use_cases:
+            raise SpecificationError(
+                f"duplicate use-case name {use_case.name!r} in set {self.name!r}"
+            )
+        self._use_cases[use_case.name] = use_case
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def use_cases(self) -> Tuple[UseCase, ...]:
+        """All use-cases in insertion order."""
+        return tuple(self._use_cases.values())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Names of all use-cases in insertion order."""
+        return tuple(self._use_cases.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._use_cases
+
+    def __getitem__(self, name: str) -> UseCase:
+        try:
+            return self._use_cases[name]
+        except KeyError:
+            raise SpecificationError(
+                f"no use-case named {name!r} in set {self.name!r}; "
+                f"known: {sorted(self._use_cases)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._use_cases)
+
+    def __iter__(self) -> Iterator[UseCase]:
+        return iter(self._use_cases.values())
+
+    def all_cores(self) -> Tuple[Core, ...]:
+        """Union of the cores of every use-case (first definition wins)."""
+        union: Dict[str, Core] = {}
+        for use_case in self._use_cases.values():
+            for core in use_case.cores:
+                union.setdefault(core.name, core)
+        return tuple(union.values())
+
+    def all_core_names(self) -> Tuple[str, ...]:
+        """Names of all cores used anywhere in the design."""
+        return tuple(core.name for core in self.all_cores())
+
+    def all_flows(self) -> List[Tuple[str, Flow]]:
+        """Every (use-case name, flow) pair across the whole set."""
+        return [
+            (use_case.name, flow)
+            for use_case in self._use_cases.values()
+            for flow in use_case.flows
+        ]
+
+    def total_flow_count(self) -> int:
+        """Number of flows summed over all use-cases."""
+        return sum(len(use_case) for use_case in self._use_cases.values())
+
+    def max_flow_bandwidth(self) -> float:
+        """Largest flow bandwidth anywhere in the set (bytes/s)."""
+        return max((uc.max_bandwidth() for uc in self._use_cases.values()), default=0.0)
+
+    def validate(self) -> None:
+        """Check cross-use-case consistency of the specification.
+
+        Ensures core definitions agree across use-cases (a name always refers
+        to the same core) and that the set is non-empty.  Raises
+        :class:`SpecificationError` on the first problem found.
+        """
+        if not self._use_cases:
+            raise SpecificationError(f"use-case set {self.name!r} is empty")
+        seen: Dict[str, Tuple[str, Core]] = {}
+        for use_case in self._use_cases.values():
+            if len(use_case) == 0 and not use_case.cores:
+                raise SpecificationError(
+                    f"use-case {use_case.name!r} has neither flows nor cores"
+                )
+            for core in use_case.cores:
+                previous = seen.get(core.name)
+                if previous is not None and previous[1] != core:
+                    raise SpecificationError(
+                        f"core {core.name!r} is defined differently in use-cases "
+                        f"{previous[0]!r} and {use_case.name!r}"
+                    )
+                seen.setdefault(core.name, (use_case.name, core))
+
+    def subset(self, names: Sequence[str], name: Optional[str] = None) -> "UseCaseSet":
+        """A new set containing only the named use-cases (same objects)."""
+        return UseCaseSet(
+            (self[n] for n in names),
+            name=name or f"{self.name}-subset",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UseCaseSet(name={self.name!r}, use_cases={len(self._use_cases)}, "
+            f"cores={len(self.all_cores())})"
+        )

@@ -1,0 +1,123 @@
+"""The worst-case (WC) baseline the paper compares against (ref. [25]).
+
+The earlier approach to multi-use-case mapping builds one *synthetic
+worst-case use-case* that subsumes the constraints of every real use-case —
+for every pair of cores that communicates in any use-case it takes the
+largest bandwidth requirement and the tightest latency requirement found
+anywhere — and then designs and optimises the NoC for that single use-case.
+
+The resulting NoC trivially satisfies every individual use-case, but the
+worst-case use-case is heavily over-specified (it pretends that every flow
+of every use-case is active simultaneously at its worst level), so the NoC
+grows quickly with the number and diversity of use-cases; the paper's
+evaluation shows it needing an 11x11 mesh where the proposed method needs a
+2x2, and failing outright at 40 use-cases.
+
+This module reproduces that baseline on top of the same
+:class:`~repro.core.mapping.UnifiedMapper` engine so the comparison isolates
+exactly the methodological difference (one over-specified use-case versus
+per-use-case resource states).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.mapping import UnifiedMapper
+from repro.core.result import MappingResult
+from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
+from repro.exceptions import SpecificationError
+from repro.params import MapperConfig, NoCParameters
+
+__all__ = ["build_worst_case_use_case", "WorstCaseMapper", "map_worst_case"]
+
+#: Name given to the synthesised worst-case use-case.
+WORST_CASE_NAME = "worst-case"
+
+
+def build_worst_case_use_case(
+    use_cases: UseCaseSet,
+    name: str = WORST_CASE_NAME,
+) -> UseCase:
+    """Construct the synthetic worst-case use-case of the baseline method.
+
+    For every ordered core pair that communicates in *any* use-case, the
+    worst-case use-case contains one flow whose bandwidth is the **maximum**
+    bandwidth required by any use-case for that pair and whose latency is
+    the **minimum** (tightest) latency constraint.  All cores of the design
+    are included so the mapping covers them.
+    """
+    use_cases.validate()
+    worst = UseCase(name=name)
+    for core in use_cases.all_cores():
+        worst.add_core(Core(core.name, core.kind))
+    best_per_pair: dict[tuple[str, str], Flow] = {}
+    for _, flow in use_cases.all_flows():
+        existing = best_per_pair.get(flow.pair)
+        if existing is None:
+            best_per_pair[flow.pair] = flow
+        else:
+            best_per_pair[flow.pair] = Flow(
+                source=flow.source,
+                destination=flow.destination,
+                bandwidth=max(existing.bandwidth, flow.bandwidth),
+                latency=min(existing.latency, flow.latency),
+                traffic_class=(
+                    existing.traffic_class
+                    if existing.traffic_class == flow.traffic_class
+                    else "GT"
+                ),
+            )
+    for flow in best_per_pair.values():
+        worst.add_flow(
+            Flow(
+                source=flow.source,
+                destination=flow.destination,
+                bandwidth=flow.bandwidth,
+                latency=flow.latency,
+                traffic_class=flow.traffic_class,
+            )
+        )
+    if len(worst) == 0:
+        raise SpecificationError("worst-case construction produced no flows")
+    return worst
+
+
+class WorstCaseMapper:
+    """Maps a multi-use-case design via the worst-case baseline method."""
+
+    def __init__(
+        self,
+        params: NoCParameters | None = None,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.params = params or NoCParameters()
+        self.config = config or MapperConfig()
+
+    def map(self, use_cases: UseCaseSet) -> MappingResult:
+        """Build the worst-case use-case and map it as a single use-case.
+
+        The returned result's ``method`` is ``"worst_case"``; it contains a
+        single configuration (for the synthetic use-case), which every real
+        use-case shares because the WC method never re-configures the NoC.
+
+        Raises
+        ------
+        MappingError
+            When even the largest admissible topology cannot carry the
+            worst-case traffic — the situation the paper reports for the
+            40-use-case synthetic benchmarks.
+        """
+        worst = build_worst_case_use_case(use_cases)
+        singleton = UseCaseSet([worst], name=f"{use_cases.name}-worst-case")
+        mapper = UnifiedMapper(params=self.params, config=self.config)
+        return mapper.map(singleton, method_name="worst_case")
+
+
+def map_worst_case(
+    use_cases: UseCaseSet,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+) -> MappingResult:
+    """Convenience wrapper around :class:`WorstCaseMapper`."""
+    return WorstCaseMapper(params=params, config=config).map(use_cases)

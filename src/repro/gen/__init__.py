@@ -1,0 +1,43 @@
+"""Workload generators: synthetic benchmarks and SoC design models.
+
+The paper evaluates the methodology on four simplified real SoC designs
+(set-top box and TV-processor SoCs, 4 to 20 use-cases each) and on two
+families of synthetic benchmarks (Spread and Bottleneck).  The original
+traffic specifications are Philips-internal, so this package generates
+parameterised equivalents with the structure the paper describes:
+
+* :mod:`repro.gen.clusters` — the 3-4 bandwidth/latency clusters video SoC
+  traffic falls into (HD video, SD video, audio, latency-critical control).
+* :mod:`repro.gen.synthetic` — Spread (Sp) and Bottleneck (Bot) benchmark
+  generators: 20 cores, 60-100 flows per use-case, cluster-valued traffic.
+* :mod:`repro.gen.soc` — the D1-D4 SoC design stand-ins (set-top box with
+  external-memory-centric traffic, TV processor with streaming/local-memory
+  traffic).
+"""
+
+from repro.gen.clusters import TrafficCluster, default_video_clusters
+from repro.gen.synthetic import (
+    BottleneckBenchmark,
+    SpreadBenchmark,
+    SyntheticBenchmark,
+    generate_benchmark,
+)
+from repro.gen.soc import (
+    SocDesign,
+    set_top_box_design,
+    tv_processor_design,
+    standard_designs,
+)
+
+__all__ = [
+    "TrafficCluster",
+    "default_video_clusters",
+    "SyntheticBenchmark",
+    "SpreadBenchmark",
+    "BottleneckBenchmark",
+    "generate_benchmark",
+    "SocDesign",
+    "set_top_box_design",
+    "tv_processor_design",
+    "standard_designs",
+]

@@ -1,0 +1,95 @@
+"""Traffic-parameter clusters used by the benchmark generators.
+
+The paper observes that video-processing SoC traffic falls into a few (3-4)
+clusters: high-definition video streams need a few hundred MB/s, standard-
+definition streams a few tens of MB/s, audio streams a few MB/s, and control
+streams need almost no bandwidth but are latency-critical.  The synthetic
+benchmarks draw every flow's bandwidth from one of these clusters with a
+small deviation around the cluster value, which is exactly what
+:class:`TrafficCluster` models.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import SpecificationError
+from repro.units import mbps, us
+
+__all__ = ["TrafficCluster", "default_video_clusters", "pick_cluster"]
+
+
+@dataclass(frozen=True)
+class TrafficCluster:
+    """One cluster of traffic-flow parameters.
+
+    Parameters
+    ----------
+    name:
+        Label of the cluster (``"hd_video"``, ``"control"`` ...).
+    bandwidth:
+        Central bandwidth value in bytes/s.
+    deviation:
+        Relative spread of the cluster: a sampled flow's bandwidth is drawn
+        uniformly from ``bandwidth * (1 ± deviation)``.
+    latency:
+        Latency constraint (seconds) given to flows of this cluster.
+    weight:
+        Relative probability of a flow belonging to this cluster.
+    """
+
+    name: str
+    bandwidth: float
+    deviation: float
+    latency: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise SpecificationError(f"cluster {self.name!r}: bandwidth must be positive")
+        if not 0.0 <= self.deviation < 1.0:
+            raise SpecificationError(
+                f"cluster {self.name!r}: deviation must be in [0, 1), got {self.deviation}"
+            )
+        if self.latency <= 0:
+            raise SpecificationError(f"cluster {self.name!r}: latency must be positive")
+        if self.weight <= 0:
+            raise SpecificationError(f"cluster {self.name!r}: weight must be positive")
+
+    def sample_bandwidth(self, rng: random.Random) -> float:
+        """Draw one flow bandwidth from the cluster (bytes/s)."""
+        low = self.bandwidth * (1.0 - self.deviation)
+        high = self.bandwidth * (1.0 + self.deviation)
+        return rng.uniform(low, high)
+
+
+def default_video_clusters() -> Tuple[TrafficCluster, ...]:
+    """The paper's 4 video-SoC traffic clusters (HD, SD, audio, control)."""
+    return (
+        TrafficCluster("hd_video", bandwidth=mbps(150), deviation=0.25,
+                       latency=us(100), weight=0.20),
+        TrafficCluster("sd_video", bandwidth=mbps(40), deviation=0.25,
+                       latency=us(200), weight=0.35),
+        TrafficCluster("audio", bandwidth=mbps(4), deviation=0.25,
+                       latency=us(500), weight=0.25),
+        TrafficCluster("control", bandwidth=mbps(1), deviation=0.20,
+                       latency=us(2), weight=0.20),
+    )
+
+
+def pick_cluster(
+    clusters: Sequence[TrafficCluster], rng: random.Random
+) -> TrafficCluster:
+    """Pick one cluster according to the clusters' relative weights."""
+    if not clusters:
+        raise SpecificationError("at least one traffic cluster is required")
+    total = sum(cluster.weight for cluster in clusters)
+    threshold = rng.uniform(0.0, total)
+    cumulative = 0.0
+    for cluster in clusters:
+        cumulative += cluster.weight
+        if threshold <= cumulative:
+            return cluster
+    return clusters[-1]

@@ -1,0 +1,364 @@
+"""Parameterised stand-ins for the paper's real SoC designs (D1-D4).
+
+The paper evaluates four simplified versions of real Philips SoC designs:
+
+* **D1** — a set-top-box SoC with 4 use-cases (Viper2-style), built around
+  one large external memory through which almost all data passes.
+* **D2** — a scaled set-top-box SoC with 20 use-cases.
+* **D3** — a TV-processor SoC with 8 use-cases, using a streaming
+  architecture with many small local memories, so traffic is spread across
+  the design and differs strongly between picture modes.
+* **D4** — a scaled TV-processor SoC with 20 use-cases.
+
+The original traffic specifications are proprietary, so these generators
+synthesise designs with the *structure* the paper describes: the set-top box
+is bottlenecked on its external memory and its use-cases overlap heavily
+(all of them stream through the same memory), while the TV processor
+activates different processing pipelines in different picture modes, so its
+use-cases differ strongly — which is exactly the property that makes the
+worst-case baseline degrade on D3/D4.
+
+Each use-case is composed from *function templates* (decode, display,
+record, scale, enhance, ...), whose bandwidths are drawn from the video
+traffic clusters with per-use-case variation.  Generation is deterministic
+per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
+from repro.exceptions import SpecificationError
+from repro.units import mbps, us
+
+__all__ = ["SocDesign", "set_top_box_design", "tv_processor_design", "standard_designs"]
+
+
+@dataclass(frozen=True)
+class SocDesign:
+    """A named SoC benchmark design with its generated use-case set."""
+
+    name: str
+    description: str
+    use_cases: UseCaseSet
+
+    @property
+    def use_case_count(self) -> int:
+        """Number of use-cases in the design."""
+        return len(self.use_cases)
+
+    @property
+    def core_count(self) -> int:
+        """Number of cores in the design."""
+        return len(self.use_cases.all_cores())
+
+
+# --------------------------------------------------------------------------- #
+# set-top box (external-memory-centric, Viper2-style)
+# --------------------------------------------------------------------------- #
+
+_STB_CORES = [
+    Core("ext_mem", "memory"),
+    Core("cpu", "processor"),
+    Core("mpeg_dec0", "accelerator"),
+    Core("mpeg_dec1", "accelerator"),
+    Core("video_in", "io"),
+    Core("video_out", "io"),
+    Core("audio_dsp", "dsp"),
+    Core("audio_out", "io"),
+    Core("graphics", "accelerator"),
+    Core("scaler", "accelerator"),
+    Core("transport", "io"),
+    Core("disk_ctrl", "io"),
+    Core("usb", "io"),
+    Core("ethernet", "io"),
+    Core("crypto", "accelerator"),
+    Core("pci", "io"),
+]
+
+#: Set-top-box function templates: (name, flows through the external memory).
+#: Each flow is (source, destination, nominal bandwidth in MB/s, latency in us).
+_STB_FUNCTIONS: Dict[str, List[Tuple[str, str, float, float]]] = {
+    "hd_decode": [
+        ("transport", "ext_mem", 40, 200),
+        ("ext_mem", "mpeg_dec0", 180, 100),
+        ("mpeg_dec0", "ext_mem", 220, 100),
+        ("ext_mem", "video_out", 240, 50),
+        ("cpu", "mpeg_dec0", 2, 5),
+    ],
+    "sd_decode": [
+        ("transport", "ext_mem", 12, 200),
+        ("ext_mem", "mpeg_dec1", 45, 100),
+        ("mpeg_dec1", "ext_mem", 55, 100),
+        ("ext_mem", "scaler", 50, 100),
+        ("scaler", "ext_mem", 60, 100),
+        ("cpu", "mpeg_dec1", 2, 5),
+    ],
+    "display": [
+        ("ext_mem", "video_out", 200, 50),
+        ("graphics", "ext_mem", 70, 200),
+        ("ext_mem", "graphics", 60, 200),
+        ("cpu", "video_out", 1, 5),
+    ],
+    "record": [
+        ("video_in", "ext_mem", 90, 200),
+        ("ext_mem", "disk_ctrl", 95, 300),
+        ("cpu", "disk_ctrl", 2, 5),
+    ],
+    "audio": [
+        ("ext_mem", "audio_dsp", 6, 300),
+        ("audio_dsp", "ext_mem", 6, 300),
+        ("audio_dsp", "audio_out", 4, 100),
+        ("cpu", "audio_dsp", 1, 5),
+    ],
+    "internet": [
+        ("ethernet", "ext_mem", 25, 400),
+        ("ext_mem", "cpu", 60, 200),
+        ("cpu", "ext_mem", 50, 200),
+        ("crypto", "ext_mem", 20, 400),
+        ("ext_mem", "crypto", 20, 400),
+    ],
+    "file_transfer": [
+        ("usb", "ext_mem", 30, 400),
+        ("ext_mem", "disk_ctrl", 35, 400),
+        ("cpu", "usb", 1, 5),
+    ],
+    "pip": [
+        ("ext_mem", "scaler", 90, 100),
+        ("scaler", "ext_mem", 90, 100),
+        ("ext_mem", "video_out", 110, 50),
+    ],
+}
+
+#: Function mixes for the base 4 set-top-box use-cases (D1).
+_STB_BASE_USE_CASES: List[Tuple[str, List[str]]] = [
+    ("hd_playback", ["hd_decode", "display", "audio"]),
+    ("sd_playback_record", ["sd_decode", "display", "audio", "record"]),
+    ("pip_browsing", ["sd_decode", "pip", "audio", "internet"]),
+    ("file_services", ["file_transfer", "internet", "audio"]),
+]
+
+
+def _build_use_case(
+    name: str,
+    functions: Sequence[str],
+    templates: Dict[str, List[Tuple[str, str, float, float]]],
+    cores: Sequence[Core],
+    rng: random.Random,
+    scale_range: Tuple[float, float] = (0.8, 1.2),
+    bandwidth_scale: float = 1.0,
+) -> UseCase:
+    """Instantiate one use-case from a list of function templates.
+
+    Each template's nominal bandwidths are scaled by a per-use-case random
+    factor (picture resolutions, bit-rates and codec settings differ between
+    use-cases), and flows sharing a core pair are merged by the use-case
+    itself (bandwidths add up).
+    """
+    use_case = UseCase(name, cores=cores)
+    for function in functions:
+        try:
+            template = templates[function]
+        except KeyError:
+            raise SpecificationError(f"unknown function template {function!r}") from None
+        scale = rng.uniform(*scale_range) * bandwidth_scale
+        for source, destination, bandwidth_mbps, latency_us in template:
+            use_case.add_flow(
+                Flow(
+                    source=source,
+                    destination=destination,
+                    bandwidth=mbps(bandwidth_mbps * scale),
+                    latency=us(latency_us),
+                )
+            )
+    return use_case
+
+
+def set_top_box_design(
+    use_case_count: int = 4,
+    seed: int = 7,
+    name: str = "set-top-box",
+    bandwidth_scale: float = 1.4,
+) -> SocDesign:
+    """A set-top-box SoC design (D1 with 4 use-cases, D2 with 20).
+
+    The first four use-cases are the canonical Viper2-style modes; further
+    use-cases are variations that mix the same function templates with
+    different scaling factors (different channels, resolutions and
+    concurrent services), which keeps the traffic memory-centric and highly
+    overlapping across use-cases.
+    """
+    if use_case_count < 1:
+        raise SpecificationError("use_case_count must be at least 1")
+    rng = random.Random(seed)
+    function_names = list(_STB_FUNCTIONS)
+    use_cases: List[UseCase] = []
+    for index in range(use_case_count):
+        if index < len(_STB_BASE_USE_CASES):
+            base_name, functions = _STB_BASE_USE_CASES[index]
+            uc_name = base_name
+        else:
+            count = rng.randint(2, 4)
+            functions = rng.sample(function_names, count)
+            uc_name = f"stb_mode{index:02d}"
+        use_cases.append(
+            _build_use_case(uc_name, functions, _STB_FUNCTIONS, _STB_CORES, rng,
+                            bandwidth_scale=bandwidth_scale)
+        )
+    return SocDesign(
+        name=name,
+        description=(
+            f"Set-top-box SoC, {use_case_count} use-cases, external-memory-centric "
+            "(bottleneck) traffic"
+        ),
+        use_cases=UseCaseSet(use_cases, name=name),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# TV processor (streaming architecture with local memories)
+# --------------------------------------------------------------------------- #
+
+_TV_CORES = [
+    Core("hdmi_in", "io"),
+    Core("tuner_in", "io"),
+    Core("noise_red", "accelerator"),
+    Core("deinterlace", "accelerator"),
+    Core("scaler_main", "accelerator"),
+    Core("scaler_pip", "accelerator"),
+    Core("frame_mem0", "memory"),
+    Core("frame_mem1", "memory"),
+    Core("frame_mem2", "memory"),
+    Core("sharpness", "accelerator"),
+    Core("color_proc", "accelerator"),
+    Core("motion_comp", "accelerator"),
+    Core("blender", "accelerator"),
+    Core("osd", "accelerator"),
+    Core("panel_out", "io"),
+    Core("audio_proc", "dsp"),
+    Core("audio_out", "io"),
+    Core("host_cpu", "processor"),
+    Core("teletext", "accelerator"),
+    Core("hist_analyzer", "accelerator"),
+]
+
+_TV_FUNCTIONS: Dict[str, List[Tuple[str, str, float, float]]] = {
+    "hd_main_path": [
+        ("hdmi_in", "noise_red", 190, 100),
+        ("noise_red", "frame_mem0", 190, 100),
+        ("frame_mem0", "deinterlace", 200, 100),
+        ("deinterlace", "scaler_main", 210, 100),
+        ("scaler_main", "frame_mem1", 210, 100),
+        ("frame_mem1", "sharpness", 210, 100),
+        ("sharpness", "color_proc", 210, 100),
+        ("color_proc", "blender", 215, 50),
+    ],
+    "sd_main_path": [
+        ("tuner_in", "noise_red", 45, 200),
+        ("noise_red", "frame_mem0", 45, 200),
+        ("frame_mem0", "deinterlace", 50, 200),
+        ("deinterlace", "scaler_main", 55, 200),
+        ("scaler_main", "frame_mem1", 55, 200),
+        ("frame_mem1", "color_proc", 55, 200),
+        ("color_proc", "blender", 60, 100),
+    ],
+    "pip_path": [
+        ("tuner_in", "scaler_pip", 45, 200),
+        ("scaler_pip", "frame_mem2", 30, 200),
+        ("frame_mem2", "blender", 35, 100),
+    ],
+    "motion_flow": [
+        ("frame_mem1", "motion_comp", 150, 100),
+        ("motion_comp", "frame_mem2", 150, 100),
+        ("frame_mem2", "scaler_main", 155, 100),
+    ],
+    "enhance": [
+        ("frame_mem1", "hist_analyzer", 60, 400),
+        ("hist_analyzer", "host_cpu", 2, 10),
+        ("host_cpu", "color_proc", 2, 10),
+    ],
+    "osd_overlay": [
+        ("host_cpu", "osd", 25, 300),
+        ("osd", "blender", 40, 100),
+    ],
+    "teletext_svc": [
+        ("tuner_in", "teletext", 3, 500),
+        ("teletext", "osd", 5, 300),
+        ("host_cpu", "teletext", 1, 10),
+    ],
+    "audio_path": [
+        ("hdmi_in", "audio_proc", 6, 300),
+        ("audio_proc", "audio_out", 5, 100),
+        ("host_cpu", "audio_proc", 1, 10),
+    ],
+    "display_out": [
+        ("blender", "panel_out", 230, 50),
+        ("host_cpu", "panel_out", 1, 10),
+    ],
+}
+
+#: Function mixes of the 8 canonical TV-processor picture modes (D3).
+_TV_BASE_USE_CASES: List[Tuple[str, List[str]]] = [
+    ("hd_cinema", ["hd_main_path", "motion_flow", "enhance", "audio_path", "display_out"]),
+    ("hd_sport", ["hd_main_path", "motion_flow", "audio_path", "display_out"]),
+    ("sd_broadcast", ["sd_main_path", "enhance", "audio_path", "display_out"]),
+    ("sd_pip", ["sd_main_path", "pip_path", "osd_overlay", "audio_path", "display_out"]),
+    ("hd_pip", ["hd_main_path", "pip_path", "osd_overlay", "audio_path", "display_out"]),
+    ("split_screen", ["sd_main_path", "pip_path", "motion_flow", "audio_path", "display_out"]),
+    ("teletext_mode", ["sd_main_path", "teletext_svc", "osd_overlay", "audio_path", "display_out"]),
+    ("menu_browse", ["osd_overlay", "teletext_svc", "audio_path", "display_out"]),
+]
+
+
+def tv_processor_design(
+    use_case_count: int = 8,
+    seed: int = 11,
+    name: str = "tv-processor",
+    bandwidth_scale: float = 3.0,
+) -> SocDesign:
+    """A TV-processor SoC design (D3 with 8 use-cases, D4 with 20).
+
+    Traffic streams between dedicated accelerators and small local frame
+    memories, so load is spread over the design and the set of active
+    components differs strongly between picture modes.
+    """
+    if use_case_count < 1:
+        raise SpecificationError("use_case_count must be at least 1")
+    rng = random.Random(seed)
+    function_names = list(_TV_FUNCTIONS)
+    use_cases: List[UseCase] = []
+    for index in range(use_case_count):
+        if index < len(_TV_BASE_USE_CASES):
+            base_name, functions = _TV_BASE_USE_CASES[index]
+            uc_name = base_name
+        else:
+            count = rng.randint(3, 5)
+            functions = rng.sample(function_names, count)
+            if "display_out" not in functions:
+                functions.append("display_out")
+            uc_name = f"tv_mode{index:02d}"
+        use_cases.append(
+            _build_use_case(uc_name, functions, _TV_FUNCTIONS, _TV_CORES, rng,
+                            scale_range=(0.6, 1.3), bandwidth_scale=bandwidth_scale)
+        )
+    return SocDesign(
+        name=name,
+        description=(
+            f"TV-processor SoC, {use_case_count} use-cases, streaming traffic spread "
+            "over local memories"
+        ),
+        use_cases=UseCaseSet(use_cases, name=name),
+    )
+
+
+def standard_designs(seed: int = 7) -> Dict[str, SocDesign]:
+    """The four SoC designs of the paper's evaluation (D1-D4)."""
+    return {
+        "D1": set_top_box_design(use_case_count=4, seed=seed, name="D1-set-top-box-4uc"),
+        "D2": set_top_box_design(use_case_count=20, seed=seed + 1, name="D2-set-top-box-20uc"),
+        "D3": tv_processor_design(use_case_count=8, seed=seed + 2, name="D3-tv-processor-8uc"),
+        "D4": tv_processor_design(use_case_count=20, seed=seed + 3, name="D4-tv-processor-20uc"),
+    }

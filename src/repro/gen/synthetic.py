@@ -1,0 +1,341 @@
+"""Synthetic multi-use-case benchmark generators (Sp and Bot families).
+
+Section 6.1 of the paper describes two classes of synthetic benchmarks that
+mirror the application patterns of real SoCs:
+
+* **Spread (Sp)** benchmarks — every core communicates with a few other
+  cores, traffic is spread evenly over the design.  This models streaming
+  architectures with many small local memories (the TV-processor style).
+* **Bottleneck (Bot)** benchmarks — one or two bottleneck cores (shared
+  external memory, external I/O devices) attract most of the traffic.  This
+  models the set-top-box style with one large off-chip memory.
+
+All benchmarks use 20 cores and 60-100 communicating pairs per use-case
+(configurable), with bandwidth/latency values drawn from the 3-4 clusters of
+:mod:`repro.gen.clusters` with small in-cluster deviations — exactly the
+structure the paper describes.  Generation is deterministic for a given
+seed.
+
+Every generated use-case is individually feasible at the reference operating
+point (the per-core traffic is rescaled to stay below a configurable
+fraction of one NI link's capacity); the *combination* of many use-cases is
+what stresses the worst-case baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
+from repro.exceptions import SpecificationError
+from repro.gen.clusters import TrafficCluster, default_video_clusters, pick_cluster
+from repro.units import mbps
+
+__all__ = [
+    "SyntheticBenchmark",
+    "SpreadBenchmark",
+    "BottleneckBenchmark",
+    "generate_benchmark",
+]
+
+
+@dataclass
+class SyntheticBenchmark:
+    """Common machinery of the synthetic benchmark families.
+
+    Parameters
+    ----------
+    core_count:
+        Number of cores in the design (20 in the paper's experiments).
+    use_case_count:
+        Number of use-cases to generate (the paper sweeps 2-40).
+    flows_per_use_case:
+        Inclusive (low, high) range of communicating pairs per use-case
+        (60-100 in the paper).
+    clusters:
+        Traffic clusters flows are drawn from; defaults to the video-SoC
+        clusters.
+    seed:
+        Seed of the deterministic pseudo-random generator.
+    max_core_load:
+        Per-use-case cap (bytes/s) on any single core's total injected or
+        absorbed traffic; sampled traffic is rescaled to respect it so every
+        individual use-case remains mappable at the reference 500 MHz /
+        32-bit operating point.
+    name:
+        Name given to the generated :class:`UseCaseSet`.
+    """
+
+    core_count: int = 20
+    use_case_count: int = 10
+    flows_per_use_case: Tuple[int, int] = (60, 100)
+    clusters: Sequence[TrafficCluster] = field(default_factory=default_video_clusters)
+    seed: int = 1
+    max_core_load: float = mbps(1500)
+    name: str = "synthetic"
+
+    #: Benchmark family label, overridden by subclasses.
+    kind: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.core_count < 2:
+            raise SpecificationError(f"need at least 2 cores, got {self.core_count}")
+        if self.use_case_count < 1:
+            raise SpecificationError(
+                f"need at least one use-case, got {self.use_case_count}"
+            )
+        low, high = self.flows_per_use_case
+        max_pairs = self.core_count * (self.core_count - 1)
+        if low < 1 or high < low:
+            raise SpecificationError(
+                f"flows_per_use_case must be a valid (low, high) range, got "
+                f"{self.flows_per_use_case}"
+            )
+        if high > max_pairs:
+            raise SpecificationError(
+                f"at most {max_pairs} distinct ordered pairs exist for "
+                f"{self.core_count} cores; requested up to {high}"
+            )
+        if self.max_core_load <= 0:
+            raise SpecificationError("max_core_load must be positive")
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def core_names(self) -> List[str]:
+        """Names of the benchmark's cores."""
+        return [f"core{i:02d}" for i in range(self.core_count)]
+
+    def cores(self) -> List[Core]:
+        """The benchmark's cores, with simple kind labels."""
+        kinds = ["processor", "dsp", "accelerator", "memory", "io"]
+        return [
+            Core(name, kinds[index % len(kinds)])
+            for index, name in enumerate(self.core_names())
+        ]
+
+    def generate(self) -> UseCaseSet:
+        """Generate the full use-case set of the benchmark."""
+        rng = random.Random(self.seed)
+        cores = self.cores()
+        use_cases = []
+        for index in range(self.use_case_count):
+            use_cases.append(self._generate_use_case(index, cores, rng))
+        return UseCaseSet(use_cases, name=f"{self.name}-{self.kind}-{self.use_case_count}uc")
+
+    # ------------------------------------------------------------------ #
+    # per-use-case generation
+    # ------------------------------------------------------------------ #
+    def _generate_use_case(
+        self, index: int, cores: Sequence[Core], rng: random.Random
+    ) -> UseCase:
+        low, high = self.flows_per_use_case
+        flow_count = rng.randint(low, high)
+        pairs = self._sample_pairs(flow_count, cores, rng)
+        flows = []
+        for source, destination in pairs:
+            cluster = self._cluster_for_pair(source, destination, rng)
+            flows.append(
+                Flow(
+                    source=source,
+                    destination=destination,
+                    bandwidth=cluster.sample_bandwidth(rng),
+                    latency=cluster.latency,
+                )
+            )
+        flows = self._rescale_for_feasibility(flows)
+        return UseCase(f"uc{index:02d}", flows=flows, cores=cores)
+
+    def _sample_pairs(
+        self, count: int, cores: Sequence[Core], rng: random.Random
+    ) -> List[Tuple[str, str]]:
+        """Sample ``count`` distinct ordered core pairs (family-specific)."""
+        raise NotImplementedError
+
+    def _cluster_for_pair(
+        self, source: str, destination: str, rng: random.Random
+    ) -> TrafficCluster:
+        """The cluster a pair's traffic is drawn from (family-specific hook).
+
+        The cluster is chosen *per core pair*, deterministically from the
+        benchmark seed, not per use-case: a port that carries HD video in
+        one use-case carries HD video in every use-case it appears in (only
+        the exact rate varies).  Without this, the worst-case baseline would
+        be penalised by an artefact (the same pair drawing a heavy cluster
+        in at least one of many use-cases) rather than by the genuine
+        over-specification the paper describes.
+        """
+        del rng
+        pair_rng = random.Random(f"{self.seed}:{source}->{destination}")
+        return pick_cluster(self.clusters, pair_rng)
+
+    def _rescale_for_feasibility(self, flows: List[Flow]) -> List[Flow]:
+        """Scale a use-case's traffic so no core exceeds ``max_core_load``."""
+        egress: Dict[str, float] = {}
+        ingress: Dict[str, float] = {}
+        for flow in flows:
+            egress[flow.source] = egress.get(flow.source, 0.0) + flow.bandwidth
+            ingress[flow.destination] = ingress.get(flow.destination, 0.0) + flow.bandwidth
+        peak = max(
+            max(egress.values(), default=0.0), max(ingress.values(), default=0.0)
+        )
+        if peak <= self.max_core_load or peak == 0.0:
+            return flows
+        factor = self.max_core_load / peak
+        return [flow.scaled(factor) for flow in flows]
+
+
+@dataclass
+class SpreadBenchmark(SyntheticBenchmark):
+    """Spread-communication (Sp) benchmarks: traffic spread over all cores."""
+
+    kind: str = "spread"
+    #: Maximum number of destination cores any core talks to in one use-case.
+    max_partners: int = 6
+
+    def _sample_pairs(
+        self, count: int, cores: Sequence[Core], rng: random.Random
+    ) -> List[Tuple[str, str]]:
+        names = [core.name for core in cores]
+        pairs: List[Tuple[str, str]] = []
+        chosen = set()
+        out_degree: Dict[str, int] = {name: 0 for name in names}
+        attempts = 0
+        while len(pairs) < count and attempts < count * 50:
+            attempts += 1
+            source, destination = rng.sample(names, 2)
+            if (source, destination) in chosen:
+                continue
+            if out_degree[source] >= self.max_partners:
+                continue
+            chosen.add((source, destination))
+            out_degree[source] += 1
+            pairs.append((source, destination))
+        if len(pairs) < count:
+            # Degree limits made the target unreachable; fill with any
+            # remaining distinct pairs so the flow count stays in range.
+            for source in names:
+                for destination in names:
+                    if len(pairs) >= count:
+                        break
+                    if source != destination and (source, destination) not in chosen:
+                        chosen.add((source, destination))
+                        pairs.append((source, destination))
+        return pairs
+
+
+@dataclass
+class BottleneckBenchmark(SyntheticBenchmark):
+    """Bottleneck-communication (Bot) benchmarks: hubs attract most traffic.
+
+    One or two bottleneck cores (a shared external memory and, optionally,
+    an I/O bridge) terminate or source most flows; hub traffic is drawn from
+    the heavier (video) clusters because memory traffic dominates set-top-box
+    designs.
+    """
+
+    kind: str = "bottleneck"
+    #: Number of bottleneck (hub) cores.
+    hub_count: int = 2
+    #: Fraction of flows that involve a hub core.
+    hub_fraction: float = 0.7
+    #: Probability that a hub-bound pair carries HD-class (heaviest cluster)
+    #: traffic; the remaining hub pairs carry the second-heaviest cluster.
+    hub_hd_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 1 <= self.hub_count < self.core_count:
+            raise SpecificationError(
+                f"hub_count must be in [1, {self.core_count - 1}], got {self.hub_count}"
+            )
+        if not 0.0 < self.hub_fraction <= 1.0:
+            raise SpecificationError(
+                f"hub_fraction must be in (0, 1], got {self.hub_fraction}"
+            )
+
+    def hub_names(self) -> List[str]:
+        """Names of the bottleneck cores (the first ``hub_count`` cores)."""
+        return self.core_names()[: self.hub_count]
+
+    def cores(self) -> List[Core]:
+        cores = super().cores()
+        hubs = set(self.hub_names())
+        return [
+            Core(core.name, "memory" if core.name in hubs else core.kind)
+            for core in cores
+        ]
+
+    def _sample_pairs(
+        self, count: int, cores: Sequence[Core], rng: random.Random
+    ) -> List[Tuple[str, str]]:
+        names = [core.name for core in cores]
+        hubs = self.hub_names()
+        others = [name for name in names if name not in hubs]
+        pairs: List[Tuple[str, str]] = []
+        chosen = set()
+        attempts = 0
+        while len(pairs) < count and attempts < count * 50:
+            attempts += 1
+            if rng.random() < self.hub_fraction:
+                hub = rng.choice(hubs)
+                other = rng.choice(others)
+                # Memory writes dominate reads roughly 60/40.
+                pair = (other, hub) if rng.random() < 0.6 else (hub, other)
+            else:
+                pair = tuple(rng.sample(others, 2))
+            if pair in chosen:
+                continue
+            chosen.add(pair)
+            pairs.append(pair)
+        return pairs
+
+    def _cluster_for_pair(
+        self, source: str, destination: str, rng: random.Random
+    ) -> TrafficCluster:
+        hubs = set(self.hub_names())
+        if source in hubs or destination in hubs:
+            # Memory traffic is video-dominated: hub pairs carry either the
+            # heaviest (HD) or the second-heaviest (SD) cluster, again chosen
+            # deterministically per pair.  The HD share is kept moderate so
+            # that a single use-case never saturates the memory port — only
+            # the worst-case combination of many use-cases does.
+            heavy = sorted(self.clusters, key=lambda c: c.bandwidth, reverse=True)[:2]
+            pair_rng = random.Random(f"{self.seed}:{source}->{destination}")
+            if len(heavy) == 1 or pair_rng.random() < self.hub_hd_fraction:
+                return heavy[0]
+            return heavy[1]
+        return super()._cluster_for_pair(source, destination, rng)
+
+
+def generate_benchmark(
+    kind: str,
+    use_case_count: int,
+    core_count: int = 20,
+    seed: int = 1,
+    flows_per_use_case: Tuple[int, int] = (60, 100),
+    **overrides,
+) -> UseCaseSet:
+    """Generate a synthetic benchmark by family name (``"spread"`` / ``"bottleneck"``)."""
+    families = {
+        "spread": SpreadBenchmark,
+        "sp": SpreadBenchmark,
+        "bottleneck": BottleneckBenchmark,
+        "bot": BottleneckBenchmark,
+    }
+    try:
+        factory = families[kind.lower()]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown benchmark kind {kind!r}; expected one of {sorted(families)}"
+        ) from None
+    benchmark = factory(
+        core_count=core_count,
+        use_case_count=use_case_count,
+        flows_per_use_case=flows_per_use_case,
+        seed=seed,
+        **overrides,
+    )
+    return benchmark.generate()

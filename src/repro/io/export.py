@@ -1,0 +1,115 @@
+"""Structural export of a finished NoC design.
+
+The last phase of the paper's flow emits SystemC and RTL VHDL for the
+configured Æthereal instance.  Shipping an RTL generator is outside the
+scope of a Python reproduction, so this module exports the same
+*information* in two forms:
+
+* :func:`design_to_dict` — a hierarchical description of every switch, NI,
+  link and per-use-case slot-table programming, suitable for driving an
+  external generator; and
+* :func:`export_design` — a human-readable structural netlist (text) listing
+  the instances and their connections, which serves as the hand-off document
+  to a hardware team.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.result import MappingResult
+from repro.units import to_mbps
+
+__all__ = ["design_to_dict", "export_design"]
+
+
+def design_to_dict(result: MappingResult) -> Dict:
+    """Hierarchical structural description of the configured NoC."""
+    topology = result.topology
+    switches = []
+    for switch in topology.switches:
+        switches.append(
+            {
+                "name": f"switch_{switch.index}",
+                "index": switch.index,
+                "position": switch.position,
+                "ports": topology.port_count(switch.index),
+                "attached_cores": list(result.cores_on_switch(switch.index)),
+            }
+        )
+    network_interfaces = [
+        {
+            "name": f"ni_{core}",
+            "core": core,
+            "switch": switch_index,
+        }
+        for core, switch_index in sorted(result.core_mapping.items())
+    ]
+    links = [
+        {"name": f"link_{src}_{dst}", "source": src, "destination": dst}
+        for src, dst in topology.links
+    ]
+    slot_tables: Dict[str, Dict[str, Dict[str, list]]] = {}
+    for name, configuration in result.configurations.items():
+        per_link: Dict[str, Dict[str, list]] = {}
+        for allocation in configuration:
+            for link, slots in allocation.link_slots.items():
+                link_name = f"link_{link[0]}_{link[1]}"
+                per_link.setdefault(link_name, {})[
+                    f"{allocation.flow.source}->{allocation.flow.destination}"
+                ] = list(slots)
+        slot_tables[name] = per_link
+    return {
+        "design": result.method,
+        "topology": topology.name,
+        "frequency_mhz": result.params.frequency_hz / 1e6,
+        "link_width_bits": result.params.link_width_bits,
+        "slot_table_size": result.params.slot_table_size,
+        "switches": switches,
+        "network_interfaces": network_interfaces,
+        "links": links,
+        "configurations": slot_tables,
+    }
+
+
+def export_design(result: MappingResult, path: Optional[Union[str, Path]] = None) -> str:
+    """Render the structural netlist as text (and optionally write it to a file)."""
+    description = design_to_dict(result)
+    lines = [
+        f"// NoC design exported by repro ({result.method} method)",
+        f"// topology: {description['topology']}  "
+        f"frequency: {description['frequency_mhz']:.0f} MHz  "
+        f"link width: {description['link_width_bits']} bits  "
+        f"slots: {description['slot_table_size']}",
+        "",
+    ]
+    for switch in description["switches"]:
+        cores = ", ".join(switch["attached_cores"]) or "-"
+        lines.append(
+            f"switch {switch['name']} ports={switch['ports']} "
+            f"position={switch['position']} cores=[{cores}]"
+        )
+    lines.append("")
+    for ni in description["network_interfaces"]:
+        lines.append(f"ni {ni['name']} core={ni['core']} switch=switch_{ni['switch']}")
+    lines.append("")
+    for link in description["links"]:
+        lines.append(
+            f"link {link['name']} switch_{link['source']} -> switch_{link['destination']}"
+        )
+    lines.append("")
+    for use_case, configuration in sorted(result.configurations.items()):
+        lines.append(f"configuration {use_case}:")
+        for allocation in configuration:
+            path_text = " -> ".join(str(index) for index in allocation.switch_path)
+            lines.append(
+                f"  flow {allocation.flow.source}->{allocation.flow.destination} "
+                f"bw={to_mbps(allocation.flow.bandwidth):.1f}MB/s path=[{path_text}] "
+                f"slots/link={allocation.slots_per_link}"
+            )
+        lines.append("")
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,68 @@
+"""Plain-text tables for experiment results.
+
+The benchmark harness prints the rows produced by
+:mod:`repro.analysis.sweeps` through these helpers, so the console output of
+``pytest benchmarks/ --benchmark-only`` doubles as the regenerated data of
+every figure in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_rows", "format_summary"]
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, (list, tuple)):
+        return "/".join(str(item) for item in value)
+    return str(value)
+
+
+def format_rows(rows: Sequence, columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render sweep rows (or plain dicts) as an aligned text table."""
+    dicts: List[Dict[str, object]] = []
+    for row in rows:
+        dicts.append(row.as_dict() if hasattr(row, "as_dict") else dict(row))
+    if not dicts:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(dicts[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_format_value(entry.get(column)) for column in columns] for entry in dicts]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_summary(summary: Mapping[str, object], title: str = "") -> str:
+    """Render a nested summary dictionary (e.g. the headline study) as text."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in summary.items():
+        if isinstance(value, Mapping):
+            lines.append(f"{key}:")
+            for inner_key, inner_value in value.items():
+                if isinstance(inner_value, Mapping):
+                    rendered = ", ".join(
+                        f"{k}={_format_value(v)}" for k, v in inner_value.items()
+                    )
+                    lines.append(f"  {inner_key}: {rendered}")
+                else:
+                    lines.append(f"  {inner_key}: {_format_value(inner_value)}")
+        else:
+            lines.append(f"{key}: {_format_value(value)}")
+    return "\n".join(lines)

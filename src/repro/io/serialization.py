@@ -1,0 +1,178 @@
+"""JSON serialisation of use-case sets and mapping results.
+
+The on-disk format is deliberately plain JSON so specifications can be
+written by hand, produced by other tools, or diffed in version control:
+
+.. code-block:: json
+
+    {
+      "name": "my-design",
+      "use_cases": [
+        {
+          "name": "video",
+          "cores": [{"name": "cpu", "kind": "processor"}],
+          "flows": [
+            {"source": "cpu", "destination": "mem",
+             "bandwidth_mbps": 200.0, "latency_us": 100.0,
+             "traffic_class": "GT"}
+          ]
+        }
+      ]
+    }
+
+Bandwidths are stored in MB/s and latencies in microseconds (the paper's
+units) and converted to the library's internal base units on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.result import MappingResult
+from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
+from repro.exceptions import SerializationError
+from repro.units import mbps, to_mbps, us
+
+__all__ = [
+    "use_case_set_to_dict",
+    "use_case_set_from_dict",
+    "save_use_case_set",
+    "load_use_case_set",
+    "mapping_result_to_dict",
+    "save_mapping_result",
+]
+
+_MICROSECOND = 1e-6
+
+
+def use_case_set_to_dict(use_cases: UseCaseSet) -> Dict:
+    """Convert a use-case set to its JSON-ready dictionary form."""
+    return {
+        "name": use_cases.name,
+        "use_cases": [
+            {
+                "name": use_case.name,
+                "parents": list(use_case.parents),
+                "cores": [
+                    {"name": core.name, "kind": core.kind} for core in use_case.cores
+                ],
+                "flows": [
+                    {
+                        "source": flow.source,
+                        "destination": flow.destination,
+                        "bandwidth_mbps": to_mbps(flow.bandwidth),
+                        "latency_us": flow.latency / _MICROSECOND,
+                        "traffic_class": flow.traffic_class,
+                    }
+                    for flow in use_case.flows
+                ],
+            }
+            for use_case in use_cases
+        ],
+    }
+
+
+def use_case_set_from_dict(document: Dict) -> UseCaseSet:
+    """Reconstruct a use-case set from its dictionary form."""
+    try:
+        name = document["name"]
+        entries = document["use_cases"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed use-case document: missing {exc}") from None
+    use_cases = []
+    for entry in entries:
+        try:
+            cores = [Core(core["name"], core.get("kind", "core")) for core in entry.get("cores", [])]
+            flows = [
+                Flow(
+                    source=flow["source"],
+                    destination=flow["destination"],
+                    bandwidth=mbps(flow["bandwidth_mbps"]),
+                    latency=us(flow.get("latency_us", 1e3)),
+                    traffic_class=flow.get("traffic_class", "GT"),
+                )
+                for flow in entry.get("flows", [])
+            ]
+            use_cases.append(
+                UseCase(
+                    entry["name"],
+                    flows=flows,
+                    cores=cores,
+                    parents=tuple(entry.get("parents", ())),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(
+                f"malformed use-case entry {entry.get('name', '?')!r}: {exc}"
+            ) from None
+    return UseCaseSet(use_cases, name=name)
+
+
+def save_use_case_set(use_cases: UseCaseSet, path: Union[str, Path]) -> Path:
+    """Write a use-case set to a JSON file; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(use_case_set_to_dict(use_cases), indent=2))
+    return target
+
+
+def load_use_case_set(path: Union[str, Path]) -> UseCaseSet:
+    """Load a use-case set from a JSON file."""
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read use-case set from {source}: {exc}") from exc
+    return use_case_set_from_dict(document)
+
+
+def mapping_result_to_dict(result: MappingResult) -> Dict:
+    """Convert a mapping result to a JSON-ready dictionary.
+
+    The dictionary contains everything needed to configure a NoC instance:
+    topology, core placement, groups and, per use-case, every flow's path
+    and TDMA slots.  (Loading a result back into live objects is not
+    supported — re-run the mapper on the loaded use-case set instead; the
+    algorithms are deterministic.)
+    """
+    return {
+        "method": result.method,
+        "topology": {
+            "name": result.topology.name,
+            "kind": result.topology.kind,
+            "switch_count": result.topology.switch_count,
+            "dimensions": result.topology.dimensions,
+            "links": [list(link) for link in result.topology.links],
+        },
+        "parameters": {
+            "frequency_mhz": result.params.frequency_hz / 1e6,
+            "link_width_bits": result.params.link_width_bits,
+            "slot_table_size": result.params.slot_table_size,
+        },
+        "core_mapping": dict(result.core_mapping),
+        "groups": [sorted(group) for group in result.groups],
+        "use_cases": {
+            name: [
+                {
+                    "source": allocation.flow.source,
+                    "destination": allocation.flow.destination,
+                    "bandwidth_mbps": to_mbps(allocation.flow.bandwidth),
+                    "path": list(allocation.switch_path),
+                    "slots": {
+                        f"{link[0]}->{link[1]}": list(slots)
+                        for link, slots in allocation.link_slots.items()
+                    },
+                }
+                for allocation in configuration
+            ]
+            for name, configuration in result.configurations.items()
+        },
+    }
+
+
+def save_mapping_result(result: MappingResult, path: Union[str, Path]) -> Path:
+    """Write a mapping result to a JSON file; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(mapping_result_to_dict(result), indent=2))
+    return target

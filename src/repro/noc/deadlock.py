@@ -1,0 +1,119 @@
+"""Deadlock-freedom helpers: turn-model checks and channel dependency graphs.
+
+Guaranteed-throughput traffic on an Æthereal-style NoC is contention-free by
+construction (every flit moves in a pre-reserved TDMA slot), so GT flows
+cannot deadlock regardless of the paths chosen.  Best-effort traffic,
+however, uses ordinary wormhole switching and can deadlock when the selected
+paths create a cyclic channel dependency.  This module provides
+
+* path predicates for the two classic deadlock-free routing disciplines on
+  meshes — dimension-ordered XY routing and the west-first turn model — and
+* a channel-dependency-graph (CDG) construction plus acyclicity check that
+  works for arbitrary topologies and path sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import RoutingError
+from repro.noc.topology import Link, Topology
+
+__all__ = [
+    "is_xy_path",
+    "is_west_first_path",
+    "channel_dependency_graph",
+    "is_deadlock_free",
+]
+
+
+def _positions(topology: Topology, path: Sequence[int]) -> List[Tuple[int, int]]:
+    positions = []
+    for index in path:
+        switch = topology.switch(index)
+        if switch.position is None:
+            raise RoutingError(
+                f"turn-model checks need grid positions; switch {index} has none"
+            )
+        positions.append(switch.position)
+    return positions
+
+
+def _turns(topology: Topology, path: Sequence[int]) -> List[Tuple[str, str]]:
+    """The sequence of (incoming direction, outgoing direction) turns of a path."""
+    positions = _positions(topology, path)
+    directions: List[str] = []
+    for (row_a, col_a), (row_b, col_b) in zip(positions, positions[1:]):
+        if row_a == row_b and col_b == col_a + 1:
+            directions.append("E")
+        elif row_a == row_b and col_b == col_a - 1:
+            directions.append("W")
+        elif col_a == col_b and row_b == row_a + 1:
+            directions.append("S")
+        elif col_a == col_b and row_b == row_a - 1:
+            directions.append("N")
+        else:
+            raise RoutingError(
+                f"path hop ({row_a},{col_a})->({row_b},{col_b}) is not a mesh neighbour step"
+            )
+    return list(zip(directions, directions[1:]))
+
+
+def is_xy_path(topology: Topology, path: Sequence[int]) -> bool:
+    """Whether a path is dimension-ordered: all X (E/W) hops before Y (N/S) hops."""
+    if len(path) <= 1:
+        return True
+    positions = _positions(topology, path)
+    y_started = False
+    for (row_a, col_a), (row_b, col_b) in zip(positions, positions[1:]):
+        del col_a, col_b
+        horizontal = row_a == row_b
+        if horizontal and y_started:
+            return False
+        if not horizontal:
+            y_started = True
+    return True
+
+
+#: Turns the west-first turn model forbids: nothing may turn *into* west.
+_WEST_FIRST_FORBIDDEN = {("N", "W"), ("S", "W")}
+
+
+def is_west_first_path(topology: Topology, path: Sequence[int]) -> bool:
+    """Whether a path obeys the west-first turn model.
+
+    West-first routing requires all westward hops to happen first; turning
+    from north or south into west is forbidden.  Every XY path is also
+    west-first compliant.
+    """
+    if len(path) <= 2:
+        return True
+    for turn in _turns(topology, path):
+        if turn in _WEST_FIRST_FORBIDDEN:
+            return False
+    return True
+
+
+def channel_dependency_graph(paths: Iterable[Sequence[int]]) -> nx.DiGraph:
+    """Build the channel dependency graph induced by a set of switch paths.
+
+    Nodes are directed links (channels); an edge from channel ``a`` to
+    channel ``b`` means some path acquires ``a`` and then requests ``b``
+    while still holding ``a`` — the classic wormhole dependency.
+    """
+    cdg = nx.DiGraph()
+    for path in paths:
+        links: List[Link] = list(zip(path, path[1:]))
+        for link in links:
+            cdg.add_node(link)
+        for held, requested in zip(links, links[1:]):
+            cdg.add_edge(held, requested)
+    return cdg
+
+
+def is_deadlock_free(paths: Iterable[Sequence[int]]) -> bool:
+    """Whether the given path set induces an acyclic channel dependency graph."""
+    cdg = channel_dependency_graph(paths)
+    return nx.is_directed_acyclic_graph(cdg)

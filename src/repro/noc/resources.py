@@ -1,0 +1,414 @@
+"""Per-use-case NoC resource state: residual bandwidth and TDMA slots.
+
+The heart of the paper's improvement over the worst-case baseline is that
+*each use-case maintains separate data structures that represent the
+available bandwidth and TDMA slots in the NoC for that use-case*.  This
+module provides exactly that data structure.
+
+A :class:`ResourceState` tracks, for one use-case (or one smooth-switching
+group, which shares a single configuration):
+
+* the residual bandwidth and the TDMA slot table of every directed
+  inter-switch link, and
+* the residual bandwidth of every core's NI access links (core → switch and
+  switch → core), which bound how much traffic a single core can source or
+  sink regardless of how large the mesh grows.
+
+Reservations are returned as :class:`PathReservation` records so they can be
+released again (needed by the refinement passes that rip up and re-route
+flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ResourceError, TopologyError
+from repro.noc.slot_table import SlotTable, find_pipelined_slots, slots_needed
+from repro.noc.topology import Link, Topology
+from repro.params import MapperConfig, NoCParameters
+
+__all__ = ["PathReservation", "ResourceState"]
+
+#: Cost value returned for paths that cannot possibly carry a flow.
+INFEASIBLE_COST = float("inf")
+
+
+@dataclass(frozen=True)
+class PathReservation:
+    """Record of the resources one flow holds in one resource state.
+
+    Attributes
+    ----------
+    flow_id:
+        Globally unique identifier of the (use-case, flow) pair.
+    source_core, destination_core:
+        Names of the communicating cores.
+    switch_path:
+        Sequence of switch indices from the source core's switch to the
+        destination core's switch (a single element when both cores attach
+        to the same switch).
+    bandwidth:
+        Reserved bandwidth in bytes/s (charged on every link of the path and
+        on both access links).
+    link_slots:
+        Mapping from directed inter-switch link to the slot indices reserved
+        on it (empty for best-effort flows and same-switch paths).
+    guaranteed:
+        True for GT flows (slot-table reservations were made).
+    """
+
+    flow_id: str
+    source_core: str
+    destination_core: str
+    switch_path: Tuple[int, ...]
+    bandwidth: float
+    link_slots: Dict[Link, Tuple[int, ...]] = field(default_factory=dict)
+    guaranteed: bool = True
+
+    @property
+    def hop_count(self) -> int:
+        """Number of inter-switch links traversed."""
+        return max(0, len(self.switch_path) - 1)
+
+    @property
+    def slots_per_link(self) -> int:
+        """Number of slots reserved on each link (0 when none were needed)."""
+        if not self.link_slots:
+            return 0
+        return len(next(iter(self.link_slots.values())))
+
+
+class ResourceState:
+    """Residual bandwidth and slot-table state of the NoC for one use-case."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: NoCParameters,
+        name: str = "state",
+    ) -> None:
+        self.topology = topology
+        self.params = params
+        self.name = name
+        capacity = params.link_capacity
+        self._link_residual: Dict[Link, float] = {
+            link: capacity for link in topology.links
+        }
+        self._slot_tables: Dict[Link, SlotTable] = {
+            link: SlotTable(params.slot_table_size) for link in topology.links
+        }
+        #: core name -> switch index (shared mapping, mirrored in every state)
+        self._core_switch: Dict[str, int] = {}
+        #: residual bandwidth of the core -> switch access link
+        self._ingress_residual: Dict[str, float] = {}
+        #: residual bandwidth of the switch -> core access link
+        self._egress_residual: Dict[str, float] = {}
+        self._reservations: List[PathReservation] = []
+
+    # ------------------------------------------------------------------ #
+    # core attachment
+    # ------------------------------------------------------------------ #
+    def attach_core(self, core_name: str, switch_index: int) -> None:
+        """Attach a core (its NI) to a switch.
+
+        Every use-case state of a design shares the same core-to-switch
+        mapping, so the mapper calls this on each state when it places a
+        core.  Attaching the same core to the same switch twice is a no-op;
+        attaching it elsewhere is an error (the paper requires one mapping).
+        """
+        self.topology.switch(switch_index)
+        existing = self._core_switch.get(core_name)
+        if existing is not None:
+            if existing != switch_index:
+                raise ResourceError(
+                    f"core {core_name!r} is already attached to switch {existing}; "
+                    f"cannot re-attach it to switch {switch_index}"
+                )
+            return
+        limit = self.params.max_cores_per_switch
+        if limit is not None and self.cores_on_switch(switch_index) >= limit:
+            raise ResourceError(
+                f"switch {switch_index} already hosts {limit} cores "
+                f"(max_cores_per_switch={limit})"
+            )
+        self._core_switch[core_name] = switch_index
+        capacity = self.params.link_capacity
+        self._ingress_residual[core_name] = capacity
+        self._egress_residual[core_name] = capacity
+
+    def switch_of(self, core_name: str) -> Optional[int]:
+        """The switch a core is attached to, or ``None`` if unmapped."""
+        return self._core_switch.get(core_name)
+
+    def cores_on_switch(self, switch_index: int) -> int:
+        """Number of cores currently attached to a switch."""
+        return sum(1 for sw in self._core_switch.values() if sw == switch_index)
+
+    @property
+    def core_mapping(self) -> Dict[str, int]:
+        """A copy of the current core-to-switch mapping."""
+        return dict(self._core_switch)
+
+    # ------------------------------------------------------------------ #
+    # residual queries
+    # ------------------------------------------------------------------ #
+    def link_residual(self, link: Link) -> float:
+        """Residual bandwidth (bytes/s) of a directed inter-switch link."""
+        try:
+            return self._link_residual[link]
+        except KeyError:
+            raise TopologyError(f"no link {link} in topology {self.topology.name!r}") from None
+
+    def slot_table(self, link: Link) -> SlotTable:
+        """The TDMA slot table of a directed inter-switch link."""
+        try:
+            return self._slot_tables[link]
+        except KeyError:
+            raise TopologyError(f"no link {link} in topology {self.topology.name!r}") from None
+
+    def ingress_residual(self, core_name: str) -> float:
+        """Residual bandwidth of the core's NI injection (core → switch) link."""
+        try:
+            return self._ingress_residual[core_name]
+        except KeyError:
+            raise ResourceError(f"core {core_name!r} is not attached to any switch") from None
+
+    def egress_residual(self, core_name: str) -> float:
+        """Residual bandwidth of the core's NI ejection (switch → core) link."""
+        try:
+            return self._egress_residual[core_name]
+        except KeyError:
+            raise ResourceError(f"core {core_name!r} is not attached to any switch") from None
+
+    @property
+    def reservations(self) -> Tuple[PathReservation, ...]:
+        """All currently held path reservations."""
+        return tuple(self._reservations)
+
+    def max_link_utilization(self) -> float:
+        """Highest bandwidth utilisation over all inter-switch links (0–1)."""
+        capacity = self.params.link_capacity
+        if not self._link_residual:
+            return 0.0
+        return max(
+            (capacity - residual) / capacity for residual in self._link_residual.values()
+        )
+
+    def total_reserved_bandwidth(self) -> float:
+        """Total bandwidth-hops reserved on inter-switch links (bytes/s)."""
+        capacity = self.params.link_capacity
+        return sum(capacity - residual for residual in self._link_residual.values())
+
+    def link_loads(self) -> Dict[Link, float]:
+        """Reserved bandwidth (bytes/s) per directed inter-switch link."""
+        capacity = self.params.link_capacity
+        return {
+            link: capacity - residual for link, residual in self._link_residual.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # feasibility, cost, reservation
+    # ------------------------------------------------------------------ #
+    def _path_links(self, switch_path: Sequence[int]) -> List[Link]:
+        links: List[Link] = []
+        for source, destination in zip(switch_path, switch_path[1:]):
+            link = (source, destination)
+            if link not in self._link_residual:
+                raise TopologyError(
+                    f"path {tuple(switch_path)} uses non-existent link {link}"
+                )
+            links.append(link)
+        return links
+
+    def slots_for_bandwidth(self, bandwidth: float) -> int:
+        """Slots a flow of the given bandwidth needs on each link of its path."""
+        return slots_needed(bandwidth, self.params.link_capacity, self.params.slot_table_size)
+
+    def can_reserve(
+        self,
+        source_core: str,
+        destination_core: str,
+        switch_path: Sequence[int],
+        bandwidth: float,
+        guaranteed: bool = True,
+        required_slots: Optional[Tuple[int, ...]] = None,
+    ) -> bool:
+        """Whether a reservation along the path would succeed right now."""
+        return (
+            self._plan(
+                source_core,
+                destination_core,
+                switch_path,
+                bandwidth,
+                guaranteed,
+                required_slots,
+            )
+            is not None
+        )
+
+    def _plan(
+        self,
+        source_core: str,
+        destination_core: str,
+        switch_path: Sequence[int],
+        bandwidth: float,
+        guaranteed: bool,
+        required_slots: Optional[Tuple[int, ...]],
+    ) -> Optional[Dict[Link, Tuple[int, ...]]]:
+        """Compute the per-link slot assignment for a reservation, or ``None``.
+
+        Returns an (possibly empty) mapping when the reservation is feasible
+        — bandwidth fits on the access links and every path link, and (for
+        GT flows) a pipelined slot assignment exists.  ``required_slots``
+        forces a specific set of *starting* slots (used to replicate a
+        group-shared configuration into each member use-case's state).
+        """
+        if bandwidth <= 0:
+            raise ResourceError(f"bandwidth must be positive, got {bandwidth}")
+        if not switch_path:
+            raise ResourceError("switch path must contain at least one switch")
+        if self.switch_of(source_core) != switch_path[0]:
+            return None
+        if self.switch_of(destination_core) != switch_path[-1]:
+            return None
+        if self._ingress_residual.get(source_core, 0.0) < bandwidth - 1e-9:
+            return None
+        if self._egress_residual.get(destination_core, 0.0) < bandwidth - 1e-9:
+            return None
+        links = self._path_links(switch_path)
+        for link in links:
+            if self._link_residual[link] < bandwidth - 1e-9:
+                return None
+        if not guaranteed or not links:
+            return {}
+        needed = self.slots_for_bandwidth(bandwidth)
+        size = self.params.slot_table_size
+        tables = [self._slot_tables[link] for link in links]
+        if required_slots is not None:
+            if len(required_slots) < needed:
+                return None
+            starts: Optional[Tuple[int, ...]] = required_slots
+            for hop, table in enumerate(tables):
+                for start in required_slots:
+                    if not table.is_free((start + hop) % size):
+                        return None
+        else:
+            starts = find_pipelined_slots(tables, needed)
+            if starts is None:
+                return None
+        assignment: Dict[Link, Tuple[int, ...]] = {}
+        for hop, link in enumerate(links):
+            assignment[link] = tuple(sorted((start + hop) % size for start in starts))
+        return assignment
+
+    def path_cost(
+        self,
+        switch_path: Sequence[int],
+        bandwidth: float,
+        config: MapperConfig,
+        guaranteed: bool = True,
+    ) -> float:
+        """Cost of routing a flow of ``bandwidth`` along ``switch_path``.
+
+        The cost combines hop delay with residual-bandwidth and residual-slot
+        pressure (paper §5 / ref [20]): longer paths and paths through
+        already-loaded links cost more.  Paths that cannot carry the flow at
+        all return :data:`INFEASIBLE_COST`.
+        """
+        if not switch_path:
+            return INFEASIBLE_COST
+        links = self._path_links(switch_path)
+        capacity = self.params.link_capacity
+        hops = len(links)
+        cost = config.hop_weight * hops
+        needed = self.slots_for_bandwidth(bandwidth) if guaranteed else 0
+        for link in links:
+            residual = self._link_residual[link]
+            if residual < bandwidth - 1e-9:
+                return INFEASIBLE_COST
+            cost += config.bandwidth_weight * (bandwidth / max(residual, 1e-9))
+            if guaranteed:
+                free = self._slot_tables[link].free_count
+                if free < needed:
+                    return INFEASIBLE_COST
+                cost += config.slot_weight * (needed / max(free, 1))
+        return cost
+
+    def reserve(
+        self,
+        flow_id: str,
+        source_core: str,
+        destination_core: str,
+        switch_path: Sequence[int],
+        bandwidth: float,
+        guaranteed: bool = True,
+        required_slots: Optional[Tuple[int, ...]] = None,
+    ) -> PathReservation:
+        """Atomically reserve bandwidth (and slots for GT flows) along a path.
+
+        Raises :class:`ResourceError` when the reservation cannot be
+        satisfied; the state is unchanged in that case.
+        """
+        assignment = self._plan(
+            source_core, destination_core, switch_path, bandwidth, guaranteed, required_slots
+        )
+        if assignment is None:
+            raise ResourceError(
+                f"cannot reserve {bandwidth:.3g} B/s for {flow_id!r} along "
+                f"{tuple(switch_path)} in state {self.name!r}"
+            )
+        links = self._path_links(switch_path)
+        self._ingress_residual[source_core] -= bandwidth
+        self._egress_residual[destination_core] -= bandwidth
+        for link in links:
+            self._link_residual[link] -= bandwidth
+        for link, slots in assignment.items():
+            self._slot_tables[link].reserve(flow_id, slots)
+        reservation = PathReservation(
+            flow_id=flow_id,
+            source_core=source_core,
+            destination_core=destination_core,
+            switch_path=tuple(switch_path),
+            bandwidth=bandwidth,
+            link_slots=assignment,
+            guaranteed=guaranteed,
+        )
+        self._reservations.append(reservation)
+        return reservation
+
+    def release(self, reservation: PathReservation) -> None:
+        """Return a reservation's bandwidth and slots to the free pool."""
+        if reservation not in self._reservations:
+            raise ResourceError(
+                f"reservation for {reservation.flow_id!r} is not held by state {self.name!r}"
+            )
+        links = self._path_links(reservation.switch_path)
+        self._ingress_residual[reservation.source_core] += reservation.bandwidth
+        self._egress_residual[reservation.destination_core] += reservation.bandwidth
+        for link in links:
+            self._link_residual[link] += reservation.bandwidth
+        for link, slots in reservation.link_slots.items():
+            table = self._slot_tables[link]
+            table.release_flow(reservation.flow_id)
+        self._reservations.remove(reservation)
+
+    def copy(self, name: Optional[str] = None) -> "ResourceState":
+        """An independent deep copy (same topology/params objects)."""
+        duplicate = ResourceState(self.topology, self.params, name or self.name)
+        duplicate._link_residual = dict(self._link_residual)
+        duplicate._slot_tables = {
+            link: table.copy() for link, table in self._slot_tables.items()
+        }
+        duplicate._core_switch = dict(self._core_switch)
+        duplicate._ingress_residual = dict(self._ingress_residual)
+        duplicate._egress_residual = dict(self._egress_residual)
+        duplicate._reservations = list(self._reservations)
+        return duplicate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceState(name={self.name!r}, topology={self.topology.name!r}, "
+            f"reservations={len(self._reservations)})"
+        )

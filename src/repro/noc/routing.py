@@ -1,0 +1,260 @@
+"""Candidate-path enumeration and least-cost path selection.
+
+The unified mapper needs, for every (source switch, destination switch)
+pair, a set of candidate paths ordered by cost.  Four enumeration policies
+are supported:
+
+* ``"xy"`` — the single dimension-ordered (X then Y) path; only valid on
+  meshes/tori with grid positions.  Deterministic and deadlock-free but
+  offers no path diversity.
+* ``"minimal"`` — all shortest paths (up to a configurable cap).  This is
+  the default: Æthereal GT traffic is contention-free by construction (TDMA
+  slots are reserved end-to-end), so minimal adaptive path *selection* at
+  design time cannot deadlock at run time.
+* ``"west_first"`` — minimal paths filtered by the west-first turn model,
+  which additionally guarantees deadlock freedom for best-effort traffic.
+* ``"k_shortest"`` — shortest simple paths allowing a bounded detour beyond
+  the minimal hop count, for heavily loaded networks where minimal paths
+  run out of slots.
+
+Path selection combines the enumeration with the per-use-case cost function
+of :meth:`repro.noc.resources.ResourceState.path_cost` and returns the
+cheapest path on which the reservation is actually possible.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import RoutingError, TopologyError
+from repro.noc.deadlock import is_west_first_path
+from repro.noc.resources import INFEASIBLE_COST, ResourceState
+from repro.noc.topology import Topology
+from repro.params import MapperConfig
+
+__all__ = ["RoutingPolicy", "PathSelector", "xy_path"]
+
+
+class RoutingPolicy:
+    """Names of the supported candidate-path enumeration policies."""
+
+    XY = "xy"
+    MINIMAL = "minimal"
+    WEST_FIRST = "west_first"
+    K_SHORTEST = "k_shortest"
+
+    ALL = (XY, MINIMAL, WEST_FIRST, K_SHORTEST)
+
+
+def xy_path(topology: Topology, source: int, destination: int) -> Tuple[int, ...]:
+    """The dimension-ordered (X-first, then Y) path on a mesh or torus.
+
+    Moves along the column (X) dimension first, then along the row (Y)
+    dimension, which is the classic deadlock-free deterministic routing
+    function for meshes.
+    """
+    src = topology.switch(source)
+    dst = topology.switch(destination)
+    if src.position is None or dst.position is None:
+        raise RoutingError(
+            f"XY routing needs grid positions; topology {topology.name!r} has none"
+        )
+    if topology.dimensions is None:
+        raise RoutingError(f"XY routing needs mesh dimensions on {topology.name!r}")
+    _, cols = topology.dimensions
+    path = [source]
+    row, col = src.position
+    # X (column) dimension first.
+    step = 1 if dst.col > col else -1
+    while col != dst.col:
+        col += step
+        path.append(row * cols + col)
+    # Then the Y (row) dimension.
+    step = 1 if dst.row > row else -1
+    while row != dst.row:
+        row += step
+        path.append(row * cols + col)
+    for here, there in zip(path, path[1:]):
+        if not topology.has_link(here, there):
+            raise RoutingError(
+                f"XY path {path} uses missing link ({here}, {there}) on {topology.name!r}"
+            )
+    return tuple(path)
+
+
+def mesh_minimal_paths(
+    topology: Topology,
+    source: int,
+    destination: int,
+    limit: int,
+) -> List[Tuple[int, ...]]:
+    """All minimal (shortest) paths on a mesh, capped at ``limit``.
+
+    Minimal paths on a mesh stay inside the bounding box of the endpoints
+    and consist only of hops towards the destination, so they can be
+    enumerated directly — far faster than generic k-shortest-path search on
+    large meshes (the worst-case baseline grows meshes up to 20x20).
+    """
+    src = topology.switch(source)
+    dst = topology.switch(destination)
+    if src.position is None or dst.position is None or topology.dimensions is None:
+        raise RoutingError("mesh_minimal_paths needs a grid topology")
+    _, cols = topology.dimensions
+    row_step = 1 if dst.row >= src.row else -1
+    col_step = 1 if dst.col >= src.col else -1
+    paths: List[Tuple[int, ...]] = []
+
+    def extend(row: int, col: int, acc: List[int]) -> None:
+        if len(paths) >= limit:
+            return
+        if row == dst.row and col == dst.col:
+            paths.append(tuple(acc))
+            return
+        if col != dst.col:
+            extend(row, col + col_step, acc + [row * cols + (col + col_step)])
+        if row != dst.row:
+            extend(row + row_step, col, acc + [(row + row_step) * cols + col])
+
+    extend(src.row, src.col, [source])
+    return paths
+
+
+class PathSelector:
+    """Enumerates and ranks candidate paths on one topology.
+
+    The selector caches candidate-path lists per (source switch, destination
+    switch) pair because the mapper asks for the same pairs many times while
+    it processes flows.
+    """
+
+    def __init__(self, topology: Topology, config: MapperConfig) -> None:
+        if config.routing_policy not in RoutingPolicy.ALL:
+            raise RoutingError(f"unknown routing policy {config.routing_policy!r}")
+        self.topology = topology
+        self.config = config
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(sw.index for sw in topology.switches)
+        self._graph.add_edges_from(topology.links)
+        self._cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # enumeration
+    # ------------------------------------------------------------------ #
+    def candidate_paths(self, source: int, destination: int) -> Tuple[Tuple[int, ...], ...]:
+        """All candidate switch paths from ``source`` to ``destination``.
+
+        The result always contains at least one path when the pair is
+        connected; for ``source == destination`` it is the single-element
+        path ``(source,)``.
+        """
+        key = (source, destination)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.topology.switch(source)
+        self.topology.switch(destination)
+        if source == destination:
+            paths: Tuple[Tuple[int, ...], ...] = ((source,),)
+        else:
+            paths = tuple(self._enumerate(source, destination))
+            if not paths:
+                raise RoutingError(
+                    f"no path from switch {source} to switch {destination} "
+                    f"on {self.topology.name!r}"
+                )
+        self._cache[key] = paths
+        return paths
+
+    def _enumerate(self, source: int, destination: int) -> List[Tuple[int, ...]]:
+        policy = self.config.routing_policy
+        limit = self.config.max_paths_per_pair
+        if policy == RoutingPolicy.XY:
+            return [xy_path(self.topology, source, destination)]
+        grid = self.topology.kind == "mesh" and self.topology.dimensions is not None
+        if grid and policy in (RoutingPolicy.MINIMAL, RoutingPolicy.WEST_FIRST):
+            paths = mesh_minimal_paths(self.topology, source, destination, limit)
+            if policy == RoutingPolicy.WEST_FIRST:
+                filtered = [
+                    path for path in paths if is_west_first_path(self.topology, path)
+                ]
+                paths = filtered or [xy_path(self.topology, source, destination)]
+            return paths
+        try:
+            min_hops = nx.shortest_path_length(self._graph, source, destination)
+        except nx.NetworkXNoPath:
+            return []
+        if policy in (RoutingPolicy.MINIMAL, RoutingPolicy.WEST_FIRST):
+            max_hops = min_hops
+        else:  # K_SHORTEST
+            max_hops = min_hops + self.config.max_detour_hops
+        paths: List[Tuple[int, ...]] = []
+        generator = nx.shortest_simple_paths(self._graph, source, destination)
+        for path in generator:
+            if len(path) - 1 > max_hops:
+                break
+            candidate = tuple(path)
+            if policy == RoutingPolicy.WEST_FIRST and not is_west_first_path(
+                self.topology, candidate
+            ):
+                continue
+            paths.append(candidate)
+            if len(paths) >= limit:
+                break
+        if not paths and policy == RoutingPolicy.WEST_FIRST:
+            # The turn model always admits at least the XY path.
+            paths = [xy_path(self.topology, source, destination)]
+        return paths
+
+    # ------------------------------------------------------------------ #
+    # selection
+    # ------------------------------------------------------------------ #
+    def select_least_cost(
+        self,
+        state: ResourceState,
+        source_core: str,
+        destination_core: str,
+        bandwidth: float,
+        guaranteed: bool = True,
+        required_slots: Optional[Tuple[int, ...]] = None,
+        max_hops: Optional[int] = None,
+    ) -> Optional[Tuple[Tuple[int, ...], float]]:
+        """The cheapest feasible path for a flow in one resource state.
+
+        Both cores must already be attached in ``state``.  Returns
+        ``(switch_path, cost)`` or ``None`` when no candidate path can carry
+        the flow (insufficient bandwidth or slots, or the hop budget derived
+        from the latency constraint is exceeded on every candidate).
+        """
+        source_switch = state.switch_of(source_core)
+        destination_switch = state.switch_of(destination_core)
+        if source_switch is None or destination_switch is None:
+            raise RoutingError(
+                f"both cores must be mapped before path selection "
+                f"({source_core!r} -> {destination_core!r})"
+            )
+        ranked: List[Tuple[float, Tuple[int, ...]]] = []
+        for path in self.candidate_paths(source_switch, destination_switch):
+            if max_hops is not None and len(path) - 1 > max_hops:
+                continue
+            cost = state.path_cost(path, bandwidth, self.config, guaranteed=guaranteed)
+            if cost != INFEASIBLE_COST:
+                ranked.append((cost, path))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        for cost, path in ranked:
+            if state.can_reserve(
+                source_core,
+                destination_core,
+                path,
+                bandwidth,
+                guaranteed=guaranteed,
+                required_slots=required_slots,
+            ):
+                return path, cost
+        return None
+
+    def clear_cache(self) -> None:
+        """Drop the memoised candidate paths (rarely needed)."""
+        self._cache.clear()

@@ -1,0 +1,218 @@
+"""TDMA slot tables with Æthereal-style pipelined reservations.
+
+Every directed link of the NoC owns a slot table of ``S`` slots.  Time is
+divided into recurring frames of ``S`` slots; a guaranteed-throughput (GT)
+flow that owns ``k`` slots on a link gets ``k/S`` of that link's raw
+bandwidth, contention-free.
+
+Reservations are *pipelined*: when a flow is granted slot ``s`` on the first
+link of its path it implicitly uses slot ``(s + 1) mod S`` on the second
+link, ``(s + 2) mod S`` on the third, and so on — data moves exactly one hop
+per slot.  Finding a reservation for a path therefore means finding ``k``
+starting slot indices that are simultaneously free on every link of the path
+(after per-hop rotation).  This module implements the per-link table;
+path-level searches live in :class:`repro.noc.resources.ResourceState`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, ResourceError
+
+__all__ = ["SlotTable", "SlotReservation", "slots_needed"]
+
+
+def slots_needed(bandwidth: float, link_capacity: float, num_slots: int) -> int:
+    """Number of TDMA slots a flow of ``bandwidth`` needs on one link.
+
+    Each of the ``num_slots`` slots carries ``link_capacity / num_slots``
+    bytes/s, so the flow needs ``ceil(bandwidth / slot_bandwidth)`` slots.
+    The result is at least 1 (a GT flow always owns at least one slot) and
+    may exceed ``num_slots``, in which case the link simply cannot carry the
+    flow — callers treat that as an infeasible path.
+    """
+    if bandwidth <= 0:
+        raise ResourceError(f"flow bandwidth must be positive, got {bandwidth}")
+    if link_capacity <= 0:
+        raise ResourceError(f"link capacity must be positive, got {link_capacity}")
+    if num_slots <= 0:
+        raise ConfigurationError(f"slot table size must be positive, got {num_slots}")
+    slot_bandwidth = link_capacity / num_slots
+    return max(1, math.ceil(bandwidth / slot_bandwidth - 1e-12))
+
+
+@dataclass(frozen=True)
+class SlotReservation:
+    """The slots a single flow owns on a single link."""
+
+    flow_id: str
+    slots: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ResourceError("a slot reservation must contain at least one slot")
+        if len(set(self.slots)) != len(self.slots):
+            raise ResourceError(f"duplicate slots in reservation: {self.slots}")
+
+
+class SlotTable:
+    """The TDMA slot table of one directed link.
+
+    Slots are identified by their index ``0 .. size-1``.  Each slot is either
+    free or owned by exactly one flow (identified by an opaque string id).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"slot table size must be positive, got {size}")
+        self._size = size
+        self._owner: List[Optional[str]] = [None] * size
+
+    @property
+    def size(self) -> int:
+        """Total number of slots in the table."""
+        return self._size
+
+    @property
+    def free_count(self) -> int:
+        """Number of currently unreserved slots."""
+        return sum(1 for owner in self._owner if owner is None)
+
+    @property
+    def used_count(self) -> int:
+        """Number of currently reserved slots."""
+        return self._size - self.free_count
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of slots reserved (0.0 — 1.0)."""
+        return self.used_count / self._size
+
+    def is_free(self, slot: int) -> bool:
+        """Whether the given slot index is unreserved."""
+        self._check_index(slot)
+        return self._owner[slot] is None
+
+    def owner_of(self, slot: int) -> Optional[str]:
+        """The flow id owning the slot, or ``None`` when it is free."""
+        self._check_index(slot)
+        return self._owner[slot]
+
+    def free_slots(self) -> Tuple[int, ...]:
+        """Indices of all free slots, ascending."""
+        return tuple(idx for idx, owner in enumerate(self._owner) if owner is None)
+
+    def slots_owned_by(self, flow_id: str) -> Tuple[int, ...]:
+        """Indices of all slots owned by the given flow, ascending."""
+        return tuple(idx for idx, owner in enumerate(self._owner) if owner == flow_id)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def reserve(self, flow_id: str, slots: Iterable[int]) -> SlotReservation:
+        """Reserve the given slots for a flow.
+
+        The operation is atomic: if any requested slot is taken, nothing is
+        reserved and :class:`ResourceError` is raised.
+        """
+        requested = tuple(slots)
+        reservation = SlotReservation(flow_id=flow_id, slots=requested)
+        for slot in requested:
+            self._check_index(slot)
+            if self._owner[slot] is not None:
+                raise ResourceError(
+                    f"slot {slot} is already owned by {self._owner[slot]!r}; "
+                    f"cannot reserve it for {flow_id!r}"
+                )
+        for slot in requested:
+            self._owner[slot] = flow_id
+        return reservation
+
+    def release(self, reservation: SlotReservation) -> None:
+        """Release a previously granted reservation.
+
+        Raises :class:`ResourceError` if any slot of the reservation is not
+        currently owned by the reservation's flow (double release, or release
+        of someone else's slots).
+        """
+        for slot in reservation.slots:
+            self._check_index(slot)
+            if self._owner[slot] != reservation.flow_id:
+                raise ResourceError(
+                    f"slot {slot} is owned by {self._owner[slot]!r}, not by "
+                    f"{reservation.flow_id!r}; refusing to release"
+                )
+        for slot in reservation.slots:
+            self._owner[slot] = None
+
+    def release_flow(self, flow_id: str) -> int:
+        """Release every slot owned by the flow; returns how many were freed."""
+        freed = 0
+        for idx, owner in enumerate(self._owner):
+            if owner == flow_id:
+                self._owner[idx] = None
+                freed += 1
+        return freed
+
+    def clear(self) -> None:
+        """Release every slot."""
+        self._owner = [None] * self._size
+
+    def copy(self) -> "SlotTable":
+        """An independent deep copy of the table."""
+        duplicate = SlotTable(self._size)
+        duplicate._owner = list(self._owner)
+        return duplicate
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> Dict[int, str]:
+        """Mapping of reserved slot index to owning flow id."""
+        return {idx: owner for idx, owner in enumerate(self._owner) if owner is not None}
+
+    def _check_index(self, slot: int) -> None:
+        if not isinstance(slot, int) or slot < 0 or slot >= self._size:
+            raise ResourceError(
+                f"slot index {slot!r} out of range for a table of size {self._size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlotTable(size={self._size}, used={self.used_count})"
+
+
+def find_pipelined_slots(
+    tables: Sequence[SlotTable],
+    needed: int,
+) -> Optional[Tuple[int, ...]]:
+    """Find ``needed`` starting slots free along a whole path of slot tables.
+
+    ``tables[i]`` is the slot table of the ``i``-th link of the path.  A
+    starting slot ``s`` is admissible when slot ``(s + i) mod S`` is free in
+    ``tables[i]`` for every link ``i`` (the Æthereal pipelining rule).
+    Returns the lowest admissible starting slots, or ``None`` when fewer than
+    ``needed`` admissible starts exist.  All tables must share the same size.
+    """
+    if not tables:
+        raise ResourceError("cannot search for slots along an empty path")
+    size = tables[0].size
+    for table in tables:
+        if table.size != size:
+            raise ConfigurationError(
+                "all slot tables along a path must have the same size "
+                f"(got {table.size} and {size})"
+            )
+    if needed <= 0:
+        raise ResourceError(f"slot demand must be positive, got {needed}")
+    if needed > size:
+        return None
+    admissible: List[int] = []
+    for start in range(size):
+        if all(table.is_free((start + hop) % size) for hop, table in enumerate(tables)):
+            admissible.append(start)
+            if len(admissible) == needed:
+                return tuple(admissible)
+    return None

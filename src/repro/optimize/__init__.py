@@ -1,0 +1,19 @@
+"""Post-mapping refinement of the core placement.
+
+The paper notes (§5) that "once the initial mapping step is performed, the
+solution space can be explored further by considering swapping of vertices
+using simulated annealing or tabu search".  This package provides both:
+
+* :mod:`repro.optimize.annealing` — simulated annealing over core swaps/moves.
+* :mod:`repro.optimize.tabu` — tabu search over the same neighbourhood.
+
+Both keep the topology fixed (the mapper already found the smallest feasible
+one) and minimise the total communication cost — the sum over all use-cases
+and flows of bandwidth × hop count — which is the first-order proxy for NoC
+power.
+"""
+
+from repro.optimize.annealing import AnnealingRefiner, RefinementResult, refine_mapping
+from repro.optimize.tabu import TabuRefiner
+
+__all__ = ["AnnealingRefiner", "TabuRefiner", "RefinementResult", "refine_mapping"]

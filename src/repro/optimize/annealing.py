@@ -1,0 +1,161 @@
+"""Simulated-annealing refinement of the core placement.
+
+The neighbourhood is the classic one for quadratic-assignment-style mapping
+problems: swap the switches of two cores, or move one core to a switch that
+still has a free NI port.  Every candidate placement is re-mapped from
+scratch (path selection and slot reservation re-run) on the *same* topology,
+so a candidate is only accepted if it still satisfies every use-case's
+constraints; among feasible placements the total communication cost
+(Σ bandwidth × hops over all use-cases) is minimised.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.mapping import UnifiedMapper
+from repro.core.result import MappingResult
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import ConfigurationError, MappingError
+
+__all__ = ["RefinementResult", "AnnealingRefiner", "refine_mapping", "communication_cost"]
+
+
+def communication_cost(result: MappingResult) -> float:
+    """Total bandwidth-hop product over all use-cases (power/latency proxy)."""
+    return sum(
+        configuration.total_bandwidth_hops()
+        for configuration in result.configurations.values()
+    )
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of a refinement pass."""
+
+    initial: MappingResult
+    refined: MappingResult
+    initial_cost: float
+    refined_cost: float
+    iterations: int
+    accepted_moves: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional cost reduction achieved by the refinement (>= 0)."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.refined_cost / self.initial_cost)
+
+
+class AnnealingRefiner:
+    """Simulated annealing over core swaps and moves."""
+
+    def __init__(
+        self,
+        iterations: int = 200,
+        initial_temperature: float = 0.08,
+        cooling: float = 0.97,
+        seed: int = 0,
+    ) -> None:
+        if iterations < 0:
+            raise ConfigurationError("iterations must be non-negative")
+        if initial_temperature <= 0 or not 0 < cooling < 1:
+            raise ConfigurationError("invalid annealing schedule")
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    def refine(
+        self,
+        result: MappingResult,
+        use_cases: UseCaseSet,
+        groups=None,
+    ) -> RefinementResult:
+        """Refine the core placement of an existing mapping result."""
+        rng = random.Random(self.seed)
+        mapper = UnifiedMapper(params=result.params, config=result.config)
+        group_spec = groups if groups is not None else [list(g) for g in result.groups]
+        current = result
+        current_cost = communication_cost(result)
+        best = current
+        best_cost = current_cost
+        temperature = self.initial_temperature
+        accepted = 0
+
+        cores = sorted(result.core_mapping)
+        for _ in range(self.iterations):
+            placement = self._neighbour(current.core_mapping, cores, result, rng)
+            if placement is None:
+                temperature *= self.cooling
+                continue
+            try:
+                candidate = mapper.map_with_placement(
+                    use_cases, result.topology, placement, groups=group_spec,
+                    method_name=result.method,
+                )
+            except MappingError:
+                temperature *= self.cooling
+                continue
+            candidate_cost = communication_cost(candidate)
+            delta = (candidate_cost - current_cost) / max(current_cost, 1e-9)
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current, current_cost = candidate, candidate_cost
+                accepted += 1
+                if candidate_cost < best_cost:
+                    best, best_cost = candidate, candidate_cost
+            temperature *= self.cooling
+        return RefinementResult(
+            initial=result,
+            refined=best,
+            initial_cost=communication_cost(result),
+            refined_cost=best_cost,
+            iterations=self.iterations,
+            accepted_moves=accepted,
+        )
+
+    def _neighbour(
+        self,
+        placement: Dict[str, int],
+        cores,
+        result: MappingResult,
+        rng: random.Random,
+    ) -> Optional[Dict[str, int]]:
+        """A random swap of two cores or move of one core to a free switch."""
+        if len(cores) < 2:
+            return None
+        candidate = dict(placement)
+        if rng.random() < 0.5:
+            first, second = rng.sample(cores, 2)
+            candidate[first], candidate[second] = candidate[second], candidate[first]
+            return candidate
+        core = rng.choice(cores)
+        limit = result.params.max_cores_per_switch
+        occupancy: Dict[int, int] = {}
+        for switch in candidate.values():
+            occupancy[switch] = occupancy.get(switch, 0) + 1
+        options = [
+            switch.index
+            for switch in result.topology.switches
+            if switch.index != candidate[core]
+            and (limit is None or occupancy.get(switch.index, 0) < limit)
+        ]
+        if not options:
+            return None
+        candidate[core] = rng.choice(options)
+        return candidate
+
+
+def refine_mapping(
+    result: MappingResult,
+    use_cases: UseCaseSet,
+    iterations: int = 200,
+    seed: int = 0,
+) -> RefinementResult:
+    """Convenience wrapper around :class:`AnnealingRefiner`."""
+    refiner = AnnealingRefiner(iterations=iterations, seed=seed)
+    return refiner.refine(result, use_cases)

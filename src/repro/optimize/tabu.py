@@ -1,0 +1,98 @@
+"""Tabu-search refinement of the core placement.
+
+Same neighbourhood and objective as the annealing refiner
+(:mod:`repro.optimize.annealing`): swap the switches of two cores, keep the
+topology fixed, minimise Σ bandwidth × hops subject to every use-case's
+constraints.  Instead of probabilistic acceptance, the search evaluates a
+sample of neighbours per iteration, moves to the best non-tabu one (even if
+it is worse — that is how tabu search escapes local minima) and remembers
+recently swapped core pairs in a tabu list so they are not immediately
+undone.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.mapping import UnifiedMapper
+from repro.core.result import MappingResult
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import ConfigurationError, MappingError
+from repro.optimize.annealing import RefinementResult, communication_cost
+
+__all__ = ["TabuRefiner"]
+
+
+class TabuRefiner:
+    """Tabu search over core-swap moves."""
+
+    def __init__(
+        self,
+        iterations: int = 50,
+        neighbours_per_iteration: int = 8,
+        tabu_tenure: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if iterations < 0 or neighbours_per_iteration <= 0 or tabu_tenure < 0:
+            raise ConfigurationError("invalid tabu search configuration")
+        self.iterations = iterations
+        self.neighbours_per_iteration = neighbours_per_iteration
+        self.tabu_tenure = tabu_tenure
+        self.seed = seed
+
+    def refine(
+        self,
+        result: MappingResult,
+        use_cases: UseCaseSet,
+        groups=None,
+    ) -> RefinementResult:
+        """Refine the core placement of an existing mapping result."""
+        rng = random.Random(self.seed)
+        mapper = UnifiedMapper(params=result.params, config=result.config)
+        group_spec = groups if groups is not None else [list(g) for g in result.groups]
+        cores = sorted(result.core_mapping)
+
+        current = result
+        current_cost = communication_cost(result)
+        best, best_cost = current, current_cost
+        tabu: Deque[Tuple[str, str]] = deque(maxlen=self.tabu_tenure or None)
+        accepted = 0
+
+        for _ in range(self.iterations):
+            if len(cores) < 2:
+                break
+            candidates: List[Tuple[float, MappingResult, Tuple[str, str]]] = []
+            for _ in range(self.neighbours_per_iteration):
+                first, second = rng.sample(cores, 2)
+                move = tuple(sorted((first, second)))
+                if move in tabu:
+                    continue
+                placement = dict(current.core_mapping)
+                placement[first], placement[second] = placement[second], placement[first]
+                try:
+                    candidate = mapper.map_with_placement(
+                        use_cases, result.topology, placement, groups=group_spec,
+                        method_name=result.method,
+                    )
+                except MappingError:
+                    continue
+                candidates.append((communication_cost(candidate), candidate, move))
+            if not candidates:
+                continue
+            candidates.sort(key=lambda item: item[0])
+            cost, candidate, move = candidates[0]
+            current, current_cost = candidate, cost
+            tabu.append(move)
+            accepted += 1
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        return RefinementResult(
+            initial=result,
+            refined=best,
+            initial_cost=communication_cost(result),
+            refined_cost=best_cost,
+            iterations=self.iterations,
+            accepted_moves=accepted,
+        )

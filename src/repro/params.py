@@ -1,0 +1,203 @@
+"""Operating-point and algorithm parameters shared across the library.
+
+Two parameter objects configure everything:
+
+* :class:`NoCParameters` — the *physical* operating point of the network:
+  clock frequency, link width, TDMA slot-table size and the per-switch core
+  attachment limit.  These are the knobs the paper fixes for the comparison
+  experiments (500 MHz, 32-bit links) and sweeps for the area–frequency and
+  DVS/DFS studies.
+* :class:`MapperConfig` — the *algorithmic* knobs of the unified mapper:
+  topology growth limits, path-enumeration policy, placement-candidate
+  limits and the cost-function weights.
+
+Both are frozen dataclasses; derive modified copies with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.units import link_capacity, mhz
+
+__all__ = ["NoCParameters", "MapperConfig"]
+
+
+@dataclass(frozen=True)
+class NoCParameters:
+    """Physical operating point of the Æthereal-style NoC.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency of switches and links.  The paper's reference point
+        is 500 MHz.
+    link_width_bits:
+        Width of every link in bits (32 in the paper).
+    slot_table_size:
+        Number of TDMA slots per link slot table.
+    max_cores_per_switch:
+        Maximum number of cores (NIs) that may attach to one switch, or
+        ``None`` for no limit.  Physical designs bound this by switch arity;
+        the default of 6 NI ports per switch lets 20 cores fit on a 2x2 mesh
+        (the paper's best-case result for the synthetic benchmarks) while
+        still forcing multi-switch NoCs for realistic designs.
+    topology_kind:
+        Topology family grown by the mapper's outer loop: ``"mesh"``,
+        ``"torus"`` or ``"ring"``.
+    """
+
+    frequency_hz: float = mhz(500)
+    link_width_bits: int = 32
+    slot_table_size: int = 32
+    max_cores_per_switch: Optional[int] = 6
+    topology_kind: str = "mesh"
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.link_width_bits <= 0:
+            raise ConfigurationError(
+                f"link width must be positive, got {self.link_width_bits}"
+            )
+        if self.slot_table_size <= 0:
+            raise ConfigurationError(
+                f"slot table size must be positive, got {self.slot_table_size}"
+            )
+        if self.max_cores_per_switch is not None and self.max_cores_per_switch <= 0:
+            raise ConfigurationError(
+                f"max_cores_per_switch must be positive or None, "
+                f"got {self.max_cores_per_switch}"
+            )
+        if self.topology_kind not in ("mesh", "torus", "ring"):
+            raise ConfigurationError(
+                f"unsupported topology kind {self.topology_kind!r}; "
+                "expected 'mesh', 'torus' or 'ring'"
+            )
+
+    @property
+    def link_capacity(self) -> float:
+        """Raw capacity of one directed link in bytes/s."""
+        return link_capacity(self.frequency_hz, self.link_width_bits)
+
+    @property
+    def slot_bandwidth(self) -> float:
+        """Bandwidth carried by a single TDMA slot in bytes/s."""
+        return self.link_capacity / self.slot_table_size
+
+    @property
+    def cycle_time(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def slot_duration(self) -> float:
+        """Duration of one TDMA slot in seconds (one flit transfer per slot)."""
+        return self.cycle_time
+
+    def with_frequency(self, frequency_hz: float) -> "NoCParameters":
+        """A copy of these parameters at a different clock frequency."""
+        return replace(self, frequency_hz=frequency_hz)
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Algorithmic configuration of the unified multi-use-case mapper.
+
+    Parameters
+    ----------
+    max_switches:
+        Largest topology the outer loop of Algorithm 2 may grow to before
+        declaring failure (400 = the paper's 20x20 mesh limit).
+    min_switches:
+        Smallest topology to start from (1 in the paper).
+    routing_policy:
+        Candidate-path enumeration policy; see
+        :class:`repro.noc.routing.RoutingPolicy`.
+    max_detour_hops:
+        Extra hops beyond the minimal hop count that non-minimal routing
+        policies may use.
+    max_paths_per_pair:
+        Cap on the number of candidate paths evaluated per switch pair.
+    placement_candidates:
+        Cap on the number of candidate switches considered when placing an
+        unmapped core (keeps the WC baseline tractable on large meshes).
+    prefer_mapped_endpoints:
+        Implements the paper's tie-break of preferring flows whose source or
+        destination is already mapped.
+    bandwidth_weight, hop_weight, slot_weight:
+        Weights of the path-cost function (residual-bandwidth pressure, hop
+        count, residual-slot pressure).
+    check_latency:
+        Whether analytical latency bounds are enforced during path selection.
+    enable_quick_infeasibility_check:
+        Skip the topology growth loop entirely when a per-core access-link
+        bound proves no topology of this family can ever satisfy the
+        constraints (used to reproduce the paper's "WC fails even on a 20x20
+        mesh" data points quickly).
+    refinement:
+        Optional post-mapping refinement: ``None``, ``"annealing"`` or
+        ``"tabu"``.
+    refinement_iterations:
+        Iteration budget of the refinement pass.
+    seed:
+        Seed for the (only) randomised component, the refinement pass.
+    """
+
+    max_switches: int = 400
+    min_switches: int = 1
+    routing_policy: str = "minimal"
+    max_detour_hops: int = 1
+    max_paths_per_pair: int = 8
+    placement_candidates: int = 16
+    prefer_mapped_endpoints: bool = True
+    bandwidth_weight: float = 1.0
+    hop_weight: float = 1.0
+    slot_weight: float = 0.5
+    check_latency: bool = True
+    enable_quick_infeasibility_check: bool = True
+    refinement: Optional[str] = None
+    refinement_iterations: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_switches <= 0:
+            raise ConfigurationError(
+                f"min_switches must be positive, got {self.min_switches}"
+            )
+        if self.max_switches < self.min_switches:
+            raise ConfigurationError(
+                f"max_switches ({self.max_switches}) must be >= min_switches "
+                f"({self.min_switches})"
+            )
+        if self.routing_policy not in ("xy", "minimal", "west_first", "k_shortest"):
+            raise ConfigurationError(
+                f"unknown routing policy {self.routing_policy!r}; expected one of "
+                "'xy', 'minimal', 'west_first', 'k_shortest'"
+            )
+        if self.max_detour_hops < 0:
+            raise ConfigurationError(
+                f"max_detour_hops must be non-negative, got {self.max_detour_hops}"
+            )
+        if self.max_paths_per_pair <= 0:
+            raise ConfigurationError(
+                f"max_paths_per_pair must be positive, got {self.max_paths_per_pair}"
+            )
+        if self.placement_candidates <= 0:
+            raise ConfigurationError(
+                f"placement_candidates must be positive, got {self.placement_candidates}"
+            )
+        for name in ("bandwidth_weight", "hop_weight", "slot_weight"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.refinement not in (None, "annealing", "tabu"):
+            raise ConfigurationError(
+                f"unknown refinement {self.refinement!r}; expected None, 'annealing' or 'tabu'"
+            )
+        if self.refinement_iterations < 0:
+            raise ConfigurationError(
+                f"refinement_iterations must be non-negative, got {self.refinement_iterations}"
+            )

@@ -1,0 +1,25 @@
+"""Performance analysis: analytical latency bounds, simulation and verification.
+
+* :mod:`repro.perf.latency` — worst-case latency bounds for guaranteed-
+  throughput flows under pipelined TDMA scheduling.
+* :mod:`repro.perf.simulator` — a cycle-level TDMA NoC simulator that
+  replays a mapping's slot tables and measures delivered bandwidth and
+  packet latency (our stand-in for the paper's SystemC/RTL simulation
+  phase).
+* :mod:`repro.perf.verification` — re-checks a finished mapping against the
+  original constraints, analytically and (optionally) by simulation.
+"""
+
+from repro.perf.latency import worst_case_latency, latency_hop_budget
+from repro.perf.simulator import SimulationReport, TdmaSimulator, FlowTrafficStats
+from repro.perf.verification import VerificationReport, verify_mapping
+
+__all__ = [
+    "worst_case_latency",
+    "latency_hop_budget",
+    "SimulationReport",
+    "TdmaSimulator",
+    "FlowTrafficStats",
+    "VerificationReport",
+    "verify_mapping",
+]

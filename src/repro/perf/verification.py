@@ -1,0 +1,259 @@
+"""Verification of finished mappings against the original constraints.
+
+Phase 4 of the paper's design flow verifies the NoC performance of the
+guaranteed-throughput connections analytically (and by SystemC simulation).
+:func:`verify_mapping` performs the analytical part on a
+:class:`~repro.core.result.MappingResult`:
+
+* every flow of every use-case has an allocation;
+* allocated paths are contiguous, start at the source core's switch and end
+  at the destination core's switch;
+* the TDMA slots reserved on each link provide at least the required
+  bandwidth;
+* no two flows of the *same configuration group* own the same slot on the
+  same link (flows of different groups may — the NoC is re-configured
+  between them);
+* per-core NI injection/ejection bandwidth and per-link bandwidth are not
+  over-committed within any use-case; and
+* the analytical worst-case latency of every GT flow meets its constraint.
+
+Optionally the cycle-level simulator is run per use-case as an additional
+(dynamic) check that the slot tables actually deliver the bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.result import MappingResult
+from repro.core.usecase import TrafficClass, UseCaseSet
+from repro.perf.latency import worst_case_latency
+from repro.perf.simulator import TdmaSimulator
+
+__all__ = ["Violation", "VerificationReport", "verify_mapping"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verification failure."""
+
+    use_case: str
+    source: str
+    destination: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.kind}] {self.use_case}: {self.source}->{self.destination}: {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one mapping result."""
+
+    violations: List[Violation] = field(default_factory=list)
+    checked_flows: int = 0
+    simulated_use_cases: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def violations_of_kind(self, kind: str) -> Tuple[Violation, ...]:
+        """All violations of one kind (``"missing"``, ``"latency"``, ...)."""
+        return tuple(v for v in self.violations if v.kind == kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "passed" if self.passed else f"{len(self.violations)} violation(s)"
+        return f"VerificationReport({status}, checked_flows={self.checked_flows})"
+
+
+def verify_mapping(
+    mapping: MappingResult,
+    use_cases: UseCaseSet,
+    simulate: bool = False,
+    frames: int = 32,
+) -> VerificationReport:
+    """Re-check a mapping result against the use-case constraints.
+
+    Parameters
+    ----------
+    mapping:
+        The result to verify.
+    use_cases:
+        The use-case set it was produced from.  For worst-case baseline
+        results (which contain a single synthetic configuration) pass the
+        singleton set holding the synthetic use-case.
+    simulate:
+        Additionally run the cycle-level TDMA simulator for every use-case
+        and flag flows whose delivered bandwidth falls short.
+    frames:
+        Number of slot-table revolutions to simulate per use-case.
+    """
+    report = VerificationReport()
+    params = mapping.params
+    capacity = params.link_capacity
+    slot_bandwidth = params.slot_bandwidth
+
+    for use_case in use_cases:
+        if use_case.name not in mapping.configurations:
+            for flow in use_case.flows:
+                report.violations.append(
+                    Violation(use_case.name, flow.source, flow.destination,
+                              "missing", "use-case has no configuration in the result")
+                )
+            continue
+        configuration = mapping.configuration(use_case.name)
+        for flow in use_case.flows:
+            report.checked_flows += 1
+            allocation = configuration.allocation_for(flow.source, flow.destination)
+            if allocation is None:
+                report.violations.append(
+                    Violation(use_case.name, flow.source, flow.destination,
+                              "missing", "flow has no allocation")
+                )
+                continue
+            _check_path(mapping, use_case.name, flow, allocation, report)
+            _check_bandwidth(flow, allocation, slot_bandwidth, report)
+            _check_latency(params, use_case.name, flow, allocation, report)
+        _check_capacity(mapping, use_case.name, configuration, capacity, report)
+
+    _check_slot_conflicts(mapping, report)
+
+    if simulate:
+        for name in mapping.configurations:
+            simulator = TdmaSimulator(mapping, name)
+            sim_report = simulator.run(frames=frames)
+            report.simulated_use_cases += 1
+            duration = sim_report.duration_seconds
+            for stats in sim_report.flows.values():
+                if stats.required_bandwidth <= 0:
+                    continue
+                expected_bytes = stats.required_bandwidth * duration * 0.95
+                if stats.delivered_bytes + sim_report.flit_bytes < expected_bytes:
+                    report.violations.append(
+                        Violation(name, stats.source, stats.destination, "simulation",
+                                  f"delivered {stats.delivered_bandwidth(duration):.3g} B/s "
+                                  f"of required {stats.required_bandwidth:.3g} B/s")
+                    )
+    return report
+
+
+def _check_path(mapping, use_case, flow, allocation, report) -> None:
+    """Path contiguity and endpoint consistency with the shared core mapping."""
+    path = allocation.switch_path
+    topology = mapping.topology
+    expected_source = mapping.core_mapping.get(flow.source)
+    expected_destination = mapping.core_mapping.get(flow.destination)
+    if expected_source is None or path[0] != expected_source:
+        report.violations.append(
+            Violation(use_case, flow.source, flow.destination, "path",
+                      f"path starts at switch {path[0]} but core {flow.source!r} "
+                      f"is mapped to {expected_source}")
+        )
+    if expected_destination is None or path[-1] != expected_destination:
+        report.violations.append(
+            Violation(use_case, flow.source, flow.destination, "path",
+                      f"path ends at switch {path[-1]} but core {flow.destination!r} "
+                      f"is mapped to {expected_destination}")
+        )
+    for here, there in zip(path, path[1:]):
+        if not topology.has_link(here, there):
+            report.violations.append(
+                Violation(use_case, flow.source, flow.destination, "path",
+                          f"path uses missing link ({here}, {there})")
+            )
+
+
+def _check_bandwidth(flow, allocation, slot_bandwidth, report) -> None:
+    """Slot reservations must cover the flow bandwidth on every traversed link."""
+    if flow.traffic_class != TrafficClass.GUARANTEED or allocation.hop_count == 0:
+        return
+    for link in allocation.links:
+        slots = allocation.link_slots.get(link, ())
+        provided = len(slots) * slot_bandwidth
+        if provided + 1e-9 < flow.bandwidth:
+            report.violations.append(
+                Violation(allocation.use_case, flow.source, flow.destination, "bandwidth",
+                          f"link {link} provides {provided:.3g} B/s over {len(slots)} slot(s) "
+                          f"but the flow needs {flow.bandwidth:.3g} B/s")
+            )
+
+
+def _check_latency(params, use_case, flow, allocation, report) -> None:
+    """Analytical worst-case latency must meet the flow's constraint."""
+    if flow.traffic_class != TrafficClass.GUARANTEED:
+        return
+    slots = allocation.slots_per_link
+    if allocation.hop_count > 0 and slots == 0:
+        report.violations.append(
+            Violation(use_case, flow.source, flow.destination, "slots",
+                      "GT flow traverses links but owns no slots")
+        )
+        return
+    bound = worst_case_latency(allocation.hop_count, max(slots, 1), params)
+    if bound > flow.latency + 1e-12:
+        report.violations.append(
+            Violation(use_case, flow.source, flow.destination, "latency",
+                      f"worst-case latency {bound:.3g} s exceeds the constraint "
+                      f"{flow.latency:.3g} s")
+        )
+
+
+def _check_capacity(mapping, use_case, configuration, capacity, report) -> None:
+    """Per-link and per-core aggregate bandwidth within one use-case."""
+    for link, load in configuration.link_loads().items():
+        if load > capacity + 1e-6:
+            report.violations.append(
+                Violation(use_case, "*", "*", "capacity",
+                          f"link {link} carries {load:.3g} B/s which exceeds the "
+                          f"capacity {capacity:.3g} B/s")
+            )
+    egress, ingress = configuration.core_loads()
+    for core, load in egress.items():
+        if load > capacity + 1e-6:
+            report.violations.append(
+                Violation(use_case, core, "*", "capacity",
+                          f"core {core!r} sources {load:.3g} B/s which exceeds its NI "
+                          f"injection capacity {capacity:.3g} B/s")
+            )
+    for core, load in ingress.items():
+        if load > capacity + 1e-6:
+            report.violations.append(
+                Violation(use_case, "*", core, "capacity",
+                          f"core {core!r} sinks {load:.3g} B/s which exceeds its NI "
+                          f"ejection capacity {capacity:.3g} B/s")
+            )
+
+
+def _check_slot_conflicts(mapping, report) -> None:
+    """No two flows of one configuration group may own the same slot on a link."""
+    group_of = {}
+    for index, group in enumerate(mapping.groups):
+        for name in group:
+            group_of[name] = index
+    # (group, link, slot) -> flow key
+    owners: Dict[Tuple[int, tuple, int], Tuple[str, str, str]] = {}
+    for name, configuration in mapping.configurations.items():
+        group_id = group_of.get(name, -1)
+        for allocation in configuration:
+            flow_key = (name, allocation.flow.source, allocation.flow.destination)
+            for link, slots in allocation.link_slots.items():
+                for slot in slots:
+                    key = (group_id, link, slot)
+                    existing = owners.get(key)
+                    if existing is None:
+                        owners[key] = flow_key
+                        continue
+                    # Same core pair shared across group members is the
+                    # intended configuration sharing, not a conflict.
+                    if existing[1:] == flow_key[1:]:
+                        continue
+                    report.violations.append(
+                        Violation(name, allocation.flow.source, allocation.flow.destination,
+                                  "slot-conflict",
+                                  f"slot {slot} on link {link} is owned by both "
+                                  f"{existing} and {flow_key} within group {group_id}")
+                    )

@@ -1,0 +1,29 @@
+"""Area and power models, DVS/DFS analysis and area-frequency trade-offs.
+
+* :mod:`repro.power.area` — parametric 0.13 µm switch/NI area model (the
+  stand-in for the paper's layout-back-annotated numbers).
+* :mod:`repro.power.energy` — bit-energy power model for switches and links.
+* :mod:`repro.power.dvfs` — dynamic voltage/frequency scaling analysis
+  (paper §6.4): per-use-case minimum frequency and the resulting power
+  savings under the conservative V² ∝ f scaling model.
+* :mod:`repro.power.pareto` — area-frequency trade-off sweeps (paper §6.3).
+"""
+
+from repro.power.area import AreaModel, noc_area, switch_area
+from repro.power.energy import PowerModel, noc_power
+from repro.power.dvfs import DvfsAnalysis, DvfsResult, analyze_dvfs
+from repro.power.pareto import ParetoPoint, area_frequency_tradeoff, pareto_front
+
+__all__ = [
+    "AreaModel",
+    "switch_area",
+    "noc_area",
+    "PowerModel",
+    "noc_power",
+    "DvfsAnalysis",
+    "DvfsResult",
+    "analyze_dvfs",
+    "ParetoPoint",
+    "area_frequency_tradeoff",
+    "pareto_front",
+]

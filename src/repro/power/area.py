@@ -1,0 +1,111 @@
+"""Parametric switch / NoC area model (0.13 µm class).
+
+The paper takes switch areas "from layouts with back-annotated worst-case
+timing in 0.13 µm technology" and reports the NoC area as the sum of the
+switch areas (network-interface area is counted as part of the core area).
+We cannot reproduce the layouts, so this module provides a parametric model
+calibrated to the published Æthereal figures for that technology node:
+a 6-port guaranteed-throughput switch occupies roughly 0.17-0.20 mm² at
+500 MHz.
+
+The model captures the two first-order effects the Pareto study (Figure 7a)
+relies on:
+
+* area grows super-linearly with the switch port count (the crossbar is
+  O(ports²), buffering and slot tables are O(ports)); and
+* area grows with the target clock frequency (deeper pipelining, larger
+  drivers, more buffering to close timing), roughly linearly over the
+  100 MHz - 2 GHz range of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import MappingResult
+from repro.exceptions import ConfigurationError
+from repro.noc.topology import Topology
+from repro.units import mhz
+
+__all__ = ["AreaModel", "switch_area", "noc_area"]
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Coefficients of the parametric switch area model.
+
+    ``area(ports, f) = (base + linear*ports + quadratic*ports²) * (1 + slope*(f - f_ref)/f_ref)``
+
+    with all areas in mm² and frequencies in Hz.  The defaults are calibrated
+    so that a 6-port switch at the 500 MHz reference point costs ~0.17 mm²,
+    matching the published Æthereal 0.13 µm figures.
+    """
+
+    base_mm2: float = 0.010
+    per_port_mm2: float = 0.009
+    per_port2_mm2: float = 0.003
+    frequency_slope: float = 0.55
+    reference_frequency_hz: float = mhz(500)
+    minimum_scale: float = 0.45
+
+    def __post_init__(self) -> None:
+        if min(self.base_mm2, self.per_port_mm2, self.per_port2_mm2) < 0:
+            raise ConfigurationError("area coefficients must be non-negative")
+        if self.reference_frequency_hz <= 0:
+            raise ConfigurationError("reference frequency must be positive")
+        if not 0 < self.minimum_scale <= 1:
+            raise ConfigurationError("minimum_scale must be in (0, 1]")
+
+    def switch_area(self, ports: int, frequency_hz: float) -> float:
+        """Area (mm²) of one switch with ``ports`` ports at ``frequency_hz``."""
+        if ports <= 0:
+            raise ConfigurationError(f"port count must be positive, got {ports}")
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+        structural = (
+            self.base_mm2
+            + self.per_port_mm2 * ports
+            + self.per_port2_mm2 * ports * ports
+        )
+        relative = (frequency_hz - self.reference_frequency_hz) / self.reference_frequency_hz
+        scale = max(self.minimum_scale, 1.0 + self.frequency_slope * relative)
+        return structural * scale
+
+    def topology_area(self, topology: Topology, frequency_hz: float) -> float:
+        """Total switch area (mm²) of a topology at one operating frequency."""
+        return sum(
+            self.switch_area(topology.port_count(switch.index), frequency_hz)
+            for switch in topology.switches
+        )
+
+    def mapping_area(self, result: MappingResult) -> float:
+        """Total switch area (mm²) of a mapping result at its own frequency."""
+        return self.topology_area(result.topology, result.params.frequency_hz)
+
+
+#: Module-level default model used by the convenience functions below.
+DEFAULT_AREA_MODEL = AreaModel()
+
+
+def switch_area(ports: int, frequency_hz: float, model: AreaModel | None = None) -> float:
+    """Area (mm²) of a single switch under the default (or given) area model."""
+    return (model or DEFAULT_AREA_MODEL).switch_area(ports, frequency_hz)
+
+
+def noc_area(
+    topology_or_result: Topology | MappingResult,
+    frequency_hz: float | None = None,
+    model: AreaModel | None = None,
+) -> float:
+    """Total NoC switch area (mm²) of a topology or mapping result.
+
+    When a :class:`MappingResult` is given its own operating frequency is
+    used unless ``frequency_hz`` overrides it.
+    """
+    chosen = model or DEFAULT_AREA_MODEL
+    if isinstance(topology_or_result, MappingResult):
+        frequency = frequency_hz or topology_or_result.params.frequency_hz
+        return chosen.topology_area(topology_or_result.topology, frequency)
+    if frequency_hz is None:
+        raise ConfigurationError("frequency_hz is required when passing a bare topology")
+    return chosen.topology_area(topology_or_result, frequency_hz)

@@ -1,0 +1,138 @@
+"""Bit-energy power model for the NoC.
+
+The NoC power has two components:
+
+* **traffic (dynamic) power** — every byte moved through a switch or over a
+  link costs energy.  For a flow of bandwidth ``bw`` traversing ``h``
+  inter-switch links the model charges
+  ``bw * (h+1) * E_switch + bw * h * E_link`` (it crosses ``h+1`` switches
+  and ``h`` links; same-switch flows cross one switch).
+* **clock / idle power** — slot tables, arbiters and clock trees burn power
+  whether or not traffic flows; this scales with the number of switch ports
+  and the clock frequency.
+
+Voltage enters through the paper's conservative DVS model (V² ∝ f): traffic
+energy per byte scales with V² (∝ f / f_nominal) and idle power scales with
+f·V² (∝ f² / f_nominal²).  The absolute coefficients are calibrated to the
+0.13 µm Æthereal class (a few mW per switch of idle power at 500 MHz, a few
+pJ per byte per hop); only relative numbers matter for reproducing the
+paper's savings percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.result import MappingResult, UseCaseConfiguration
+from repro.exceptions import ConfigurationError
+from repro.noc.topology import Topology
+from repro.units import mhz
+
+__all__ = ["PowerModel", "noc_power"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Coefficients of the NoC power model."""
+
+    #: Energy per byte through one switch at the nominal voltage (joules).
+    switch_energy_per_byte: float = 6.0e-12
+    #: Energy per byte over one inter-switch link at nominal voltage (joules).
+    link_energy_per_byte: float = 3.0e-12
+    #: Idle/clock power per switch port at the nominal operating point (watts).
+    idle_power_per_port: float = 1.2e-3
+    #: Nominal frequency the idle power is quoted at.
+    nominal_frequency_hz: float = mhz(500)
+
+    def __post_init__(self) -> None:
+        if min(self.switch_energy_per_byte, self.link_energy_per_byte,
+               self.idle_power_per_port) < 0:
+            raise ConfigurationError("power coefficients must be non-negative")
+        if self.nominal_frequency_hz <= 0:
+            raise ConfigurationError("nominal frequency must be positive")
+
+    # ------------------------------------------------------------------ #
+    # scaling laws
+    # ------------------------------------------------------------------ #
+    def voltage_scale(self, frequency_hz: float) -> float:
+        """V² relative to nominal, under the paper's V² ∝ f scaling."""
+        if frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+        return frequency_hz / self.nominal_frequency_hz
+
+    def traffic_power(
+        self,
+        configuration: UseCaseConfiguration,
+        frequency_hz: Optional[float] = None,
+    ) -> float:
+        """Dynamic power (W) of one use-case's traffic at nominal voltage/frequency.
+
+        When ``frequency_hz`` is given, the traffic energy per byte is scaled
+        by V²(f)/V²(nominal) — the data moved per second is fixed by the
+        use-case, only the energy per byte changes with the voltage.
+        """
+        scale = 1.0 if frequency_hz is None else self.voltage_scale(frequency_hz)
+        power = 0.0
+        for allocation in configuration:
+            bandwidth = allocation.flow.bandwidth
+            hops = allocation.hop_count
+            power += bandwidth * (hops + 1) * self.switch_energy_per_byte
+            power += bandwidth * hops * self.link_energy_per_byte
+        return power * scale
+
+    def idle_power(self, topology: Topology, frequency_hz: float) -> float:
+        """Clock/idle power (W) of the whole NoC at a given frequency.
+
+        Scales with f · V² ∝ f² under the conservative DVS model.
+        """
+        ports = sum(topology.port_count(sw.index) for sw in topology.switches)
+        ratio = frequency_hz / self.nominal_frequency_hz
+        return self.idle_power_per_port * ports * ratio * self.voltage_scale(frequency_hz)
+
+    def use_case_power(
+        self,
+        result: MappingResult,
+        use_case: str,
+        frequency_hz: Optional[float] = None,
+    ) -> float:
+        """Total NoC power (W) while one use-case runs at the given frequency."""
+        frequency = frequency_hz or result.params.frequency_hz
+        configuration = result.configuration(use_case)
+        return self.traffic_power(configuration, frequency) + self.idle_power(
+            result.topology, frequency
+        )
+
+    def average_power(
+        self,
+        result: MappingResult,
+        frequencies: Optional[dict] = None,
+    ) -> float:
+        """Average NoC power (W) over all use-cases (equal dwell time each).
+
+        ``frequencies`` optionally maps use-case name to the frequency the
+        NoC runs at while that use-case is active (the DVS/DFS scenario);
+        without it every use-case runs at the design frequency.
+        """
+        names = list(result.configurations)
+        if not names:
+            return 0.0
+        total = 0.0
+        for name in names:
+            frequency = None if frequencies is None else frequencies.get(name)
+            total += self.use_case_power(result, name, frequency)
+        return total / len(names)
+
+
+#: Module-level default model used by the convenience function below.
+DEFAULT_POWER_MODEL = PowerModel()
+
+
+def noc_power(
+    result: MappingResult,
+    use_case: str,
+    frequency_hz: Optional[float] = None,
+    model: PowerModel | None = None,
+) -> float:
+    """Power (W) of the NoC while one use-case runs (default model)."""
+    return (model or DEFAULT_POWER_MODEL).use_case_power(result, use_case, frequency_hz)

@@ -1,0 +1,108 @@
+"""Area-frequency trade-off sweeps (paper §6.3, Figure 7a).
+
+Raising the NoC clock frequency raises every link's bandwidth, so a smaller
+network (fewer switches) can satisfy the same set of use-cases — at the
+price of higher power and harder timing closure.  Lowering the frequency
+forces a larger network (or makes the design infeasible once a single NI
+link can no longer carry a single core's traffic).
+
+:func:`area_frequency_tradeoff` sweeps the operating frequency, re-runs the
+multi-use-case mapper at each point and records the resulting switch count
+and total switch area; :func:`pareto_front` extracts the Pareto-optimal
+(frequency, area) points a designer would choose from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.mapping import UnifiedMapper
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import MappingError
+from repro.params import MapperConfig, NoCParameters
+from repro.power.area import AreaModel
+from repro.units import mhz
+
+__all__ = ["ParetoPoint", "area_frequency_tradeoff", "pareto_front", "default_frequency_sweep"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the area-frequency trade-off curve."""
+
+    frequency_hz: float
+    feasible: bool
+    switch_count: int = 0
+    area_mm2: float = float("inf")
+    mesh_dimensions: Optional[Tuple[int, int]] = None
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Frequency in MHz for reporting."""
+        return self.frequency_hz / 1e6
+
+
+def default_frequency_sweep() -> Tuple[float, ...]:
+    """The frequency grid of Figure 7a (roughly 100 MHz to 2 GHz)."""
+    return tuple(
+        mhz(value)
+        for value in (100, 150, 200, 250, 300, 350, 400, 500, 650, 800, 1000, 1250, 1500, 1750, 2000)
+    )
+
+
+def area_frequency_tradeoff(
+    use_cases: UseCaseSet,
+    frequencies: Sequence[float] | None = None,
+    params: NoCParameters | None = None,
+    config: MapperConfig | None = None,
+    groups=None,
+    area_model: AreaModel | None = None,
+) -> List[ParetoPoint]:
+    """Map a design at every frequency of the sweep and record area/size.
+
+    Infeasible operating points (no topology within the configured limit can
+    satisfy the constraints, typically because a single link is too slow for
+    the largest flow or the busiest NI) are recorded with
+    ``feasible=False`` so the curve shows where the design space ends.
+    """
+    base_params = params or NoCParameters()
+    mapper_config = config or MapperConfig()
+    model = area_model or AreaModel()
+    points: List[ParetoPoint] = []
+    for frequency in frequencies or default_frequency_sweep():
+        point_params = replace(base_params, frequency_hz=frequency)
+        mapper = UnifiedMapper(params=point_params, config=mapper_config)
+        try:
+            result = mapper.map(use_cases, groups=groups)
+        except MappingError:
+            points.append(ParetoPoint(frequency_hz=frequency, feasible=False))
+            continue
+        points.append(
+            ParetoPoint(
+                frequency_hz=frequency,
+                feasible=True,
+                switch_count=result.switch_count,
+                area_mm2=model.mapping_area(result),
+                mesh_dimensions=result.mesh_dimensions,
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """The Pareto-optimal subset: no other point has both lower frequency and lower area."""
+    feasible = [point for point in points if point.feasible]
+    front: List[ParetoPoint] = []
+    for candidate in feasible:
+        dominated = any(
+            other.frequency_hz <= candidate.frequency_hz
+            and other.area_mm2 <= candidate.area_mm2
+            and (other.frequency_hz, other.area_mm2)
+            != (candidate.frequency_hz, candidate.area_mm2)
+            for other in feasible
+        )
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda point: point.frequency_hz)
+    return front

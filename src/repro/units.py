@@ -1,0 +1,99 @@
+"""Unit conventions and conversion helpers used throughout the library.
+
+The paper quotes bandwidths in MB/s, frequencies in MHz and link widths in
+bits.  Internally the library uses a single consistent set of base units so
+that arithmetic never needs unit-juggling:
+
+* bandwidth           — bytes per second (B/s)
+* frequency           — hertz (Hz)
+* latency             — seconds (s)
+* link width          — bits
+* area                — square millimetres (mm^2)
+* power               — watts (W)
+* energy              — joules (J)
+
+The helpers below convert between the paper-facing units (MB/s, MHz, ns, ...)
+and the internal base units.  They are deliberately trivial functions rather
+than a unit-type system: the guide-recommended "most straightforward way"
+keeps every call site readable (``mbps(200)`` reads exactly like the paper's
+"200 MB/s").
+"""
+
+from __future__ import annotations
+
+#: Bytes per megabyte — the paper uses decimal MB (10^6 bytes).
+BYTES_PER_MB = 1_000_000.0
+
+#: Hertz per megahertz.
+HZ_PER_MHZ = 1_000_000.0
+
+#: Hertz per gigahertz.
+HZ_PER_GHZ = 1_000_000_000.0
+
+#: Seconds per nanosecond.
+SECONDS_PER_NS = 1e-9
+
+#: Seconds per microsecond.
+SECONDS_PER_US = 1e-6
+
+#: Seconds per millisecond.
+SECONDS_PER_MS = 1e-3
+
+
+def mbps(value: float) -> float:
+    """Convert a bandwidth in MB/s (paper units) to bytes/s (internal units)."""
+    return float(value) * BYTES_PER_MB
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert a bandwidth in bytes/s back to MB/s for reporting."""
+    return float(bytes_per_second) / BYTES_PER_MB
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency in MHz to Hz."""
+    return float(value) * HZ_PER_MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency in GHz to Hz."""
+    return float(value) * HZ_PER_GHZ
+
+
+def to_mhz(hertz: float) -> float:
+    """Convert a frequency in Hz back to MHz for reporting."""
+    return float(hertz) / HZ_PER_MHZ
+
+
+def ns(value: float) -> float:
+    """Convert a latency in nanoseconds to seconds."""
+    return float(value) * SECONDS_PER_NS
+
+
+def us(value: float) -> float:
+    """Convert a latency in microseconds to seconds."""
+    return float(value) * SECONDS_PER_US
+
+
+def ms(value: float) -> float:
+    """Convert a latency in milliseconds to seconds."""
+    return float(value) * SECONDS_PER_MS
+
+
+def to_ns(seconds: float) -> float:
+    """Convert a latency in seconds back to nanoseconds for reporting."""
+    return float(seconds) / SECONDS_PER_NS
+
+
+def link_capacity(frequency_hz: float, link_width_bits: int) -> float:
+    """Raw capacity of a NoC link in bytes/s.
+
+    A link transfers ``link_width_bits`` bits per cycle, so its capacity is
+    ``frequency * width / 8`` bytes per second.  The paper's reference
+    configuration (500 MHz, 32-bit links) therefore offers 2 GB/s per link.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    if link_width_bits <= 0:
+        raise ValueError(f"link width must be positive, got {link_width_bits}")
+    return frequency_hz * link_width_bits / 8.0

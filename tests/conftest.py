@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Core,
+    Flow,
+    MapperConfig,
+    NoCParameters,
+    UnifiedMapper,
+    UseCase,
+    UseCaseSet,
+)
+from repro.units import mbps, us
+
+
+@pytest.fixture
+def params() -> NoCParameters:
+    """The paper's reference operating point (500 MHz, 32-bit links)."""
+    return NoCParameters()
+
+
+@pytest.fixture
+def config() -> MapperConfig:
+    """Default mapper configuration."""
+    return MapperConfig()
+
+
+@pytest.fixture
+def figure5_use_cases() -> UseCaseSet:
+    """The small 4-core, 2-use-case example of the paper's Figure 5."""
+    uc1 = UseCase(
+        "uc1",
+        flows=[
+            Flow("C1", "C2", mbps(10)),
+            Flow("C2", "C3", mbps(75)),
+            Flow("C3", "C4", mbps(100)),
+        ],
+    )
+    uc2 = UseCase(
+        "uc2",
+        flows=[
+            Flow("C1", "C2", mbps(42)),
+            Flow("C2", "C3", mbps(11)),
+            Flow("C3", "C4", mbps(52)),
+        ],
+    )
+    return UseCaseSet([uc1, uc2], name="figure5")
+
+
+@pytest.fixture
+def video_use_cases() -> UseCaseSet:
+    """The two filter-pipeline use-cases of the paper's Figure 2."""
+    uc1 = UseCase(
+        "use-case-1",
+        flows=[
+            Flow("input", "filter 1", mbps(100)),
+            Flow("filter 1", "mem1", mbps(50)),
+            Flow("mem1", "filter 2", mbps(50)),
+            Flow("filter 2", "mem2", mbps(200)),
+            Flow("mem2", "filter 3", mbps(150)),
+            Flow("filter 3", "output", mbps(100)),
+            Flow("filter 1", "filter 3", mbps(50)),
+        ],
+    )
+    uc2 = UseCase(
+        "use-case-2",
+        flows=[
+            Flow("input", "filter 1", mbps(100)),
+            Flow("filter 1", "mem1", mbps(50)),
+            Flow("mem1", "filter 2", mbps(50)),
+            Flow("filter 2", "mem2", mbps(50)),
+            Flow("mem2", "filter 3", mbps(200)),
+            Flow("filter 3", "output", mbps(150)),
+            Flow("filter 1", "filter 3", mbps(50)),
+            Flow("filter 2", "filter 3", mbps(50)),
+        ],
+    )
+    return UseCaseSet([uc1, uc2], name="figure2")
+
+
+@pytest.fixture
+def heavy_core_use_case() -> UseCaseSet:
+    """A use-case whose hub core needs most of one NI link's capacity."""
+    flows = [Flow(f"src{i}", "hub", mbps(300), latency=us(500)) for i in range(6)]
+    return UseCaseSet([UseCase("heavy", flows=flows)], name="heavy")
+
+
+@pytest.fixture
+def figure5_mapping(figure5_use_cases, params, config):
+    """A mapping of the Figure 5 example with the default configuration."""
+    return UnifiedMapper(params=params, config=config).map(figure5_use_cases)

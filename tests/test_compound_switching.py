@@ -1,0 +1,166 @@
+"""Tests for compound-mode generation (phase 1) and use-case grouping (phase 2)."""
+
+import pytest
+
+from repro import (
+    CompoundModeSpec,
+    Flow,
+    SpecificationError,
+    SwitchingGraph,
+    UseCase,
+    UseCaseSet,
+    generate_compound_modes,
+    group_use_cases,
+)
+from repro.core.compound import merge_use_cases
+from repro.units import mbps, us
+
+
+def _simple_set():
+    uc1 = UseCase("u1", flows=[Flow("a", "b", mbps(10), latency=us(100))])
+    uc2 = UseCase("u2", flows=[Flow("a", "b", mbps(20), latency=us(50)),
+                               Flow("b", "c", mbps(5))])
+    uc3 = UseCase("u3", flows=[Flow("c", "a", mbps(7))])
+    return UseCaseSet([uc1, uc2, uc3], name="simple")
+
+
+# --------------------------------------------------------------------------- #
+# compound modes
+# --------------------------------------------------------------------------- #
+def test_compound_spec_requires_two_members():
+    with pytest.raises(SpecificationError):
+        CompoundModeSpec(["u1"])
+
+
+def test_compound_spec_default_name_and_dedup():
+    spec = CompoundModeSpec(["u1", "u2", "u1"])
+    assert spec.members == ("u1", "u2")
+    assert spec.name == "u1+u2"
+
+
+def test_merge_sums_bandwidth_and_takes_min_latency():
+    ucs = _simple_set()
+    merged = merge_use_cases([ucs["u1"], ucs["u2"]], name="u12")
+    flow = merged.flow_between("a", "b")
+    assert flow.bandwidth == pytest.approx(mbps(30))
+    assert flow.latency == pytest.approx(us(50))
+    # The non-overlapping flow is carried over unchanged.
+    assert merged.flow_between("b", "c").bandwidth == pytest.approx(mbps(5))
+    assert merged.parents == ("u1", "u2")
+
+
+def test_merge_empty_collection_rejected():
+    with pytest.raises(SpecificationError):
+        merge_use_cases([], name="x")
+
+
+def test_generate_compound_modes_adds_new_use_cases():
+    ucs = _simple_set()
+    expanded, generated = generate_compound_modes(ucs, [CompoundModeSpec(["u1", "u2"])])
+    assert len(expanded) == 4
+    assert len(generated) == 1
+    assert generated[0].name == "u1+u2"
+    assert generated[0].is_compound
+    # The original set is untouched.
+    assert len(ucs) == 3
+
+
+def test_generate_compound_modes_unknown_member():
+    ucs = _simple_set()
+    with pytest.raises(SpecificationError):
+        generate_compound_modes(ucs, [CompoundModeSpec(["u1", "zz"])])
+
+
+def test_generate_compound_modes_name_collision():
+    ucs = _simple_set()
+    with pytest.raises(SpecificationError):
+        generate_compound_modes(ucs, [CompoundModeSpec(["u1", "u2"], name="u3")])
+
+
+# --------------------------------------------------------------------------- #
+# switching graph / Algorithm 1
+# --------------------------------------------------------------------------- #
+def test_groups_default_to_singletons():
+    ucs = _simple_set()
+    groups = group_use_cases(ucs)
+    assert len(groups) == 3
+    assert all(len(group) == 1 for group in groups)
+
+
+def test_explicit_smooth_pair_groups_use_cases():
+    ucs = _simple_set()
+    groups = group_use_cases(ucs, smooth_pairs=[("u1", "u2")])
+    assert frozenset({"u1", "u2"}) in groups
+    assert frozenset({"u3"}) in groups
+
+
+def test_compound_members_share_configuration_automatically():
+    ucs = _simple_set()
+    expanded, _ = generate_compound_modes(ucs, [CompoundModeSpec(["u1", "u2"])])
+    graph = SwitchingGraph.from_use_case_set(expanded)
+    assert graph.shares_configuration("u1", "u1+u2")
+    assert graph.shares_configuration("u2", "u1+u2")
+    # ... and therefore, transitively, with each other (Figure 4's Group 1).
+    assert graph.shares_configuration("u1", "u2")
+    assert not graph.shares_configuration("u1", "u3")
+
+
+def test_paper_figure4_grouping():
+    """Reproduce the grouping of Figure 4: 10 use-cases, 4 groups."""
+    names = [f"U{i}" for i in range(1, 9)] + ["U_123", "U_45"]
+    use_cases = UseCaseSet(
+        [UseCase(name, flows=[Flow("x", "y", mbps(1))]) for name in names],
+        name="figure4",
+    )
+    graph = SwitchingGraph.from_use_case_set(
+        use_cases,
+        smooth_pairs=[
+            ("U1", "U_123"), ("U2", "U_123"), ("U3", "U_123"),
+            ("U4", "U_45"), ("U5", "U_45"),
+            ("U6", "U7"),
+        ],
+        include_compound_members=False,
+    )
+    groups = {frozenset(group) for group in graph.groups()}
+    assert frozenset({"U1", "U2", "U3", "U_123"}) in groups
+    assert frozenset({"U4", "U5", "U_45"}) in groups
+    assert frozenset({"U6", "U7"}) in groups
+    assert frozenset({"U8"}) in groups
+    assert len(groups) == 4
+
+
+def test_switching_graph_rejects_self_edge():
+    graph = SwitchingGraph(["u1"])
+    with pytest.raises(SpecificationError):
+        graph.require_smooth_switching("u1", "u1")
+
+
+def test_switching_graph_rejects_unknown_use_case_with_known_set():
+    ucs = _simple_set()
+    graph = SwitchingGraph.from_use_case_set(ucs)
+    with pytest.raises(SpecificationError):
+        graph.require_smooth_switching("u1", "zz", known=ucs)
+
+
+def test_group_of_and_group_index():
+    graph = SwitchingGraph(["a", "b", "c"])
+    graph.require_smooth_switching("a", "b")
+    assert graph.group_of("a") == frozenset({"a", "b"})
+    index = graph.group_index()
+    assert index["a"] == index["b"]
+    assert index["c"] != index["a"]
+
+
+def test_group_of_unknown_use_case():
+    graph = SwitchingGraph(["a"])
+    with pytest.raises(SpecificationError):
+        graph.group_of("zz")
+
+
+def test_groups_are_deterministic_order():
+    graph = SwitchingGraph(["a", "b", "c", "d"])
+    graph.require_smooth_switching("c", "d")
+    groups = graph.groups()
+    assert groups[0] == frozenset({"a"})
+    assert groups[1] == frozenset({"b"})
+    assert groups[2] == frozenset({"c", "d"})

@@ -1,0 +1,226 @@
+"""Tests for the benchmark generators (clusters, synthetic Sp/Bot, SoC designs)."""
+
+import random
+
+import pytest
+
+from repro import SpecificationError, UnifiedMapper
+from repro.gen import (
+    BottleneckBenchmark,
+    SpreadBenchmark,
+    TrafficCluster,
+    default_video_clusters,
+    generate_benchmark,
+    set_top_box_design,
+    standard_designs,
+    tv_processor_design,
+)
+from repro.gen.clusters import pick_cluster
+from repro.units import mbps, to_mbps, us
+
+
+# --------------------------------------------------------------------------- #
+# clusters
+# --------------------------------------------------------------------------- #
+def test_default_clusters_cover_paper_classes():
+    clusters = default_video_clusters()
+    names = {cluster.name for cluster in clusters}
+    assert {"hd_video", "sd_video", "audio", "control"} <= names
+    bandwidths = sorted(cluster.bandwidth for cluster in clusters)
+    assert bandwidths[0] < mbps(5)          # control / audio are light
+    assert bandwidths[-1] >= mbps(100)      # HD video is heavy
+    control = next(cluster for cluster in clusters if cluster.name == "control")
+    assert control.latency <= us(10)        # control is latency critical
+
+
+def test_cluster_sampling_within_deviation():
+    cluster = TrafficCluster("x", bandwidth=mbps(100), deviation=0.2,
+                             latency=us(100), weight=1.0)
+    rng = random.Random(0)
+    for _ in range(100):
+        value = cluster.sample_bandwidth(rng)
+        assert mbps(80) - 1 <= value <= mbps(120) + 1
+
+
+def test_cluster_validation():
+    with pytest.raises(SpecificationError):
+        TrafficCluster("x", bandwidth=0, deviation=0.1, latency=us(1), weight=1)
+    with pytest.raises(SpecificationError):
+        TrafficCluster("x", bandwidth=1, deviation=1.5, latency=us(1), weight=1)
+    with pytest.raises(SpecificationError):
+        pick_cluster([], random.Random(0))
+
+
+def test_pick_cluster_respects_weights():
+    heavy = TrafficCluster("heavy", mbps(10), 0.1, us(1), weight=99.0)
+    light = TrafficCluster("light", mbps(1), 0.1, us(1), weight=1.0)
+    rng = random.Random(1)
+    picks = [pick_cluster([heavy, light], rng).name for _ in range(200)]
+    assert picks.count("heavy") > 150
+
+
+# --------------------------------------------------------------------------- #
+# synthetic benchmarks
+# --------------------------------------------------------------------------- #
+def test_spread_benchmark_structure():
+    benchmark = SpreadBenchmark(core_count=20, use_case_count=3,
+                                flows_per_use_case=(60, 100), seed=5)
+    use_cases = benchmark.generate()
+    assert len(use_cases) == 3
+    assert len(use_cases.all_cores()) == 20
+    for use_case in use_cases:
+        assert 60 <= len(use_case) <= 100
+        degree = {}
+        for flow in use_case:
+            degree[flow.source] = degree.get(flow.source, 0) + 1
+        assert max(degree.values()) <= benchmark.max_partners
+
+
+def test_spread_benchmark_is_deterministic():
+    first = SpreadBenchmark(use_case_count=2, seed=7).generate()
+    second = SpreadBenchmark(use_case_count=2, seed=7).generate()
+    for name in first.names:
+        assert set(f.pair for f in first[name]) == set(f.pair for f in second[name])
+        assert first[name].total_bandwidth() == pytest.approx(second[name].total_bandwidth())
+
+
+def test_spread_benchmark_seed_changes_traffic():
+    first = SpreadBenchmark(use_case_count=2, seed=1).generate()
+    second = SpreadBenchmark(use_case_count=2, seed=2).generate()
+    pairs_first = {f.pair for f in first[first.names[0]]}
+    pairs_second = {f.pair for f in second[second.names[0]]}
+    assert pairs_first != pairs_second
+
+
+def test_bottleneck_benchmark_hubs_attract_most_traffic():
+    benchmark = BottleneckBenchmark(core_count=20, use_case_count=2, seed=5)
+    use_cases = benchmark.generate()
+    hubs = set(benchmark.hub_names())
+    for use_case in use_cases:
+        hub_flows = [flow for flow in use_case if set(flow.pair) & hubs]
+        assert len(hub_flows) >= 0.5 * len(use_case)
+    # Hub cores are labelled as memories.
+    kinds = {core.name: core.kind for core in use_cases.all_cores()}
+    assert all(kinds[name] == "memory" for name in hubs)
+
+
+def test_per_core_load_respects_feasibility_cap():
+    benchmark = BottleneckBenchmark(core_count=20, use_case_count=4, seed=9)
+    use_cases = benchmark.generate()
+    cap = benchmark.max_core_load
+    for use_case in use_cases:
+        egress, ingress = {}, {}
+        for flow in use_case:
+            egress[flow.source] = egress.get(flow.source, 0) + flow.bandwidth
+            ingress[flow.destination] = ingress.get(flow.destination, 0) + flow.bandwidth
+        assert max(egress.values()) <= cap * 1.0001
+        assert max(ingress.values()) <= cap * 1.0001
+
+
+def test_cluster_per_pair_is_stable_across_use_cases():
+    benchmark = SpreadBenchmark(core_count=10, use_case_count=6,
+                                flows_per_use_case=(30, 40), seed=11)
+    use_cases = benchmark.generate()
+    # A pair appearing in several use-cases keeps the same traffic class, so
+    # its bandwidths stay within one cluster's range (max/min ratio bounded).
+    by_pair = {}
+    for use_case in use_cases:
+        for flow in use_case:
+            by_pair.setdefault(flow.pair, []).append(flow.bandwidth)
+    multi = {pair: values for pair, values in by_pair.items() if len(values) >= 3}
+    assert multi, "expected at least one recurring pair"
+    for values in multi.values():
+        assert max(values) / min(values) < 2.5
+
+
+def test_generate_benchmark_kinds_and_validation():
+    assert len(generate_benchmark("sp", 2, seed=1)) == 2
+    assert len(generate_benchmark("bot", 2, seed=1)) == 2
+    with pytest.raises(SpecificationError):
+        generate_benchmark("unknown", 2)
+
+
+def test_synthetic_benchmark_parameter_validation():
+    with pytest.raises(SpecificationError):
+        SpreadBenchmark(core_count=1)
+    with pytest.raises(SpecificationError):
+        SpreadBenchmark(use_case_count=0)
+    with pytest.raises(SpecificationError):
+        SpreadBenchmark(flows_per_use_case=(0, 10))
+    with pytest.raises(SpecificationError):
+        SpreadBenchmark(core_count=5, flows_per_use_case=(10, 100))
+    with pytest.raises(SpecificationError):
+        BottleneckBenchmark(hub_count=0)
+    with pytest.raises(SpecificationError):
+        BottleneckBenchmark(hub_fraction=0.0)
+
+
+def test_synthetic_use_cases_are_individually_mappable():
+    """Every generated use-case must be feasible on its own (paper's premise)."""
+    use_cases = generate_benchmark("spread", 2, seed=13)
+    single = use_cases.subset([use_cases.names[0]])
+    result = UnifiedMapper().map(single)
+    assert result.switch_count >= 1
+
+
+# --------------------------------------------------------------------------- #
+# SoC designs
+# --------------------------------------------------------------------------- #
+def test_standard_designs_match_paper_use_case_counts():
+    designs = standard_designs()
+    assert set(designs) == {"D1", "D2", "D3", "D4"}
+    assert designs["D1"].use_case_count == 4
+    assert designs["D2"].use_case_count == 20
+    assert designs["D3"].use_case_count == 8
+    assert designs["D4"].use_case_count == 20
+
+
+def test_set_top_box_traffic_is_memory_centric():
+    design = set_top_box_design(use_case_count=4)
+    for use_case in design.use_cases:
+        through_memory = sum(
+            flow.bandwidth for flow in use_case if "ext_mem" in flow.pair
+        )
+        assert through_memory >= 0.6 * use_case.total_bandwidth()
+
+
+def test_tv_processor_traffic_is_spread():
+    design = tv_processor_design(use_case_count=8)
+    for use_case in design.use_cases:
+        egress, ingress = {}, {}
+        for flow in use_case:
+            egress[flow.source] = egress.get(flow.source, 0) + flow.bandwidth
+            ingress[flow.destination] = ingress.get(flow.destination, 0) + flow.bandwidth
+        heaviest = max(max(egress.values()), max(ingress.values()))
+        # No single core dominates a TV-processor use-case the way the
+        # external memory dominates the set-top box (where it exceeds 60 %).
+        assert heaviest <= 0.8 * use_case.total_bandwidth()
+
+
+def test_soc_designs_are_deterministic():
+    first = set_top_box_design(use_case_count=6, seed=3)
+    second = set_top_box_design(use_case_count=6, seed=3)
+    for name in first.use_cases.names:
+        assert first.use_cases[name].total_bandwidth() == pytest.approx(
+            second.use_cases[name].total_bandwidth()
+        )
+
+
+def test_soc_design_properties():
+    design = tv_processor_design(use_case_count=3)
+    assert design.core_count == 20
+    assert design.use_case_count == 3
+    assert "tv" in design.description.lower() or "TV" in design.description
+
+
+def test_soc_design_validation():
+    with pytest.raises(SpecificationError):
+        set_top_box_design(use_case_count=0)
+    with pytest.raises(SpecificationError):
+        tv_processor_design(use_case_count=0)
+
+
+def test_soc_designs_are_mappable():
+    design = set_top_box_design(use_case_count=4)
+    result = UnifiedMapper().map(design.use_cases)
+    assert result.switch_count >= 1

@@ -1,0 +1,261 @@
+"""Tests for the area/power models, DVS/DFS analysis and the analysis sweeps."""
+
+import pytest
+
+from repro import ConfigurationError, MapperConfig, NoCParameters, UnifiedMapper
+from repro.analysis import (
+    compare_methods,
+    minimum_design_frequency,
+    ablation_grouping,
+    ablation_routing_policy,
+    ablation_slot_table_size,
+    ablation_flow_ordering,
+    headline_summary,
+    normalized_switch_count_study,
+    parallel_use_case_study,
+    use_case_count_sweep,
+)
+from repro.gen import generate_benchmark
+from repro.noc.topology import Topology
+from repro.power import (
+    AreaModel,
+    PowerModel,
+    analyze_dvfs,
+    area_frequency_tradeoff,
+    noc_area,
+    pareto_front,
+)
+from repro.power.dvfs import minimum_frequency_for_use_case
+from repro.power.pareto import ParetoPoint
+from repro.units import mhz
+
+
+# --------------------------------------------------------------------------- #
+# area model
+# --------------------------------------------------------------------------- #
+def test_switch_area_calibration_point():
+    model = AreaModel()
+    area = model.switch_area(6, mhz(500))
+    assert 0.1 < area < 0.3  # ~0.17 mm² for a 6-port Æthereal-class switch
+
+
+def test_switch_area_grows_with_ports_and_frequency():
+    model = AreaModel()
+    assert model.switch_area(6, mhz(500)) > model.switch_area(3, mhz(500))
+    assert model.switch_area(5, mhz(1000)) > model.switch_area(5, mhz(500))
+
+
+def test_switch_area_has_floor_at_low_frequency():
+    model = AreaModel()
+    assert model.switch_area(5, mhz(1)) >= model.minimum_scale * (
+        model.base_mm2 + 5 * model.per_port_mm2 + 25 * model.per_port2_mm2
+    ) * 0.999
+
+
+def test_topology_area_sums_switches():
+    model = AreaModel()
+    mesh = Topology.mesh(2, 2)
+    total = model.topology_area(mesh, mhz(500))
+    assert total == pytest.approx(4 * model.switch_area(3, mhz(500)))
+
+
+def test_noc_area_dispatch(figure5_mapping):
+    direct = noc_area(figure5_mapping)
+    via_topology = noc_area(figure5_mapping.topology, figure5_mapping.params.frequency_hz)
+    assert direct == pytest.approx(via_topology)
+    with pytest.raises(ConfigurationError):
+        noc_area(figure5_mapping.topology)
+
+
+def test_area_model_validation():
+    with pytest.raises(ConfigurationError):
+        AreaModel(base_mm2=-1)
+    with pytest.raises(ConfigurationError):
+        AreaModel(minimum_scale=0)
+    with pytest.raises(ConfigurationError):
+        AreaModel().switch_area(0, mhz(500))
+
+
+# --------------------------------------------------------------------------- #
+# power model and DVS/DFS
+# --------------------------------------------------------------------------- #
+def test_traffic_power_scales_with_voltage(figure5_mapping):
+    model = PowerModel()
+    configuration = figure5_mapping.configuration("uc1")
+    nominal = model.traffic_power(configuration)
+    half = model.traffic_power(configuration, frequency_hz=mhz(250))
+    assert half == pytest.approx(nominal * 0.5)
+
+
+def test_idle_power_scales_quadratically_with_frequency():
+    model = PowerModel()
+    mesh = Topology.mesh(2, 2)
+    full = model.idle_power(mesh, mhz(500))
+    half = model.idle_power(mesh, mhz(250))
+    assert half == pytest.approx(full * 0.25)
+
+
+def test_use_case_power_positive_and_monotonic(figure5_mapping):
+    model = PowerModel()
+    low = model.use_case_power(figure5_mapping, "uc1", mhz(200))
+    high = model.use_case_power(figure5_mapping, "uc1", mhz(500))
+    assert 0 < low < high
+
+
+def test_minimum_frequency_for_use_case_below_design(figure5_mapping):
+    frequency = minimum_frequency_for_use_case(figure5_mapping, "uc1")
+    assert 0 < frequency <= figure5_mapping.params.frequency_hz
+
+
+def test_dvfs_analysis_saves_power(figure5_mapping):
+    result = analyze_dvfs(figure5_mapping)
+    assert result.power_with_dvfs <= result.power_without_dvfs
+    assert 0.0 <= result.savings <= 1.0
+    assert result.savings_percent == pytest.approx(100 * result.savings)
+    for name in figure5_mapping.use_case_names:
+        assert result.frequency_of(name) <= figure5_mapping.params.frequency_hz
+
+
+def test_dvfs_groups_share_frequency(figure5_use_cases):
+    result = UnifiedMapper().map(figure5_use_cases, groups=[["uc1", "uc2"]])
+    analysis = analyze_dvfs(result)
+    assert analysis.frequency_of("uc1") == analysis.frequency_of("uc2")
+
+
+def test_power_model_validation():
+    with pytest.raises(ConfigurationError):
+        PowerModel(switch_energy_per_byte=-1)
+    with pytest.raises(ConfigurationError):
+        PowerModel().voltage_scale(0)
+
+
+# --------------------------------------------------------------------------- #
+# area-frequency trade-off (Figure 7a)
+# --------------------------------------------------------------------------- #
+def test_area_frequency_tradeoff_shape(figure5_use_cases):
+    points = area_frequency_tradeoff(
+        figure5_use_cases,
+        frequencies=[mhz(100), mhz(500), mhz(1000)],
+        params=NoCParameters(max_cores_per_switch=2),
+    )
+    assert len(points) == 3
+    feasible = [point for point in points if point.feasible]
+    assert feasible, "expected at least one feasible operating point"
+    # Area never increases as the frequency grows (fewer/cheaper... note the
+    # area model grows with f, but the switch count shrinks or stays equal,
+    # so the *switch count* is monotonically non-increasing).
+    counts = [point.switch_count for point in feasible]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_pareto_front_removes_dominated_points():
+    points = [
+        ParetoPoint(mhz(100), True, 10, 5.0),
+        ParetoPoint(mhz(200), True, 8, 4.0),
+        ParetoPoint(mhz(300), True, 8, 4.5),   # dominated by the 200 MHz point
+        ParetoPoint(mhz(400), False),
+    ]
+    front = pareto_front(points)
+    assert ParetoPoint(mhz(200), True, 8, 4.0) in front
+    assert all(point.feasible for point in front)
+    assert not any(point.frequency_hz == mhz(300) for point in front)
+
+
+# --------------------------------------------------------------------------- #
+# analysis: comparisons, frequency search, sweeps
+# --------------------------------------------------------------------------- #
+def test_compare_methods_reports_ratio(figure5_use_cases):
+    comparison = compare_methods(figure5_use_cases)
+    assert comparison.unified_switches >= 1
+    assert comparison.worst_case_switches >= comparison.unified_switches
+    assert 0 < comparison.normalized_switch_count <= 1.0
+    row = comparison.as_row()
+    assert row["design"] == "figure5"
+    assert row["unified_area_mm2"] > 0
+
+
+def test_compare_methods_handles_worst_case_failure():
+    from repro import Flow, UseCase, UseCaseSet
+    from repro.units import mbps
+
+    use_cases = UseCaseSet(
+        [
+            UseCase(f"u{i}", flows=[Flow(f"s{i}{j}", "hub", mbps(350)) for j in range(4)])
+            for i in range(4)
+        ],
+        name="hub-heavy",
+    )
+    comparison = compare_methods(use_cases)
+    assert comparison.unified is not None
+    assert comparison.worst_case is None
+    assert comparison.normalized_switch_count is None
+
+
+def test_minimum_design_frequency_monotone(figure5_use_cases):
+    low_traffic = minimum_design_frequency(
+        figure5_use_cases, frequencies=[mhz(50), mhz(100), mhz(500)]
+    )
+    assert low_traffic is not None
+    assert low_traffic <= mhz(500)
+
+
+def test_minimum_design_frequency_returns_none_when_impossible(heavy_core_use_case):
+    assert (
+        minimum_design_frequency(heavy_core_use_case, frequencies=[mhz(100)]) is None
+    )
+
+
+def test_use_case_count_sweep_rows():
+    rows = use_case_count_sweep("spread", use_case_counts=(2,), seed=3)
+    assert len(rows) == 1
+    row = rows[0].as_dict()
+    assert row["use_cases"] == 2
+    assert row["unified_switches"] >= 1
+
+
+def test_normalized_switch_count_study_accepts_custom_designs(figure5_use_cases):
+    rows = normalized_switch_count_study({"toy": figure5_use_cases})
+    assert rows[0].label == "toy"
+    assert rows[0]["unified_switches"] >= 1
+
+
+def test_headline_summary_custom_designs(figure5_use_cases, video_use_cases):
+    summary = headline_summary({"toy": figure5_use_cases, "video": video_use_cases})
+    assert set(summary["designs"]) == {"toy", "video"}
+    assert summary["average_dvfs_savings_percent"] is not None
+
+
+def test_parallel_use_case_study_monotone_frequency():
+    rows = parallel_use_case_study(parallelism_levels=(1, 2), use_case_count=4,
+                                   core_count=12, seed=3)
+    frequencies = [row["required_frequency_mhz"] for row in rows]
+    assert all(f is not None for f in frequencies)
+    assert frequencies[0] <= frequencies[1]
+
+
+def test_ablation_grouping_shared_configuration_is_never_smaller(figure5_use_cases):
+    rows = {row.label: row["switch_count"] for row in ablation_grouping(figure5_use_cases)}
+    per_uc = rows["per-use-case-configuration"]
+    shared = rows["single-shared-configuration"]
+    assert per_uc is not None
+    assert shared is None or shared >= per_uc
+
+
+def test_ablation_routing_policy_rows(figure5_use_cases):
+    rows = ablation_routing_policy(figure5_use_cases)
+    assert {row.label for row in rows} == {"xy", "west_first", "minimal", "k_shortest"}
+    assert all(row["switch_count"] is not None for row in rows)
+
+
+def test_ablation_slot_table_size_smaller_tables_never_help(figure5_use_cases):
+    rows = ablation_slot_table_size(figure5_use_cases, sizes=(8, 32))
+    by_size = {row["slot_table_size"]: row["switch_count"] for row in rows}
+    assert by_size[32] is not None
+    if by_size[8] is not None:
+        assert by_size[8] >= by_size[32]
+
+
+def test_ablation_flow_ordering_rows(figure5_use_cases):
+    rows = ablation_flow_ordering(figure5_use_cases)
+    assert len(rows) == 2
+    assert all(row["switch_count"] is not None for row in rows)

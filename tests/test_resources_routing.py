@@ -1,0 +1,273 @@
+"""Tests for per-use-case resource state, routing and deadlock helpers."""
+
+import pytest
+
+from repro import MapperConfig, NoCParameters, ResourceError, RoutingError, TopologyError
+from repro.noc.deadlock import (
+    channel_dependency_graph,
+    is_deadlock_free,
+    is_west_first_path,
+    is_xy_path,
+)
+from repro.noc.resources import INFEASIBLE_COST, ResourceState
+from repro.noc.routing import PathSelector, mesh_minimal_paths, xy_path
+from repro.noc.topology import Topology
+from repro.units import mbps
+
+
+@pytest.fixture
+def mesh():
+    return Topology.mesh(2, 2)
+
+
+@pytest.fixture
+def state(mesh, params):
+    state = ResourceState(mesh, params, name="uc")
+    state.attach_core("a", 0)
+    state.attach_core("b", 3)
+    state.attach_core("c", 1)
+    return state
+
+
+# --------------------------------------------------------------------------- #
+# ResourceState
+# --------------------------------------------------------------------------- #
+def test_initial_residuals_equal_capacity(state, params):
+    for link in state.topology.links:
+        assert state.link_residual(link) == pytest.approx(params.link_capacity)
+    assert state.ingress_residual("a") == pytest.approx(params.link_capacity)
+    assert state.max_link_utilization() == 0.0
+
+
+def test_attach_core_idempotent_and_conflicting(state):
+    state.attach_core("a", 0)  # same switch: fine
+    with pytest.raises(ResourceError):
+        state.attach_core("a", 1)
+
+
+def test_attach_core_respects_switch_limit(mesh):
+    params = NoCParameters(max_cores_per_switch=1)
+    state = ResourceState(mesh, params)
+    state.attach_core("a", 0)
+    with pytest.raises(ResourceError):
+        state.attach_core("b", 0)
+
+
+def test_attach_core_unknown_switch(state):
+    with pytest.raises(TopologyError):
+        state.attach_core("z", 99)
+
+
+def test_reserve_updates_residuals_and_slots(state, params):
+    path = (0, 1, 3)
+    reservation = state.reserve("f1", "a", "b", path, mbps(250))
+    assert state.link_residual((0, 1)) == pytest.approx(params.link_capacity - mbps(250))
+    assert state.ingress_residual("a") == pytest.approx(params.link_capacity - mbps(250))
+    assert state.egress_residual("b") == pytest.approx(params.link_capacity - mbps(250))
+    expected_slots = state.slots_for_bandwidth(mbps(250))
+    assert reservation.slots_per_link == expected_slots
+    assert state.slot_table((0, 1)).used_count == expected_slots
+    # Pipelined: the second link's slots are the first's shifted by one.
+    size = params.slot_table_size
+    first = reservation.link_slots[(0, 1)]
+    second = reservation.link_slots[(1, 3)]
+    assert sorted((slot + 1) % size for slot in first) == sorted(second)
+
+
+def test_release_restores_everything(state, params):
+    reservation = state.reserve("f1", "a", "b", (0, 1, 3), mbps(500))
+    state.release(reservation)
+    assert state.link_residual((0, 1)) == pytest.approx(params.link_capacity)
+    assert state.slot_table((0, 1)).free_count == params.slot_table_size
+    assert state.ingress_residual("a") == pytest.approx(params.link_capacity)
+    with pytest.raises(ResourceError):
+        state.release(reservation)
+
+
+def test_same_switch_reservation_uses_no_links(state):
+    state.attach_core("d", 0)
+    reservation = state.reserve("f1", "a", "d", (0,), mbps(100))
+    assert reservation.hop_count == 0
+    assert reservation.link_slots == {}
+    assert state.max_link_utilization() == 0.0
+
+
+def test_reserve_rejects_overcommitted_bandwidth(state, params):
+    state.reserve("f1", "a", "b", (0, 1, 3), params.link_capacity * 0.9)
+    assert not state.can_reserve("a", "b", (0, 1, 3), params.link_capacity * 0.2)
+    with pytest.raises(ResourceError):
+        state.reserve("f2", "a", "b", (0, 1, 3), params.link_capacity * 0.2)
+
+
+def test_reserve_checks_endpoint_switches(state):
+    # Path must start/end at the cores' switches.
+    assert not state.can_reserve("a", "b", (1, 3), mbps(10))
+    assert not state.can_reserve("a", "b", (0, 2), mbps(10))
+
+
+def test_reserve_best_effort_skips_slot_tables(state):
+    reservation = state.reserve("f1", "a", "b", (0, 1, 3), mbps(300), guaranteed=False)
+    assert reservation.link_slots == {}
+    assert state.slot_table((0, 1)).used_count == 0
+    # Bandwidth is still accounted for.
+    assert state.link_residual((0, 1)) < state.params.link_capacity
+
+
+def test_path_cost_prefers_short_and_unloaded_paths(state, config):
+    short = state.path_cost((0, 1, 3), mbps(100), config)
+    long = state.path_cost((0, 2, 3), mbps(100), config)
+    assert short == pytest.approx(long)  # both 2 hops, both empty
+    state.reserve("f1", "a", "b", (0, 1, 3), mbps(900))
+    assert state.path_cost((0, 1, 3), mbps(100), config) > state.path_cost(
+        (0, 2, 3), mbps(100), config
+    )
+
+
+def test_path_cost_infeasible_when_bandwidth_missing(state, config, params):
+    state.reserve("f1", "a", "b", (0, 1, 3), params.link_capacity)
+    assert state.path_cost((0, 1, 3), mbps(10), config) == INFEASIBLE_COST
+
+
+def test_required_slots_reservation(state, params):
+    # Force specific starting slots (group-shared configuration replay).
+    # 50 MB/s fits in a single 62.5 MB/s slot at the reference operating point.
+    reservation = state.reserve("f1", "a", "b", (0, 1, 3), mbps(50), required_slots=(5,))
+    assert reservation.link_slots[(0, 1)] == (5,)
+    assert reservation.link_slots[(1, 3)] == ((5 + 1) % params.slot_table_size,)
+
+
+def test_copy_is_independent(state):
+    duplicate = state.copy("copy")
+    state.reserve("f1", "a", "b", (0, 1, 3), mbps(100))
+    assert duplicate.slot_table((0, 1)).used_count == 0
+    assert len(duplicate.reservations) == 0
+
+
+def test_link_loads_and_total_reserved(state):
+    state.reserve("f1", "a", "b", (0, 1, 3), mbps(100))
+    loads = state.link_loads()
+    assert loads[(0, 1)] == pytest.approx(mbps(100))
+    assert state.total_reserved_bandwidth() == pytest.approx(mbps(200))  # two links
+
+
+# --------------------------------------------------------------------------- #
+# routing
+# --------------------------------------------------------------------------- #
+def test_xy_path_is_dimension_ordered():
+    mesh = Topology.mesh(3, 3)
+    path = xy_path(mesh, 0, 8)
+    assert path == (0, 1, 2, 5, 8)
+    assert is_xy_path(mesh, path)
+
+
+def test_xy_path_same_switch():
+    mesh = Topology.mesh(3, 3)
+    assert xy_path(mesh, 4, 4) == (4,)
+
+
+def test_mesh_minimal_paths_count_and_length():
+    mesh = Topology.mesh(3, 3)
+    paths = mesh_minimal_paths(mesh, 0, 8, limit=16)
+    assert len(paths) == 6  # C(4,2) monotone staircase paths
+    assert all(len(path) - 1 == 4 for path in paths)
+    assert all(path[0] == 0 and path[-1] == 8 for path in paths)
+
+
+def test_mesh_minimal_paths_respects_limit():
+    mesh = Topology.mesh(4, 4)
+    assert len(mesh_minimal_paths(mesh, 0, 15, limit=3)) == 3
+
+
+def test_path_selector_candidates_cached_and_valid(config):
+    mesh = Topology.mesh(3, 3)
+    selector = PathSelector(mesh, config)
+    first = selector.candidate_paths(0, 8)
+    second = selector.candidate_paths(0, 8)
+    assert first is second  # cached
+    for path in first:
+        for here, there in zip(path, path[1:]):
+            assert mesh.has_link(here, there)
+
+
+def test_path_selector_same_switch(config):
+    mesh = Topology.mesh(2, 2)
+    selector = PathSelector(mesh, config)
+    assert selector.candidate_paths(1, 1) == ((1,),)
+
+
+def test_path_selector_xy_policy_single_path():
+    mesh = Topology.mesh(3, 3)
+    selector = PathSelector(mesh, MapperConfig(routing_policy="xy"))
+    assert selector.candidate_paths(0, 8) == (xy_path(mesh, 0, 8),)
+
+
+def test_path_selector_west_first_policy_filters():
+    mesh = Topology.mesh(3, 3)
+    selector = PathSelector(mesh, MapperConfig(routing_policy="west_first"))
+    for path in selector.candidate_paths(2, 6):  # destination is to the west
+        assert is_west_first_path(mesh, path)
+
+
+def test_path_selector_k_shortest_allows_detours():
+    mesh = Topology.mesh(3, 3)
+    selector = PathSelector(
+        mesh, MapperConfig(routing_policy="k_shortest", max_detour_hops=2,
+                           max_paths_per_pair=32)
+    )
+    lengths = {len(path) - 1 for path in selector.candidate_paths(0, 1)}
+    assert 1 in lengths
+    assert any(length > 1 for length in lengths)
+
+
+def test_select_least_cost_requires_mapped_cores(state, config):
+    selector = PathSelector(state.topology, config)
+    with pytest.raises(RoutingError):
+        selector.select_least_cost(state, "a", "unmapped", mbps(10))
+
+
+def test_select_least_cost_avoids_congested_path(state, config, params):
+    selector = PathSelector(state.topology, config)
+    # Congest the (1, 3) link with traffic from core c (on switch 1) to b.
+    state.reserve("hot", "c", "b", (1, 3), params.link_capacity * 0.55)
+    selection = selector.select_least_cost(state, "a", "b", mbps(200))
+    assert selection is not None
+    path, _ = selection
+    assert path == (0, 2, 3)
+
+
+def test_select_least_cost_respects_max_hops(state, config):
+    selector = PathSelector(state.topology, config)
+    assert selector.select_least_cost(state, "a", "b", mbps(10), max_hops=1) is None
+    assert selector.select_least_cost(state, "a", "c", mbps(10), max_hops=1) is not None
+
+
+# --------------------------------------------------------------------------- #
+# deadlock helpers
+# --------------------------------------------------------------------------- #
+def test_is_xy_path_detects_violations():
+    mesh = Topology.mesh(3, 3)
+    assert is_xy_path(mesh, (0, 1, 4))       # X then Y
+    assert not is_xy_path(mesh, (0, 3, 4))   # Y then X
+
+
+def test_west_first_forbids_turning_into_west():
+    mesh = Topology.mesh(3, 3)
+    assert is_west_first_path(mesh, (2, 1, 0, 3))   # west first, then south
+    assert not is_west_first_path(mesh, (5, 8, 7))  # south then west
+
+
+def test_channel_dependency_graph_cycle_detection():
+    square = [(0, 1, 2), (2, 3, 0)]       # no cycle
+    assert is_deadlock_free(square)
+    cycle = [(0, 1, 2), (1, 2, 3), (2, 3, 0), (3, 0, 1)]
+    assert not is_deadlock_free(cycle)
+    cdg = channel_dependency_graph(cycle)
+    # Four distinct channels: (0,1), (1,2), (2,3) and (3,0).
+    assert cdg.number_of_nodes() == 4
+    assert cdg.number_of_edges() == 4
+
+
+def test_xy_paths_on_mesh_are_deadlock_free(config):
+    mesh = Topology.mesh(3, 3)
+    paths = [xy_path(mesh, src, dst) for src in range(9) for dst in range(9) if src != dst]
+    assert is_deadlock_free(paths)

@@ -1,0 +1,217 @@
+"""Tests for mapping results, latency bounds, the TDMA simulator and verification."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    Flow,
+    NoCParameters,
+    SpecificationError,
+    TdmaSimulator,
+    UnifiedMapper,
+    UseCase,
+    UseCaseSet,
+    verify_mapping,
+)
+from repro.core.result import FlowAllocation
+from repro.perf.latency import NI_OVERHEAD_CYCLES, latency_hop_budget, worst_case_latency
+from repro.units import mbps, mhz, us
+
+
+# --------------------------------------------------------------------------- #
+# result objects
+# --------------------------------------------------------------------------- #
+def test_flow_allocation_properties():
+    flow = Flow("a", "b", mbps(100))
+    allocation = FlowAllocation(
+        use_case="u1",
+        flow=flow,
+        switch_path=(0, 1, 3),
+        link_slots={(0, 1): (2, 5), (1, 3): (3, 6)},
+    )
+    assert allocation.hop_count == 2
+    assert allocation.slots_per_link == 2
+    assert allocation.links == ((0, 1), (1, 3))
+
+
+def test_configuration_link_and_core_loads(figure5_mapping):
+    configuration = figure5_mapping.configuration("uc1")
+    egress, ingress = configuration.core_loads()
+    assert egress["C3"] == pytest.approx(mbps(100))
+    assert ingress["C4"] == pytest.approx(mbps(100))
+    assert configuration.total_traffic() == pytest.approx(mbps(185))
+    assert configuration.max_access_load() >= mbps(75)
+
+
+def test_configuration_rejects_duplicate_pairs(figure5_mapping):
+    configuration = figure5_mapping.configuration("uc1")
+    allocation = configuration.allocation_for("C1", "C2")
+    with pytest.raises(SpecificationError):
+        configuration.add(allocation)
+
+
+def test_result_queries(figure5_mapping):
+    result = figure5_mapping
+    assert set(result.use_case_names) == {"uc1", "uc2"}
+    assert result.group_of("uc1") == frozenset({"uc1"})
+    with pytest.raises(SpecificationError):
+        result.configuration("missing")
+    with pytest.raises(SpecificationError):
+        result.switch_of("missing")
+    switch = result.switch_of("C1")
+    assert "C1" in result.cores_on_switch(switch)
+    assert 0.0 <= result.max_utilization() <= 1.0
+    summary = result.summary()
+    assert summary["method"] == "unified"
+    assert summary["cores"] == 4
+
+
+def test_result_max_link_load_consistency(figure5_mapping):
+    per_use_case = max(
+        figure5_mapping.max_link_load(name) for name in figure5_mapping.use_case_names
+    )
+    assert figure5_mapping.max_link_load() == pytest.approx(per_use_case)
+
+
+# --------------------------------------------------------------------------- #
+# analytical latency bounds
+# --------------------------------------------------------------------------- #
+def test_worst_case_latency_same_switch(params):
+    assert worst_case_latency(0, 0, params) == pytest.approx(
+        NI_OVERHEAD_CYCLES * params.cycle_time
+    )
+
+
+def test_worst_case_latency_decreases_with_more_slots(params):
+    one = worst_case_latency(3, 1, params)
+    four = worst_case_latency(3, 4, params)
+    assert four < one
+
+
+def test_worst_case_latency_increases_with_hops(params):
+    assert worst_case_latency(5, 1, params) > worst_case_latency(2, 1, params)
+
+
+def test_worst_case_latency_rejects_bad_inputs(params):
+    with pytest.raises(ConfigurationError):
+        worst_case_latency(-1, 1, params)
+    with pytest.raises(ConfigurationError):
+        worst_case_latency(3, 0, params)
+
+
+def test_latency_hop_budget_inverts_bound(params):
+    constraint = us(0.1)
+    budget = latency_hop_budget(constraint, 1, params)
+    assert budget >= 0
+    assert worst_case_latency(budget, 1, params) <= constraint
+    assert worst_case_latency(budget + 1, 1, params) > constraint
+
+
+def test_latency_hop_budget_infeasible_constraint(params):
+    assert latency_hop_budget(1e-12, 1, params) == -1
+
+
+def test_latency_hop_budget_rejects_bad_inputs(params):
+    with pytest.raises(ConfigurationError):
+        latency_hop_budget(0, 1, params)
+    with pytest.raises(ConfigurationError):
+        latency_hop_budget(us(1), 0, params)
+
+
+# --------------------------------------------------------------------------- #
+# TDMA simulator
+# --------------------------------------------------------------------------- #
+def test_simulator_delivers_required_bandwidth(figure5_mapping):
+    report = TdmaSimulator(figure5_mapping, "uc1").run(frames=64)
+    assert report.cycles == 64 * figure5_mapping.params.slot_table_size
+    assert report.all_bandwidth_satisfied()
+    stats = report.stats_for("C3", "C4")
+    assert stats.delivered_bytes > 0
+    assert stats.flits_sent > 0
+    assert stats.mean_latency_cycles <= stats.max_latency_cycles
+
+
+def test_simulator_latency_within_analytical_bound(figure5_mapping):
+    report = TdmaSimulator(figure5_mapping, "uc2").run(frames=32)
+    params = figure5_mapping.params
+    for (src, dst), stats in report.flows.items():
+        allocation = figure5_mapping.configuration("uc2").allocation_for(src, dst)
+        bound = worst_case_latency(
+            allocation.hop_count, max(allocation.slots_per_link, 1), params
+        )
+        # Steady-state flit latency must respect the analytical bound plus the
+        # flit accumulation time (one flit worth of bandwidth).
+        accumulation = (params.link_width_bits / 8) / stats.required_bandwidth
+        assert stats.max_latency_cycles * params.cycle_time <= bound + accumulation + 1e-9
+
+
+def test_simulator_rejects_bad_inputs(figure5_mapping):
+    simulator = TdmaSimulator(figure5_mapping, "uc1")
+    with pytest.raises(SpecificationError):
+        simulator.run(frames=0)
+    report = simulator.run(frames=1)
+    with pytest.raises(SpecificationError):
+        report.stats_for("zz", "yy")
+
+
+def test_simulator_unknown_use_case(figure5_mapping):
+    with pytest.raises(SpecificationError):
+        TdmaSimulator(figure5_mapping, "missing")
+
+
+# --------------------------------------------------------------------------- #
+# verification
+# --------------------------------------------------------------------------- #
+def test_verification_passes_for_fresh_mapping(figure5_mapping, figure5_use_cases):
+    report = verify_mapping(figure5_mapping, figure5_use_cases)
+    assert report.passed, [str(v) for v in report.violations]
+    assert report.checked_flows == 6
+
+
+def test_verification_with_simulation(figure5_mapping, figure5_use_cases):
+    report = verify_mapping(figure5_mapping, figure5_use_cases, simulate=True, frames=16)
+    assert report.passed
+    assert report.simulated_use_cases == 2
+
+
+def test_verification_detects_missing_flow(figure5_mapping, figure5_use_cases):
+    extended = UseCase("uc1", flows=[Flow("C1", "C4", mbps(10))])
+    tampered = UseCaseSet([extended, figure5_use_cases["uc2"]], name="tampered")
+    report = verify_mapping(figure5_mapping, tampered)
+    assert not report.passed
+    assert report.violations_of_kind("missing")
+
+
+def test_verification_detects_missing_use_case(figure5_mapping):
+    extra = UseCaseSet(
+        [UseCase("uc3", flows=[Flow("C1", "C2", mbps(10))])], name="extra"
+    )
+    report = verify_mapping(figure5_mapping, extra)
+    assert not report.passed
+
+
+def test_verification_detects_latency_violation(figure5_use_cases):
+    """Tampering with a latency constraint after mapping is caught."""
+    params = NoCParameters(max_cores_per_switch=1, frequency_hz=mhz(100))
+    result = UnifiedMapper(params=params).map(figure5_use_cases)
+    impossible = UseCase("uc1", flows=[
+        Flow("C1", "C2", mbps(10), latency=1e-9),
+        Flow("C2", "C3", mbps(75)),
+        Flow("C3", "C4", mbps(100)),
+    ])
+    tampered = UseCaseSet([impossible, figure5_use_cases["uc2"]], name="tampered")
+    report = verify_mapping(result, tampered)
+    violations = report.violations_of_kind("latency") + report.violations_of_kind("missing")
+    assert violations
+
+
+def test_verified_end_to_end_with_groups(video_use_cases):
+    from repro import SwitchingGraph
+
+    graph = SwitchingGraph.from_use_case_set(video_use_cases)
+    graph.require_smooth_switching("use-case-1", "use-case-2")
+    result = UnifiedMapper().map(video_use_cases, switching_graph=graph)
+    # Enough frames for the flit quantisation of low-bandwidth flows to
+    # average out (the simulator's tolerance is one flit).
+    report = verify_mapping(result, video_use_cases, simulate=True, frames=64)
+    assert report.passed, [str(v) for v in report.violations]

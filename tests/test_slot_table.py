@@ -1,0 +1,196 @@
+"""Tests for TDMA slot tables and pipelined reservations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ConfigurationError, ResourceError
+from repro.noc.slot_table import SlotTable, find_pipelined_slots, slots_needed
+
+
+# --------------------------------------------------------------------------- #
+# slots_needed
+# --------------------------------------------------------------------------- #
+def test_slots_needed_basic():
+    # 2 GB/s link, 16 slots -> 125 MB/s per slot.
+    assert slots_needed(125e6, 2e9, 16) == 1
+    assert slots_needed(126e6, 2e9, 16) == 2
+    assert slots_needed(2e9, 2e9, 16) == 16
+
+
+def test_slots_needed_minimum_one_slot():
+    assert slots_needed(1.0, 2e9, 16) == 1
+
+
+def test_slots_needed_can_exceed_table_size():
+    assert slots_needed(4e9, 2e9, 16) == 32
+
+
+def test_slots_needed_rejects_bad_inputs():
+    with pytest.raises(ResourceError):
+        slots_needed(0, 2e9, 16)
+    with pytest.raises(ResourceError):
+        slots_needed(1e6, 0, 16)
+    with pytest.raises(ConfigurationError):
+        slots_needed(1e6, 2e9, 0)
+
+
+@given(
+    bandwidth=st.floats(min_value=1.0, max_value=4e9),
+    slots=st.integers(min_value=1, max_value=256),
+)
+def test_slots_needed_provides_enough_bandwidth(bandwidth, slots):
+    capacity = 2e9
+    needed = slots_needed(bandwidth, capacity, slots)
+    # The reserved slots always provide at least the requested bandwidth
+    # (up to the table size; beyond that the link simply cannot carry it).
+    if needed <= slots:
+        assert needed * (capacity / slots) >= bandwidth - 1e-6
+    assert needed >= 1
+
+
+# --------------------------------------------------------------------------- #
+# SlotTable
+# --------------------------------------------------------------------------- #
+def test_slot_table_initially_free():
+    table = SlotTable(8)
+    assert table.size == 8
+    assert table.free_count == 8
+    assert table.used_count == 0
+    assert table.utilization == 0.0
+    assert table.free_slots() == tuple(range(8))
+
+
+def test_slot_table_reserve_and_release():
+    table = SlotTable(8)
+    reservation = table.reserve("f1", [0, 3])
+    assert table.used_count == 2
+    assert table.owner_of(0) == "f1"
+    assert table.slots_owned_by("f1") == (0, 3)
+    table.release(reservation)
+    assert table.free_count == 8
+
+
+def test_slot_table_reserve_conflict_is_atomic():
+    table = SlotTable(8)
+    table.reserve("f1", [2])
+    with pytest.raises(ResourceError):
+        table.reserve("f2", [1, 2])
+    # Slot 1 must not have been taken by the failed reservation.
+    assert table.is_free(1)
+
+
+def test_slot_table_release_wrong_owner():
+    table = SlotTable(8)
+    table.reserve("f1", [0])
+    stolen = table.reserve("f2", [1])
+    table.release(stolen)
+    with pytest.raises(ResourceError):
+        table.release(stolen)  # double release
+
+
+def test_slot_table_release_flow():
+    table = SlotTable(8)
+    table.reserve("f1", [0, 1, 2])
+    assert table.release_flow("f1") == 3
+    assert table.free_count == 8
+    assert table.release_flow("missing") == 0
+
+
+def test_slot_table_clear_and_copy_independent():
+    table = SlotTable(4)
+    table.reserve("f1", [0])
+    duplicate = table.copy()
+    table.clear()
+    assert table.free_count == 4
+    assert duplicate.owner_of(0) == "f1"
+
+
+def test_slot_table_occupancy_mapping():
+    table = SlotTable(4)
+    table.reserve("f1", [1, 3])
+    assert table.occupancy() == {1: "f1", 3: "f1"}
+
+
+def test_slot_table_invalid_index():
+    table = SlotTable(4)
+    with pytest.raises(ResourceError):
+        table.is_free(9)
+    with pytest.raises(ResourceError):
+        table.reserve("f1", [-1])
+
+
+def test_slot_table_rejects_zero_size():
+    with pytest.raises(ConfigurationError):
+        SlotTable(0)
+
+
+def test_slot_reservation_rejects_duplicates_and_empty():
+    table = SlotTable(4)
+    with pytest.raises(ResourceError):
+        table.reserve("f1", [1, 1])
+    with pytest.raises(ResourceError):
+        table.reserve("f1", [])
+
+
+# --------------------------------------------------------------------------- #
+# pipelined path search
+# --------------------------------------------------------------------------- #
+def test_find_pipelined_slots_on_empty_tables():
+    tables = [SlotTable(8) for _ in range(3)]
+    assert find_pipelined_slots(tables, 2) == (0, 1)
+
+
+def test_find_pipelined_slots_respects_rotation():
+    first, second = SlotTable(4), SlotTable(4)
+    # Slot s on the first link implies slot (s+1) mod 4 on the second.
+    second.reserve("other", [1])  # blocks start slot 0
+    starts = find_pipelined_slots([first, second], 1)
+    assert starts is not None
+    assert starts[0] != 0
+
+
+def test_find_pipelined_slots_exhausted():
+    first = SlotTable(2)
+    second = SlotTable(2)
+    first.reserve("a", [0])
+    second.reserve("b", [0])  # blocks start 1 (1+1 mod 2 == 0)
+    assert find_pipelined_slots([first, second], 1) is None
+
+
+def test_find_pipelined_slots_demand_exceeding_size():
+    tables = [SlotTable(4)]
+    assert find_pipelined_slots(tables, 5) is None
+
+
+def test_find_pipelined_slots_requires_equal_sizes():
+    with pytest.raises(ConfigurationError):
+        find_pipelined_slots([SlotTable(4), SlotTable(8)], 1)
+
+
+def test_find_pipelined_slots_rejects_empty_path_and_bad_demand():
+    with pytest.raises(ResourceError):
+        find_pipelined_slots([], 1)
+    with pytest.raises(ResourceError):
+        find_pipelined_slots([SlotTable(4)], 0)
+
+
+@given(
+    size=st.integers(min_value=2, max_value=32),
+    hops=st.integers(min_value=1, max_value=6),
+    needed=st.integers(min_value=1, max_value=8),
+    blocked=st.lists(st.integers(min_value=0, max_value=31), max_size=10),
+)
+def test_find_pipelined_slots_results_are_actually_free(size, hops, needed, blocked):
+    tables = [SlotTable(size) for _ in range(hops)]
+    for index, slot in enumerate(blocked):
+        table = tables[index % hops]
+        slot = slot % size
+        if table.is_free(slot):
+            table.reserve(f"blk{index}", [slot])
+    starts = find_pipelined_slots(tables, needed)
+    if starts is None:
+        return
+    assert len(starts) == needed
+    for start in starts:
+        for hop, table in enumerate(tables):
+            assert table.is_free((start + hop) % size)

@@ -1,0 +1,50 @@
+"""Tests for the unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_mbps_roundtrip():
+    assert units.to_mbps(units.mbps(200)) == pytest.approx(200.0)
+
+
+def test_mbps_uses_decimal_megabytes():
+    assert units.mbps(1) == pytest.approx(1_000_000.0)
+
+
+def test_mhz_and_ghz_are_consistent():
+    assert units.ghz(1) == pytest.approx(units.mhz(1000))
+
+
+def test_to_mhz_roundtrip():
+    assert units.to_mhz(units.mhz(500)) == pytest.approx(500.0)
+
+
+def test_time_helpers_scale_correctly():
+    assert units.ms(1) == pytest.approx(1000 * units.us(1))
+    assert units.us(1) == pytest.approx(1000 * units.ns(1))
+    assert units.to_ns(units.ns(7)) == pytest.approx(7.0)
+
+
+def test_link_capacity_reference_point():
+    # 500 MHz x 32-bit links = 2 GB/s, the paper's reference configuration.
+    assert units.link_capacity(units.mhz(500), 32) == pytest.approx(2e9)
+
+
+def test_link_capacity_scales_linearly_with_frequency():
+    slow = units.link_capacity(units.mhz(250), 32)
+    fast = units.link_capacity(units.mhz(500), 32)
+    assert fast == pytest.approx(2 * slow)
+
+
+def test_link_capacity_scales_linearly_with_width():
+    narrow = units.link_capacity(units.mhz(500), 16)
+    wide = units.link_capacity(units.mhz(500), 64)
+    assert wide == pytest.approx(4 * narrow)
+
+
+@pytest.mark.parametrize("frequency,width", [(0, 32), (-1, 32), (units.mhz(500), 0), (units.mhz(500), -8)])
+def test_link_capacity_rejects_non_positive_inputs(frequency, width):
+    with pytest.raises(ValueError):
+        units.link_capacity(frequency, width)

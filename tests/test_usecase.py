@@ -1,0 +1,214 @@
+"""Tests for the use-case data model (cores, flows, use-cases, sets)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Core, Flow, UseCase, UseCaseSet, SpecificationError
+from repro.core.usecase import TrafficClass, UNCONSTRAINED_LATENCY
+from repro.units import mbps, us
+
+
+# --------------------------------------------------------------------------- #
+# Core
+# --------------------------------------------------------------------------- #
+def test_core_requires_name():
+    with pytest.raises(SpecificationError):
+        Core("")
+
+
+def test_core_equality_includes_kind():
+    assert Core("cpu") == Core("cpu")
+    assert Core("cpu", "memory") != Core("cpu", "processor")
+
+
+def test_core_str_is_name():
+    assert str(Core("mem1")) == "mem1"
+
+
+# --------------------------------------------------------------------------- #
+# Flow
+# --------------------------------------------------------------------------- #
+def test_flow_defaults():
+    flow = Flow("a", "b", mbps(10))
+    assert flow.pair == ("a", "b")
+    assert flow.latency == UNCONSTRAINED_LATENCY
+    assert flow.traffic_class == TrafficClass.GUARANTEED
+    assert flow.name == "a->b"
+
+
+def test_flow_rejects_self_loop():
+    with pytest.raises(SpecificationError):
+        Flow("a", "a", mbps(10))
+
+
+@pytest.mark.parametrize("bandwidth", [0, -5, float("nan"), float("inf")])
+def test_flow_rejects_bad_bandwidth(bandwidth):
+    with pytest.raises(SpecificationError):
+        Flow("a", "b", bandwidth)
+
+
+@pytest.mark.parametrize("latency", [0, -1e-6, float("nan")])
+def test_flow_rejects_bad_latency(latency):
+    with pytest.raises(SpecificationError):
+        Flow("a", "b", mbps(10), latency=latency)
+
+
+def test_flow_rejects_unknown_traffic_class():
+    with pytest.raises(SpecificationError):
+        Flow("a", "b", mbps(10), traffic_class="bulk")
+
+
+def test_flow_scaled_preserves_latency_and_class():
+    flow = Flow("a", "b", mbps(10), latency=us(5), traffic_class="BE")
+    scaled = flow.scaled(2.0)
+    assert scaled.bandwidth == pytest.approx(mbps(20))
+    assert scaled.latency == flow.latency
+    assert scaled.traffic_class == "BE"
+
+
+def test_flow_scaled_rejects_non_positive_factor():
+    with pytest.raises(SpecificationError):
+        Flow("a", "b", mbps(10)).scaled(0)
+
+
+def test_flow_merge_sums_bandwidth_and_takes_min_latency():
+    first = Flow("a", "b", mbps(10), latency=us(100))
+    second = Flow("a", "b", mbps(20), latency=us(50))
+    merged = first.merged_with(second)
+    assert merged.bandwidth == pytest.approx(mbps(30))
+    assert merged.latency == pytest.approx(us(50))
+
+
+def test_flow_merge_gt_wins_over_be():
+    gt = Flow("a", "b", mbps(10), traffic_class="GT")
+    be = Flow("a", "b", mbps(5), traffic_class="BE")
+    assert be.merged_with(gt).traffic_class == "GT"
+
+
+def test_flow_merge_rejects_different_pairs():
+    with pytest.raises(SpecificationError):
+        Flow("a", "b", mbps(10)).merged_with(Flow("a", "c", mbps(10)))
+
+
+@given(
+    bw1=st.floats(min_value=1e3, max_value=1e9),
+    bw2=st.floats(min_value=1e3, max_value=1e9),
+    lat1=st.floats(min_value=1e-9, max_value=1e-2),
+    lat2=st.floats(min_value=1e-9, max_value=1e-2),
+)
+def test_flow_merge_is_commutative(bw1, bw2, lat1, lat2):
+    first = Flow("a", "b", bw1, latency=lat1)
+    second = Flow("a", "b", bw2, latency=lat2)
+    left = first.merged_with(second)
+    right = second.merged_with(first)
+    assert left.bandwidth == pytest.approx(right.bandwidth)
+    assert left.latency == pytest.approx(right.latency)
+
+
+# --------------------------------------------------------------------------- #
+# UseCase
+# --------------------------------------------------------------------------- #
+def test_use_case_registers_endpoint_cores_implicitly():
+    uc = UseCase("video", flows=[Flow("cpu", "mem", mbps(10))])
+    assert uc.has_core("cpu") and uc.has_core("mem")
+    assert len(uc.cores) == 2
+
+
+def test_use_case_merges_duplicate_pairs():
+    uc = UseCase("video")
+    uc.add_flow(Flow("cpu", "mem", mbps(10), latency=us(100)))
+    uc.add_flow(Flow("cpu", "mem", mbps(15), latency=us(20)))
+    assert len(uc) == 1
+    merged = uc.flow_between("cpu", "mem")
+    assert merged.bandwidth == pytest.approx(mbps(25))
+    assert merged.latency == pytest.approx(us(20))
+
+
+def test_use_case_rejects_conflicting_core_definition():
+    uc = UseCase("video", cores=[Core("mem", "memory")])
+    with pytest.raises(SpecificationError):
+        uc.add_core(Core("mem", "processor"))
+
+
+def test_use_case_flow_between_returns_none_for_missing_pair():
+    uc = UseCase("video", flows=[Flow("a", "b", mbps(1))])
+    assert uc.flow_between("b", "a") is None
+
+
+def test_use_case_total_and_max_bandwidth():
+    uc = UseCase("video", flows=[Flow("a", "b", mbps(10)), Flow("b", "c", mbps(30))])
+    assert uc.total_bandwidth() == pytest.approx(mbps(40))
+    assert uc.max_bandwidth() == pytest.approx(mbps(30))
+
+
+def test_use_case_communication_degree():
+    uc = UseCase("video", flows=[Flow("a", "b", mbps(1)), Flow("a", "c", mbps(1))])
+    degree = uc.communication_degree()
+    assert degree["a"] == 2
+    assert degree["b"] == 1
+    assert degree["c"] == 1
+
+
+def test_use_case_is_compound_flag():
+    plain = UseCase("u1", flows=[Flow("a", "b", mbps(1))])
+    compound = UseCase("u12", flows=[Flow("a", "b", mbps(1))], parents=("u1", "u2"))
+    assert not plain.is_compound
+    assert compound.is_compound
+
+
+def test_use_case_requires_name():
+    with pytest.raises(SpecificationError):
+        UseCase("")
+
+
+# --------------------------------------------------------------------------- #
+# UseCaseSet
+# --------------------------------------------------------------------------- #
+def test_use_case_set_rejects_duplicates():
+    uc = UseCase("u1", flows=[Flow("a", "b", mbps(1))])
+    other = UseCase("u1", flows=[Flow("a", "c", mbps(1))])
+    with pytest.raises(SpecificationError):
+        UseCaseSet([uc, other])
+
+
+def test_use_case_set_lookup_and_contains(figure5_use_cases):
+    assert "uc1" in figure5_use_cases
+    assert figure5_use_cases["uc1"].name == "uc1"
+    with pytest.raises(SpecificationError):
+        figure5_use_cases["missing"]
+
+
+def test_use_case_set_all_cores_union(figure5_use_cases):
+    assert set(figure5_use_cases.all_core_names()) == {"C1", "C2", "C3", "C4"}
+
+
+def test_use_case_set_all_flows_counts(figure5_use_cases):
+    assert figure5_use_cases.total_flow_count() == 6
+    assert len(figure5_use_cases.all_flows()) == 6
+
+
+def test_use_case_set_max_flow_bandwidth(figure5_use_cases):
+    assert figure5_use_cases.max_flow_bandwidth() == pytest.approx(mbps(100))
+
+
+def test_use_case_set_validate_empty():
+    with pytest.raises(SpecificationError):
+        UseCaseSet([]).validate()
+
+
+def test_use_case_set_validate_conflicting_cores():
+    uc1 = UseCase("u1", cores=[Core("mem", "memory")], flows=[Flow("mem", "cpu", mbps(1))])
+    uc2 = UseCase("u2", cores=[Core("mem", "processor")], flows=[Flow("mem", "cpu", mbps(1))])
+    with pytest.raises(SpecificationError):
+        UseCaseSet([uc1, uc2]).validate()
+
+
+def test_use_case_set_validate_empty_use_case():
+    with pytest.raises(SpecificationError):
+        UseCaseSet([UseCase("empty")]).validate()
+
+
+def test_use_case_set_subset(figure5_use_cases):
+    subset = figure5_use_cases.subset(["uc2"])
+    assert len(subset) == 1
+    assert "uc2" in subset and "uc1" not in subset
