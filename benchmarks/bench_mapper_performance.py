@@ -22,6 +22,14 @@ def test_unified_mapping_runtime_spread_10uc(benchmark):
     assert result.switch_count >= 1
 
 
+def test_unified_mapping_runtime_spread_40uc(benchmark):
+    # The paper's largest synthetic sweep point (§6.2); kept fast by the
+    # bitmask/incremental hot path (see PERFORMANCE.md).
+    use_cases = generate_benchmark("spread", 40, seed=3)
+    result = benchmark(lambda: UnifiedMapper().map(use_cases))
+    assert result.switch_count >= 1
+
+
 def test_worst_case_mapping_runtime_d1(benchmark):
     design = set_top_box_design(use_case_count=4)
     result = benchmark(lambda: WorstCaseMapper().map(design.use_cases))

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Wall-time regression harness for the unified-mapper hot path.
+
+Measures the median and best-of-N mapping wall-times of the three reference
+workloads the performance work is judged on (the regression gate compares
+best-of-N; the median is recorded for reporting):
+
+* ``set_top_box_4uc``  — the paper's D1 design (4 use-cases),
+* ``spread_10uc``      — ``generate_benchmark("spread", 10, seed=3)``,
+* ``spread_40uc``      — ``generate_benchmark("spread", 40, seed=3)``
+  (the paper's largest synthetic sweep point).
+
+Usage::
+
+    # record a baseline (writes BENCH_mapper.json next to the repo root)
+    python benchmarks/bench_regression.py --output BENCH_mapper.json
+
+    # gate a change against the committed baseline (exit code 1 on regression)
+    python benchmarks/bench_regression.py --baseline BENCH_mapper.json \
+        --tolerance 0.35
+
+Besides timing, every run asserts that the mapping *results* (topology and
+switch count) still match the baseline exactly — a faster mapper that maps
+differently is a failure, not a win.  The default tolerance is generous
+(35 %) because CI machines are noisy; the point is catching the 2-10x
+algorithmic regressions that creep in when someone touches the hot loop, not
+3 % jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import UnifiedMapper  # noqa: E402
+from repro.gen import generate_benchmark, set_top_box_design  # noqa: E402
+
+WORKLOADS = {
+    "set_top_box_4uc": lambda: set_top_box_design(use_case_count=4).use_cases,
+    "spread_10uc": lambda: generate_benchmark("spread", 10, seed=3),
+    "spread_40uc": lambda: generate_benchmark("spread", 40, seed=3),
+}
+
+
+def run_workloads(repeats: int) -> dict:
+    """Median/best mapping wall-time plus result shape per workload."""
+    results = {}
+    for name, build in WORKLOADS.items():
+        use_cases = build()
+        UnifiedMapper().map(use_cases)  # warm-up (imports, caches)
+        times = []
+        result = None
+        for _ in range(repeats):
+            mapper = UnifiedMapper()
+            start = time.perf_counter()
+            result = mapper.map(use_cases)
+            times.append(time.perf_counter() - start)
+        results[name] = {
+            "median_seconds": statistics.median(times),
+            "best_seconds": min(times),
+            "repeats": repeats,
+            "topology": result.topology.name,
+            "switch_count": result.switch_count,
+        }
+        print(
+            f"{name:>18}: median {results[name]['median_seconds'] * 1000:8.2f} ms  "
+            f"best {results[name]['best_seconds'] * 1000:8.2f} ms  "
+            f"-> {result.topology.name}"
+        )
+    return results
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list:
+    """List of human-readable regression messages (empty when clean)."""
+    failures = []
+    for name, expected in baseline.items():
+        measured = current.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for key in ("topology", "switch_count"):
+            if measured[key] != expected[key]:
+                failures.append(
+                    f"{name}: {key} changed {expected[key]!r} -> {measured[key]!r}"
+                )
+        # Gate on best-of-N: the minimum is the noise-robust estimator for
+        # millisecond-scale workloads (the median of a handful of runs moves
+        # with scheduler jitter); the median is still recorded for reporting.
+        allowed = expected["best_seconds"] * (1.0 + tolerance)
+        if measured["best_seconds"] > allowed:
+            failures.append(
+                f"{name}: best {measured['best_seconds'] * 1000:.2f} ms exceeds "
+                f"baseline {expected['best_seconds'] * 1000:.2f} ms "
+                f"+{tolerance * 100:.0f}% (= {allowed * 1000:.2f} ms)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="mapping runs per workload (median is reported; default 5)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the measured results to this JSON file",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="compare against a previously recorded JSON baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.35,
+        help="allowed fractional best-of-N slowdown vs the baseline (default 0.35)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be at least 1, got {args.repeats}")
+
+    current = run_workloads(args.repeats)
+    if args.output is not None:
+        args.output.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = compare(baseline, current, args.tolerance)
+        if failures:
+            print("REGRESSION:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"ok: within {args.tolerance * 100:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

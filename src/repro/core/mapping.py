@@ -28,7 +28,8 @@ never run simultaneously does not compete for the same bandwidth and slots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.result import FlowAllocation, MappingResult, UseCaseConfiguration
@@ -37,7 +38,7 @@ from repro.core.usecase import Flow, TrafficClass, UseCase, UseCaseSet
 from repro.exceptions import ConfigurationError, MappingError, ResourceError, SpecificationError
 from repro.noc.resources import INFEASIBLE_COST, ResourceState
 from repro.noc.routing import PathSelector
-from repro.noc.slot_table import slots_needed
+from repro.noc.slot_table import slots_needed_cached
 from repro.noc.topology import Topology, mesh_growth_schedule
 from repro.params import MapperConfig, NoCParameters
 from repro.perf.latency import latency_hop_budget
@@ -47,20 +48,41 @@ __all__ = ["UnifiedMapper", "map_use_cases", "GroupRequirement"]
 GroupSpec = Optional[Sequence[Iterable[str]]]
 
 
-@dataclass(frozen=True)
 class _PairRequirement:
-    """Aggregated requirement of one core pair within one configuration group."""
+    """Aggregated requirement of one core pair within one configuration group.
 
-    group_id: int
-    source: str
-    destination: str
-    bandwidth: float
-    latency: float
-    guaranteed: bool
+    A plain ``__slots__`` value object (identity hash): the mapper creates
+    one per (group, pair) per ``map`` call and compares them by identity, so
+    dataclass equality machinery would only slow construction down.  ``pair``
+    is read millions of times in the inner loop and is materialised once.
+    """
 
-    @property
-    def pair(self) -> Tuple[str, str]:
-        return (self.source, self.destination)
+    __slots__ = ("group_id", "source", "destination", "bandwidth", "latency",
+                 "guaranteed", "pair")
+
+    def __init__(
+        self,
+        group_id: int,
+        source: str,
+        destination: str,
+        bandwidth: float,
+        latency: float,
+        guaranteed: bool,
+    ) -> None:
+        self.group_id = group_id
+        self.source = source
+        self.destination = destination
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.guaranteed = guaranteed
+        self.pair = (source, destination)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"_PairRequirement(group_id={self.group_id}, pair={self.pair}, "
+            f"bandwidth={self.bandwidth:.3g}, latency={self.latency:.3g}, "
+            f"guaranteed={self.guaranteed})"
+        )
 
 
 class GroupRequirement:
@@ -76,29 +98,33 @@ class GroupRequirement:
         self.group_id = group_id
         self.members: Tuple[UseCase, ...] = tuple(members)
         self.member_names: Tuple[str, ...] = tuple(uc.name for uc in members)
-        self._pairs: Dict[Tuple[str, str], _PairRequirement] = {}
+        # Accumulate per-pair maxima/minima in plain lists and build the
+        # (immutable) requirement objects once per pair at the end, instead of
+        # constructing a fresh dataclass instance on every merged flow.
+        accumulated: Dict[Tuple[str, str], List] = {}
         for use_case in members:
             for flow in use_case.flows:
-                existing = self._pairs.get(flow.pair)
                 guaranteed = flow.traffic_class == TrafficClass.GUARANTEED
-                if existing is None:
-                    self._pairs[flow.pair] = _PairRequirement(
-                        group_id=group_id,
-                        source=flow.source,
-                        destination=flow.destination,
-                        bandwidth=flow.bandwidth,
-                        latency=flow.latency,
-                        guaranteed=guaranteed,
-                    )
+                entry = accumulated.get(flow.pair)
+                if entry is None:
+                    accumulated[flow.pair] = [flow.bandwidth, flow.latency, guaranteed]
                 else:
-                    self._pairs[flow.pair] = _PairRequirement(
-                        group_id=group_id,
-                        source=flow.source,
-                        destination=flow.destination,
-                        bandwidth=max(existing.bandwidth, flow.bandwidth),
-                        latency=min(existing.latency, flow.latency),
-                        guaranteed=existing.guaranteed or guaranteed,
-                    )
+                    if flow.bandwidth > entry[0]:
+                        entry[0] = flow.bandwidth
+                    if flow.latency < entry[1]:
+                        entry[1] = flow.latency
+                    entry[2] = entry[2] or guaranteed
+        self._pairs: Dict[Tuple[str, str], _PairRequirement] = {
+            pair: _PairRequirement(
+                group_id=group_id,
+                source=pair[0],
+                destination=pair[1],
+                bandwidth=bandwidth,
+                latency=latency,
+                guaranteed=guaranteed,
+            )
+            for pair, (bandwidth, latency, guaranteed) in accumulated.items()
+        }
 
     @property
     def pair_requirements(self) -> Tuple[_PairRequirement, ...]:
@@ -119,6 +145,87 @@ class GroupRequirement:
         return egress, ingress
 
 
+class _Worklist:
+    """Bandwidth-sorted pair requirements plus pure indexes over them.
+
+    Step 2 of Algorithm 2 sorts the aggregated pair requirements of all
+    groups once; the sort and the derived lookup tables depend only on the
+    requirements, so they are built once per ``map`` call and shared by
+    every topology attempt of the outer loop.
+    """
+
+    def __init__(self, requirements: Sequence[GroupRequirement]) -> None:
+        items: List[_PairRequirement] = [
+            req for requirement in requirements for req in requirement.pair_requirements
+        ]
+        items.sort(key=lambda req: (-req.bandwidth, req.source, req.destination, req.group_id))
+        self.items: Tuple[_PairRequirement, ...] = tuple(items)
+        self.by_pair: Dict[Tuple[str, str], List[_PairRequirement]] = {}
+        self.by_endpoint: Dict[str, List[int]] = {}
+        self.position_of: Dict[_PairRequirement, int] = {}
+        for position, req in enumerate(items):
+            self.by_pair.setdefault(req.pair, []).append(req)
+            self.position_of[req] = position
+            self.by_endpoint.setdefault(req.source, []).append(position)
+            if req.destination != req.source:
+                self.by_endpoint.setdefault(req.destination, []).append(position)
+
+
+class _AttemptAccounting:
+    """Live bookkeeping for one topology attempt of Algorithm 2.
+
+    Replaces the per-query rescans of the seed implementation with data kept
+    current on every core attachment:
+
+    * ``occupancy`` — cores per switch (was rebuilt from the whole core
+      mapping inside every ``_placement_candidates`` call);
+    * ``nearest_core`` — per switch, the hop distance to the closest placed
+      core (was an O(switches × placed-cores) scan per call);
+    * ``preferred`` — a min-heap of bandwidth-order positions of pending
+      pair requirements whose endpoint just became mapped, giving the
+      paper's "prefer flows with mapped endpoints" tie-break in O(log n)
+      instead of a linear scan over the pending list.
+    """
+
+    def __init__(self, topology: Topology, worklist: _Worklist) -> None:
+        self.topology = topology
+        switches = topology.switches
+        self.occupancy: Dict[int, int] = {sw.index: 0 for sw in switches}
+        self._positions = {sw.index: sw.position for sw in switches}
+        #: per-switch distance to the nearest placed core; None until the
+        #: first core is attached (the spacing term is constant then).
+        self.nearest_core: Optional[Dict[int, int]] = None
+        #: heap of item positions whose source/destination is mapped
+        self.preferred: List[int] = []
+        self._by_endpoint = worklist.by_endpoint
+
+    def _distance(self, first: int, second: int) -> int:
+        # Decide per pair, exactly like UnifiedMapper._switch_distance, so a
+        # partially-positioned custom topology gets identical distances from
+        # the incremental table and the seed's rescan.
+        a = self._positions[first]
+        b = self._positions[second]
+        if a is not None and b is not None:
+            return abs(a[0] - b[0]) + abs(a[1] - b[1])
+        return self.topology.shortest_hop_count(first, second)
+
+    def on_attach(self, core: str, switch: int) -> None:
+        """Fold one core attachment into the live tables."""
+        self.occupancy[switch] += 1
+        if self.nearest_core is None:
+            self.nearest_core = {
+                index: self._distance(index, switch) for index in self.occupancy
+            }
+        else:
+            nearest = self.nearest_core
+            for index in nearest:
+                distance = self._distance(index, switch)
+                if distance < nearest[index]:
+                    nearest[index] = distance
+        for position in self._by_endpoint.get(core, ()):
+            heapq.heappush(self.preferred, position)
+
+
 class UnifiedMapper:
     """The paper's unified mapping / path-selection / slot-reservation engine."""
 
@@ -129,6 +236,35 @@ class UnifiedMapper:
     ) -> None:
         self.params = params or NoCParameters()
         self.config = config or MapperConfig()
+        #: small identity-keyed LRU of PathSelectors: the refinement passes
+        #: call ``map_with_placement`` hundreds of times on one topology and
+        #: reuse its candidate-path cache through this, while the bound keeps
+        #: the outer loop's discarded topologies from accumulating.
+        self._selector_cache: "OrderedDict[int, Tuple[Topology, PathSelector]]" = (
+            OrderedDict()
+        )
+        #: live accounting of the attempt currently in flight (None outside)
+        self._acct: Optional[_AttemptAccounting] = None
+        #: (bandwidth, latency) -> hop budget memo (pure function of params)
+        self._hop_budget_cache: Dict[Tuple[float, float], Optional[int]] = {}
+
+    #: number of (topology, PathSelector) pairs kept alive per mapper
+    _SELECTOR_CACHE_SIZE = 4
+
+    def _selector_for(self, topology: Topology) -> PathSelector:
+        # Keyed by object identity; the cached entry keeps the topology
+        # alive, so its id cannot be reused while the entry exists (the
+        # ``is`` check is defence in depth).
+        key = id(topology)
+        entry = self._selector_cache.get(key)
+        if entry is not None and entry[0] is topology:
+            self._selector_cache.move_to_end(key)
+            return entry[1]
+        selector = PathSelector(topology, self.config)
+        self._selector_cache[key] = (topology, selector)
+        if len(self._selector_cache) > self._SELECTOR_CACHE_SIZE:
+            self._selector_cache.popitem(last=False)
+        return selector
 
     # ------------------------------------------------------------------ #
     # public API
@@ -179,11 +315,12 @@ class UnifiedMapper:
         if self.config.enable_quick_infeasibility_check:
             self._quick_infeasibility_check(requirements)
 
+        worklist = _Worklist(requirements)
         core_names = list(use_cases.all_core_names())
         attempted: List[str] = []
         for topology in self._topology_schedule(len(core_names)):
             attempted.append(topology.name)
-            outcome = self._attempt(topology, use_cases, requirements, resolved_groups)
+            outcome = self._attempt(topology, use_cases, requirements, worklist)
             if outcome is not None:
                 core_mapping, configurations = outcome
                 return MappingResult(
@@ -300,24 +437,28 @@ class UnifiedMapper:
         groups: GroupSpec = None,
         switching_graph: Optional[SwitchingGraph] = None,
         method_name: str = "unified-fixed-placement",
+        validate: bool = True,
     ) -> MappingResult:
         """Map a design onto a *fixed* topology and core placement.
 
         Used by the refinement passes (:mod:`repro.optimize`), which explore
         alternative placements by swapping cores: path selection and slot
-        reservation are re-run from scratch for the given placement.
+        reservation are re-run from scratch for the given placement.  Such
+        callers validate the design once up front and pass
+        ``validate=False`` to skip re-validation on every candidate.
 
         Raises :class:`MappingError` when the placement cannot satisfy every
         use-case's constraints on this topology.
         """
-        use_cases.validate()
+        if validate:
+            use_cases.validate()
         resolved_groups = self._resolve_groups(use_cases, groups, switching_graph)
         requirements = [
             GroupRequirement(group_id, [use_cases[name] for name in sorted(group)])
             for group_id, group in enumerate(resolved_groups)
         ]
         outcome = self._attempt(
-            topology, use_cases, requirements, resolved_groups,
+            topology, use_cases, requirements, _Worklist(requirements),
             initial_placement=placement,
         )
         if outcome is None:
@@ -342,7 +483,7 @@ class UnifiedMapper:
         topology: Topology,
         use_cases: UseCaseSet,
         requirements: Sequence[GroupRequirement],
-        groups: Sequence[FrozenSet[str]],
+        worklist: _Worklist,
         initial_placement: Optional[Mapping[str, int]] = None,
     ) -> Optional[Tuple[Dict[str, int], Dict[str, UseCaseConfiguration]]]:
         """Try to map every flow onto one fixed topology.
@@ -352,7 +493,7 @@ class UnifiedMapper:
         per-use-case configurations.  ``initial_placement`` pre-attaches
         cores to switches (used by :meth:`map_with_placement`).
         """
-        selector = PathSelector(topology, self.config)
+        selector = self._selector_for(topology)
         states: Dict[int, ResourceState] = {
             requirement.group_id: ResourceState(
                 topology, self.params, name=f"group-{requirement.group_id}"
@@ -360,82 +501,82 @@ class UnifiedMapper:
             for requirement in requirements
         }
         configurations: Dict[str, UseCaseConfiguration] = {}
-        group_index: Dict[str, int] = {}
         for requirement in requirements:
             for name in requirement.member_names:
                 configurations[name] = UseCaseConfiguration(name, requirement.group_id)
-                group_index[name] = requirement.group_id
 
-        # Step 2: sort all aggregated pair requirements by bandwidth, largest first.
-        items: List[_PairRequirement] = [
-            req for requirement in requirements for req in requirement.pair_requirements
-        ]
-        items.sort(key=lambda req: (-req.bandwidth, req.source, req.destination, req.group_id))
-        by_pair: Dict[Tuple[str, str], List[_PairRequirement]] = {}
-        for req in items:
-            by_pair.setdefault(req.pair, []).append(req)
+        # Step 2 (bandwidth-sorted items plus lookup indexes) was computed
+        # once by the caller and is shared across topology attempts.
+        items = worklist.items
+        by_pair = worklist.by_pair
+        position_of = worklist.position_of
 
         core_mapping: Dict[str, int] = {}
         all_cores = list(use_cases.all_core_names())
         # Used by the placement heuristic to derive the target core spacing.
         self._core_count_hint = len(all_cores)
-        done: Set[Tuple[int, Tuple[str, str]]] = set()
+        acct = _AttemptAccounting(topology, worklist)
+        self._acct = acct
+        try:
+            if initial_placement is not None:
+                try:
+                    for core, switch in initial_placement.items():
+                        self._attach_everywhere(core, switch, core_mapping, states)
+                except ResourceError:
+                    return None
 
-        if initial_placement is not None:
-            try:
-                for core, switch in initial_placement.items():
+            # The pending set is the bandwidth-sorted ``items`` list with lazy
+            # deletion: ``done`` flags placed requirements, ``head`` tracks the
+            # first live entry and the accounting heap yields the first live
+            # requirement with a mapped endpoint — both O(log n) per step
+            # where the seed rebuilt an O(n) list per placed pair.
+            done = [False] * len(items)
+            remaining = len(items)
+            head = 0
+            prefer_configured = self.config.prefer_mapped_endpoints
+            core_count = len(all_cores)
+            preferred = acct.preferred
+            while remaining:
+                # Step 3: choose the largest remaining flow, preferring flows
+                # with already-mapped endpoints while unmapped cores remain.
+                chosen: Optional[_PairRequirement] = None
+                if prefer_configured and core_mapping and len(core_mapping) < core_count:
+                    while preferred:
+                        position = heapq.heappop(preferred)
+                        if not done[position]:
+                            chosen = items[position]
+                            break
+                if chosen is None:
+                    while done[head]:
+                        head += 1
+                    chosen = items[head]
+                # Steps 4-6: place this pair in the chosen group first, then in
+                # every other group that communicates between the same cores.
+                ordered = by_pair[chosen.pair]
+                rest = [req for req in ordered if req is not chosen]
+                for req in [chosen] + rest:
+                    position = position_of[req]
+                    if done[position]:
+                        continue
+                    success = self._place_pair(
+                        req, states[req.group_id], selector, core_mapping, states,
+                        requirements, configurations,
+                    )
+                    if not success:
+                        return None
+                    done[position] = True
+                    remaining -= 1
+
+            # Attach cores that have no traffic at all so the mapping is complete.
+            for core in all_cores:
+                if core not in core_mapping:
+                    switch = self._switch_with_room(topology, core_mapping)
+                    if switch is None:
+                        return None
                     self._attach_everywhere(core, switch, core_mapping, states)
-            except ResourceError:
-                return None
-
-        pending = list(items)
-        while pending:
-            # Step 3: choose the largest remaining flow, preferring flows with
-            # already-mapped endpoints while unmapped cores remain.
-            index = self._next_item_index(pending, core_mapping, len(core_mapping) < len(all_cores))
-            chosen = pending[index]
-            if (chosen.group_id, chosen.pair) in done:
-                pending.pop(index)
-                continue
-            # Steps 4-6: place this pair in the chosen group first, then in
-            # every other group that communicates between the same cores.
-            ordered = by_pair[chosen.pair]
-            first = chosen
-            rest = [req for req in ordered if req is not chosen]
-            for req in [first] + rest:
-                if (req.group_id, req.pair) in done:
-                    continue
-                success = self._place_pair(
-                    req, states[req.group_id], selector, core_mapping, states, requirements,
-                    configurations,
-                )
-                if not success:
-                    return None
-                done.add((req.group_id, req.pair))
-            pending = [req for req in pending if (req.group_id, req.pair) not in done]
-
-        # Attach cores that have no traffic at all so the mapping is complete.
-        for core in all_cores:
-            if core not in core_mapping:
-                switch = self._switch_with_room(topology, core_mapping)
-                if switch is None:
-                    return None
-                self._attach_everywhere(core, switch, core_mapping, states)
-        return core_mapping, configurations
-
-    def _next_item_index(
-        self,
-        pending: Sequence[_PairRequirement],
-        core_mapping: Mapping[str, int],
-        prefer_mapped: bool,
-    ) -> int:
-        """Index of the next pair requirement to place (paper step 3)."""
-        if not prefer_mapped or not self.config.prefer_mapped_endpoints or not core_mapping:
-            return 0
-        for index, req in enumerate(pending):
-            if req.source in core_mapping or req.destination in core_mapping:
-                return index
-        return 0
+            return core_mapping, configurations
+        finally:
+            self._acct = None
 
     # ------------------------------------------------------------------ #
     # placing a single pair requirement
@@ -514,10 +655,16 @@ class UnifiedMapper:
         """Maximum hop count allowed by the pair's latency constraint."""
         if not self.config.check_latency or not req.guaranteed:
             return None
-        owned = slots_needed(
+        key = (req.bandwidth, req.latency)
+        cache = self._hop_budget_cache
+        if key in cache:
+            return cache[key]
+        owned = slots_needed_cached(
             req.bandwidth, self.params.link_capacity, self.params.slot_table_size
         )
-        return latency_hop_budget(req.latency, owned, self.params)
+        budget = latency_hop_budget(req.latency, owned, self.params)
+        cache[key] = budget
+        return budget
 
     def _choose_placement(
         self,
@@ -570,9 +717,7 @@ class UnifiedMapper:
                     # Both cores on one switch: allowed only if the switch has
                     # room for two more cores.
                     limit = self.params.max_cores_per_switch
-                    occupied = sum(
-                        1 for sw in core_mapping.values() if sw == source_switch
-                    )
+                    occupied = self._acct.occupancy[source_switch]
                     if limit is not None and occupied + 2 > limit:
                         continue
                 for path in selector.candidate_paths(source_switch, destination_switch):
@@ -607,9 +752,11 @@ class UnifiedMapper:
         indices and starve colinear pairs of alternative minimal paths.
         """
         limit = self.params.max_cores_per_switch
-        occupancy: Dict[int, int] = {sw.index: 0 for sw in topology.switches}
-        for switch in core_mapping.values():
-            occupancy[switch] = occupancy.get(switch, 0) + 1
+        acct = self._acct
+        assert acct is not None and acct.topology is topology, (
+            "placement accounting not initialised for this topology"
+        )
+        occupancy = acct.occupancy
         candidates = [
             index
             for index, count in occupancy.items()
@@ -624,17 +771,11 @@ class UnifiedMapper:
         # over them (that is what adds link capacity between the cores), so
         # aim for an inter-core spacing proportional to the available area.
         spacing = self._target_spacing(topology, core_mapping)
-        occupied_switches = set(core_mapping.values())
-        if occupied_switches:
-            nearest_core = {
-                index: min(
-                    self._switch_distance(topology, index, other)
-                    for other in occupied_switches
-                )
-                for index in candidates
-            }
-        else:
-            nearest_core = {index: spacing for index in candidates}
+        nearest_core = (
+            acct.nearest_core
+            if acct.nearest_core is not None
+            else {index: spacing for index in candidates}
+        )
         # Least-occupied first so cores spread over distinct switches, then
         # prefer switches whose distance to the nearest placed core matches
         # the target spacing, then stay close to the anchor.
@@ -710,6 +851,8 @@ class UnifiedMapper:
         core_mapping[core] = switch
         for state in states.values():
             state.attach_core(core, switch)
+        if self._acct is not None:
+            self._acct.on_attach(core, switch)
 
 
 def map_use_cases(

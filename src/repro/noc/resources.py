@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ResourceError, TopologyError
-from repro.noc.slot_table import SlotTable, find_pipelined_slots, slots_needed
+from repro.noc.slot_table import (
+    SlotTable,
+    lowest_set_bits,
+    pipelined_free_mask,
+    slots_needed_cached,
+)
 from repro.noc.topology import Link, Topology
 from repro.params import MapperConfig, NoCParameters
 
@@ -93,19 +98,31 @@ class ResourceState:
         self.params = params
         self.name = name
         capacity = params.link_capacity
-        self._link_residual: Dict[Link, float] = {
-            link: capacity for link in topology.links
-        }
+        #: link capacity, cached because the params property recomputes it
+        self._capacity = capacity
+        links = topology.links
+        self._link_residual: Dict[Link, float] = {link: capacity for link in links}
         self._slot_tables: Dict[Link, SlotTable] = {
-            link: SlotTable(params.slot_table_size) for link in topology.links
+            link: SlotTable(params.slot_table_size) for link in links
         }
         #: core name -> switch index (shared mapping, mirrored in every state)
         self._core_switch: Dict[str, int] = {}
+        #: switch index -> number of attached cores (incremental counter, so
+        #: attach_core never rescans the whole core mapping)
+        self._switch_core_count: Dict[int, int] = {}
         #: residual bandwidth of the core -> switch access link
         self._ingress_residual: Dict[str, float] = {}
         #: residual bandwidth of the switch -> core access link
         self._egress_residual: Dict[str, float] = {}
         self._reservations: List[PathReservation] = []
+        #: switch path -> link tuple memo (pure function of the topology, so
+        #: copies share the same dict object)
+        self._links_memo: Dict[Tuple[int, ...], Tuple[Link, ...]] = {}
+        #: monotonically bumped on every mutation; stamps the one-entry plan
+        #: cache below so ``reserve`` can reuse the assignment computed by an
+        #: immediately preceding ``can_reserve`` on an unchanged state
+        self._version = 0
+        self._last_plan: Optional[Tuple[int, Tuple, Dict[Link, Tuple[int, ...]]]] = None
 
     # ------------------------------------------------------------------ #
     # core attachment
@@ -128,13 +145,16 @@ class ResourceState:
                 )
             return
         limit = self.params.max_cores_per_switch
-        if limit is not None and self.cores_on_switch(switch_index) >= limit:
+        occupied = self._switch_core_count.get(switch_index, 0)
+        if limit is not None and occupied >= limit:
             raise ResourceError(
                 f"switch {switch_index} already hosts {limit} cores "
                 f"(max_cores_per_switch={limit})"
             )
         self._core_switch[core_name] = switch_index
-        capacity = self.params.link_capacity
+        self._switch_core_count[switch_index] = occupied + 1
+        self._version += 1
+        capacity = self._capacity
         self._ingress_residual[core_name] = capacity
         self._egress_residual[core_name] = capacity
 
@@ -144,7 +164,7 @@ class ResourceState:
 
     def cores_on_switch(self, switch_index: int) -> int:
         """Number of cores currently attached to a switch."""
-        return sum(1 for sw in self._core_switch.values() if sw == switch_index)
+        return self._switch_core_count.get(switch_index, 0)
 
     @property
     def core_mapping(self) -> Dict[str, int]:
@@ -189,7 +209,7 @@ class ResourceState:
 
     def max_link_utilization(self) -> float:
         """Highest bandwidth utilisation over all inter-switch links (0–1)."""
-        capacity = self.params.link_capacity
+        capacity = self._capacity
         if not self._link_residual:
             return 0.0
         return max(
@@ -198,12 +218,12 @@ class ResourceState:
 
     def total_reserved_bandwidth(self) -> float:
         """Total bandwidth-hops reserved on inter-switch links (bytes/s)."""
-        capacity = self.params.link_capacity
+        capacity = self._capacity
         return sum(capacity - residual for residual in self._link_residual.values())
 
     def link_loads(self) -> Dict[Link, float]:
         """Reserved bandwidth (bytes/s) per directed inter-switch link."""
-        capacity = self.params.link_capacity
+        capacity = self._capacity
         return {
             link: capacity - residual for link, residual in self._link_residual.items()
         }
@@ -211,20 +231,26 @@ class ResourceState:
     # ------------------------------------------------------------------ #
     # feasibility, cost, reservation
     # ------------------------------------------------------------------ #
-    def _path_links(self, switch_path: Sequence[int]) -> List[Link]:
+    def _path_links(self, switch_path: Sequence[int]) -> Tuple[Link, ...]:
+        key = tuple(switch_path)
+        cached = self._links_memo.get(key)
+        if cached is not None:
+            return cached
         links: List[Link] = []
-        for source, destination in zip(switch_path, switch_path[1:]):
+        for source, destination in zip(key, key[1:]):
             link = (source, destination)
             if link not in self._link_residual:
                 raise TopologyError(
                     f"path {tuple(switch_path)} uses non-existent link {link}"
                 )
             links.append(link)
-        return links
+        result = tuple(links)
+        self._links_memo[key] = result
+        return result
 
     def slots_for_bandwidth(self, bandwidth: float) -> int:
         """Slots a flow of the given bandwidth needs on each link of its path."""
-        return slots_needed(bandwidth, self.params.link_capacity, self.params.slot_table_size)
+        return slots_needed_cached(bandwidth, self._capacity, self.params.slot_table_size)
 
     def can_reserve(
         self,
@@ -236,17 +262,21 @@ class ResourceState:
         required_slots: Optional[Tuple[int, ...]] = None,
     ) -> bool:
         """Whether a reservation along the path would succeed right now."""
-        return (
-            self._plan(
-                source_core,
-                destination_core,
-                switch_path,
-                bandwidth,
-                guaranteed,
-                required_slots,
-            )
-            is not None
+        plan = self._plan(
+            source_core,
+            destination_core,
+            switch_path,
+            bandwidth,
+            guaranteed,
+            required_slots,
         )
+        if plan is not None:
+            key = (
+                source_core, destination_core, tuple(switch_path),
+                bandwidth, guaranteed, required_slots,
+            )
+            self._last_plan = (self._version, key, plan)
+        return plan is not None
 
     def _plan(
         self,
@@ -269,39 +299,64 @@ class ResourceState:
             raise ResourceError(f"bandwidth must be positive, got {bandwidth}")
         if not switch_path:
             raise ResourceError("switch path must contain at least one switch")
-        if self.switch_of(source_core) != switch_path[0]:
+        core_switch = self._core_switch
+        if core_switch.get(source_core) != switch_path[0]:
             return None
-        if self.switch_of(destination_core) != switch_path[-1]:
+        if core_switch.get(destination_core) != switch_path[-1]:
             return None
-        if self._ingress_residual.get(source_core, 0.0) < bandwidth - 1e-9:
+        threshold = bandwidth - 1e-9
+        if self._ingress_residual.get(source_core, 0.0) < threshold:
             return None
-        if self._egress_residual.get(destination_core, 0.0) < bandwidth - 1e-9:
+        if self._egress_residual.get(destination_core, 0.0) < threshold:
             return None
         links = self._path_links(switch_path)
+        link_residual = self._link_residual
         for link in links:
-            if self._link_residual[link] < bandwidth - 1e-9:
+            if link_residual[link] < threshold:
                 return None
         if not guaranteed or not links:
             return {}
         needed = self.slots_for_bandwidth(bandwidth)
         size = self.params.slot_table_size
-        tables = [self._slot_tables[link] for link in links]
+        if needed > size:
+            return None
+        # Rotate each hop's free mask into the start-slot frame and AND them:
+        # the admissible-start set of the whole path in a few int ops.
+        slot_tables = self._slot_tables
+        admissible = pipelined_free_mask(
+            [slot_tables[link]._free_mask for link in links], size
+        )
         if required_slots is not None:
             if len(required_slots) < needed:
                 return None
             starts: Optional[Tuple[int, ...]] = required_slots
-            for hop, table in enumerate(tables):
-                for start in required_slots:
-                    if not table.is_free((start + hop) % size):
-                        return None
+            for start in required_slots:
+                if not admissible >> (start % size) & 1:
+                    return None
         else:
-            starts = find_pipelined_slots(tables, needed)
+            starts = lowest_set_bits(admissible, needed)
             if starts is None:
                 return None
         assignment: Dict[Link, Tuple[int, ...]] = {}
         for hop, link in enumerate(links):
             assignment[link] = tuple(sorted((start + hop) % size for start in starts))
         return assignment
+
+    def _assignment_still_free(self, assignment: Dict[Link, Tuple[int, ...]]) -> bool:
+        """Whether every slot of a cached plan is still free right now.
+
+        The version stamp cannot see mutations made directly through the
+        live tables handed out by :meth:`slot_table`, so a cache hit is
+        re-validated with one mask test per link before the unchecked grant.
+        """
+        slot_tables = self._slot_tables
+        for link, slots in assignment.items():
+            mask = 0
+            for slot in slots:
+                mask |= 1 << slot
+            if mask & ~slot_tables[link]._free_mask:
+                return False
+        return True
 
     def path_cost(
         self,
@@ -320,20 +375,25 @@ class ResourceState:
         if not switch_path:
             return INFEASIBLE_COST
         links = self._path_links(switch_path)
-        capacity = self.params.link_capacity
         hops = len(links)
         cost = config.hop_weight * hops
         needed = self.slots_for_bandwidth(bandwidth) if guaranteed else 0
+        link_residual = self._link_residual
+        slot_tables = self._slot_tables
+        bandwidth_weight = config.bandwidth_weight
+        slot_weight = config.slot_weight
+        threshold = bandwidth - 1e-9
         for link in links:
-            residual = self._link_residual[link]
-            if residual < bandwidth - 1e-9:
+            residual = link_residual[link]
+            if residual < threshold:
                 return INFEASIBLE_COST
-            cost += config.bandwidth_weight * (bandwidth / max(residual, 1e-9))
+            cost += bandwidth_weight * (bandwidth / (residual if residual > 1e-9 else 1e-9))
             if guaranteed:
-                free = self._slot_tables[link].free_count
+                free = slot_tables[link]._free_mask.bit_count()
                 if free < needed:
                     return INFEASIBLE_COST
-                cost += config.slot_weight * (needed / max(free, 1))
+                # ``free >= needed >= 1`` here, so no clamping is required.
+                cost += slot_weight * (needed / free)
         return cost
 
     def reserve(
@@ -351,21 +411,40 @@ class ResourceState:
         Raises :class:`ResourceError` when the reservation cannot be
         satisfied; the state is unchanged in that case.
         """
-        assignment = self._plan(
-            source_core, destination_core, switch_path, bandwidth, guaranteed, required_slots
-        )
+        assignment: Optional[Dict[Link, Tuple[int, ...]]] = None
+        cached = self._last_plan
+        if cached is not None and cached[0] == self._version:
+            key = (
+                source_core, destination_core, tuple(switch_path),
+                bandwidth, guaranteed, required_slots,
+            )
+            if cached[1] == key and self._assignment_still_free(cached[2]):
+                # Reuse the assignment planned by the immediately preceding
+                # can_reserve on this (unchanged) state — the common
+                # path-selection sequence — instead of re-deriving it.
+                assignment = cached[2]
+        if assignment is None:
+            assignment = self._plan(
+                source_core, destination_core, switch_path, bandwidth, guaranteed,
+                required_slots,
+            )
         if assignment is None:
             raise ResourceError(
                 f"cannot reserve {bandwidth:.3g} B/s for {flow_id!r} along "
                 f"{tuple(switch_path)} in state {self.name!r}"
             )
+        self._version += 1
+        self._last_plan = None
         links = self._path_links(switch_path)
         self._ingress_residual[source_core] -= bandwidth
         self._egress_residual[destination_core] -= bandwidth
         for link in links:
             self._link_residual[link] -= bandwidth
         for link, slots in assignment.items():
-            self._slot_tables[link].reserve(flow_id, slots)
+            # The assignment was planned against the current table state
+            # (directly above or by the version-checked plan cache), so the
+            # unchecked grant path is safe.
+            self._slot_tables[link]._grant(flow_id, slots)
         reservation = PathReservation(
             flow_id=flow_id,
             source_core=source_core,
@@ -384,6 +463,8 @@ class ResourceState:
             raise ResourceError(
                 f"reservation for {reservation.flow_id!r} is not held by state {self.name!r}"
             )
+        self._version += 1
+        self._last_plan = None
         links = self._path_links(reservation.switch_path)
         self._ingress_residual[reservation.source_core] += reservation.bandwidth
         self._egress_residual[reservation.destination_core] += reservation.bandwidth
@@ -402,9 +483,12 @@ class ResourceState:
             link: table.copy() for link, table in self._slot_tables.items()
         }
         duplicate._core_switch = dict(self._core_switch)
+        duplicate._switch_core_count = dict(self._switch_core_count)
         duplicate._ingress_residual = dict(self._ingress_residual)
         duplicate._egress_residual = dict(self._egress_residual)
         duplicate._reservations = list(self._reservations)
+        # A pure cache (function of the topology only), safe to share.
+        duplicate._links_memo = self._links_memo
         return duplicate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

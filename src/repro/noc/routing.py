@@ -85,6 +85,50 @@ def xy_path(topology: Topology, source: int, destination: int) -> Tuple[int, ...
     return tuple(path)
 
 
+#: Relative minimal-path cache: ``(Δrow, Δcol, limit) -> step sequences``.
+#: Minimal paths on a mesh are translation-invariant — they depend only on
+#: the offset between the endpoints — so the enumeration is done once per
+#: offset (for any topology size, any mapper, any outer-loop attempt) and
+#: instantiated per concrete pair with integer arithmetic.
+_RELATIVE_STEPS_CACHE: Dict[Tuple[int, int, int], Tuple[Tuple[Tuple[int, int], ...], ...]] = {}
+
+
+def _relative_minimal_steps(
+    drow: int, dcol: int, limit: int
+) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+    """Minimal step sequences from (0, 0) to (Δrow, Δcol), capped at ``limit``.
+
+    Each sequence is a tuple of (row offset, col offset) waypoints starting
+    at (0, 0).  Enumeration is an iterative depth-first walk (column steps
+    explored before row steps, matching the historical recursive order) so
+    that deep recursion and per-call list copies are avoided on large
+    meshes.
+    """
+    key = (drow, dcol, limit)
+    cached = _RELATIVE_STEPS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    row_step = 1 if drow >= 0 else -1
+    col_step = 1 if dcol >= 0 else -1
+    paths: List[Tuple[Tuple[int, int], ...]] = []
+    stack: List[Tuple[int, int, Tuple[Tuple[int, int], ...]]] = [(0, 0, ((0, 0),))]
+    while stack and len(paths) < limit:
+        row, col, acc = stack.pop()
+        if row == drow and col == dcol:
+            paths.append(acc)
+            continue
+        # Pushed in reverse so the column branch is explored first.
+        if row != drow:
+            nxt = row + row_step
+            stack.append((nxt, col, acc + ((nxt, col),)))
+        if col != dcol:
+            nxt = col + col_step
+            stack.append((row, nxt, acc + ((row, nxt),)))
+    result = tuple(paths)
+    _RELATIVE_STEPS_CACHE[key] = result
+    return result
+
+
 def mesh_minimal_paths(
     topology: Topology,
     source: int,
@@ -96,30 +140,21 @@ def mesh_minimal_paths(
     Minimal paths on a mesh stay inside the bounding box of the endpoints
     and consist only of hops towards the destination, so they can be
     enumerated directly — far faster than generic k-shortest-path search on
-    large meshes (the worst-case baseline grows meshes up to 20x20).
+    large meshes (the worst-case baseline grows meshes up to 20x20).  The
+    enumeration itself is translation-invariant and served from a
+    process-wide relative-offset cache.
     """
     src = topology.switch(source)
     dst = topology.switch(destination)
     if src.position is None or dst.position is None or topology.dimensions is None:
         raise RoutingError("mesh_minimal_paths needs a grid topology")
     _, cols = topology.dimensions
-    row_step = 1 if dst.row >= src.row else -1
-    col_step = 1 if dst.col >= src.col else -1
-    paths: List[Tuple[int, ...]] = []
-
-    def extend(row: int, col: int, acc: List[int]) -> None:
-        if len(paths) >= limit:
-            return
-        if row == dst.row and col == dst.col:
-            paths.append(tuple(acc))
-            return
-        if col != dst.col:
-            extend(row, col + col_step, acc + [row * cols + (col + col_step)])
-        if row != dst.row:
-            extend(row + row_step, col, acc + [(row + row_step) * cols + col])
-
-    extend(src.row, src.col, [source])
-    return paths
+    steps = _relative_minimal_steps(dst.row - src.row, dst.col - src.col, limit)
+    base_row, base_col = src.position
+    return [
+        tuple((base_row + dr) * cols + (base_col + dc) for dr, dc in path)
+        for path in steps
+    ]
 
 
 class PathSelector:
@@ -135,10 +170,20 @@ class PathSelector:
             raise RoutingError(f"unknown routing policy {config.routing_policy!r}")
         self.topology = topology
         self.config = config
-        self._graph = nx.DiGraph()
-        self._graph.add_nodes_from(sw.index for sw in topology.switches)
-        self._graph.add_edges_from(topology.links)
+        self._lazy_graph: Optional[nx.DiGraph] = None
         self._cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+
+    @property
+    def _graph(self) -> nx.DiGraph:
+        # Built on first use: grid topologies with minimal routing (the
+        # common case) never touch the generic graph, so each outer-loop
+        # topology attempt skips the construction cost entirely.
+        if self._lazy_graph is None:
+            graph = nx.DiGraph()
+            graph.add_nodes_from(sw.index for sw in self.topology.switches)
+            graph.add_edges_from(self.topology.links)
+            self._lazy_graph = graph
+        return self._lazy_graph
 
     # ------------------------------------------------------------------ #
     # enumeration
@@ -242,8 +287,22 @@ class PathSelector:
             cost = state.path_cost(path, bandwidth, self.config, guaranteed=guaranteed)
             if cost != INFEASIBLE_COST:
                 ranked.append((cost, path))
-        ranked.sort(key=lambda item: (item[0], item[1]))
-        for cost, path in ranked:
+        if not ranked:
+            return None
+        # The cheapest candidate is almost always reservable; try it before
+        # paying for a full sort of the ranking.
+        best_cost, best_path = min(ranked)
+        if state.can_reserve(
+            source_core,
+            destination_core,
+            best_path,
+            bandwidth,
+            guaranteed=guaranteed,
+            required_slots=required_slots,
+        ):
+            return best_path, best_cost
+        ranked.sort()
+        for cost, path in ranked[1:]:
             if state.can_reserve(
                 source_core,
                 destination_core,

@@ -12,17 +12,33 @@ per slot.  Finding a reservation for a path therefore means finding ``k``
 starting slot indices that are simultaneously free on every link of the path
 (after per-hop rotation).  This module implements the per-link table;
 path-level searches live in :class:`repro.noc.resources.ResourceState`.
+
+The free set of a table is held as a single Python int (``free_mask``, bit
+``s`` set when slot ``s`` is free), so the pipelined path search reduces to
+rotating each hop's mask into the start-slot frame and AND-ing them — a
+handful of big-int operations instead of an O(S × hops) Python scan.  An
+owner list is kept alongside the mask purely for reservation bookkeeping
+(release validation and diagnostics).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, ResourceError
 
-__all__ = ["SlotTable", "SlotReservation", "slots_needed"]
+__all__ = [
+    "SlotTable",
+    "SlotReservation",
+    "slots_needed",
+    "slots_needed_cached",
+    "find_pipelined_slots",
+    "pipelined_free_mask",
+    "lowest_set_bits",
+]
 
 
 def slots_needed(bandwidth: float, link_capacity: float, num_slots: int) -> int:
@@ -44,6 +60,12 @@ def slots_needed(bandwidth: float, link_capacity: float, num_slots: int) -> int:
     return max(1, math.ceil(bandwidth / slot_bandwidth - 1e-12))
 
 
+#: Memoised variant of :func:`slots_needed` for the mapper's hot path, where
+#: the same (bandwidth, capacity, table size) triples recur constantly across
+#: resource states, groups and topology attempts.
+slots_needed_cached = lru_cache(maxsize=1 << 16)(slots_needed)
+
+
 @dataclass(frozen=True)
 class SlotReservation:
     """The slots a single flow owns on a single link."""
@@ -63,12 +85,18 @@ class SlotTable:
 
     Slots are identified by their index ``0 .. size-1``.  Each slot is either
     free or owned by exactly one flow (identified by an opaque string id).
+    The free set is a bitmask (bit ``s`` set when slot ``s`` is free); the
+    owner list exists only for bookkeeping and release validation.
     """
+
+    __slots__ = ("_size", "_full_mask", "_free_mask", "_owner")
 
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise ConfigurationError(f"slot table size must be positive, got {size}")
         self._size = size
+        self._full_mask = (1 << size) - 1
+        self._free_mask = self._full_mask
         self._owner: List[Optional[str]] = [None] * size
 
     @property
@@ -77,14 +105,19 @@ class SlotTable:
         return self._size
 
     @property
+    def free_mask(self) -> int:
+        """Bitmask of the free set: bit ``s`` is set when slot ``s`` is free."""
+        return self._free_mask
+
+    @property
     def free_count(self) -> int:
         """Number of currently unreserved slots."""
-        return sum(1 for owner in self._owner if owner is None)
+        return self._free_mask.bit_count()
 
     @property
     def used_count(self) -> int:
         """Number of currently reserved slots."""
-        return self._size - self.free_count
+        return self._size - self._free_mask.bit_count()
 
     @property
     def utilization(self) -> float:
@@ -94,7 +127,7 @@ class SlotTable:
     def is_free(self, slot: int) -> bool:
         """Whether the given slot index is unreserved."""
         self._check_index(slot)
-        return self._owner[slot] is None
+        return bool(self._free_mask >> slot & 1)
 
     def owner_of(self, slot: int) -> Optional[str]:
         """The flow id owning the slot, or ``None`` when it is free."""
@@ -103,7 +136,7 @@ class SlotTable:
 
     def free_slots(self) -> Tuple[int, ...]:
         """Indices of all free slots, ascending."""
-        return tuple(idx for idx, owner in enumerate(self._owner) if owner is None)
+        return _mask_to_slots(self._free_mask)
 
     def slots_owned_by(self, flow_id: str) -> Tuple[int, ...]:
         """Indices of all slots owned by the given flow, ascending."""
@@ -120,16 +153,35 @@ class SlotTable:
         """
         requested = tuple(slots)
         reservation = SlotReservation(flow_id=flow_id, slots=requested)
+        mask = 0
         for slot in requested:
             self._check_index(slot)
-            if self._owner[slot] is not None:
-                raise ResourceError(
-                    f"slot {slot} is already owned by {self._owner[slot]!r}; "
-                    f"cannot reserve it for {flow_id!r}"
-                )
+            mask |= 1 << slot
+        conflict = mask & ~self._free_mask
+        if conflict:
+            slot = (conflict & -conflict).bit_length() - 1
+            raise ResourceError(
+                f"slot {slot} is already owned by {self._owner[slot]!r}; "
+                f"cannot reserve it for {flow_id!r}"
+            )
+        self._free_mask &= ~mask
         for slot in requested:
             self._owner[slot] = flow_id
         return reservation
+
+    def _grant(self, flow_id: str, slots: Sequence[int]) -> None:
+        """Reserve pre-validated slots without re-checking availability.
+
+        Internal fast path for :class:`repro.noc.resources.ResourceState`,
+        which only calls it with an assignment just planned against this
+        table's current free mask.
+        """
+        mask = 0
+        owner = self._owner
+        for slot in slots:
+            mask |= 1 << slot
+            owner[slot] = flow_id
+        self._free_mask &= ~mask
 
     def release(self, reservation: SlotReservation) -> None:
         """Release a previously granted reservation.
@@ -138,6 +190,7 @@ class SlotTable:
         currently owned by the reservation's flow (double release, or release
         of someone else's slots).
         """
+        mask = 0
         for slot in reservation.slots:
             self._check_index(slot)
             if self._owner[slot] != reservation.flow_id:
@@ -145,6 +198,8 @@ class SlotTable:
                     f"slot {slot} is owned by {self._owner[slot]!r}, not by "
                     f"{reservation.flow_id!r}; refusing to release"
                 )
+            mask |= 1 << slot
+        self._free_mask |= mask
         for slot in reservation.slots:
             self._owner[slot] = None
 
@@ -154,17 +209,20 @@ class SlotTable:
         for idx, owner in enumerate(self._owner):
             if owner == flow_id:
                 self._owner[idx] = None
+                self._free_mask |= 1 << idx
                 freed += 1
         return freed
 
     def clear(self) -> None:
         """Release every slot."""
         self._owner = [None] * self._size
+        self._free_mask = self._full_mask
 
     def copy(self) -> "SlotTable":
         """An independent deep copy of the table."""
         duplicate = SlotTable(self._size)
         duplicate._owner = list(self._owner)
+        duplicate._free_mask = self._free_mask
         return duplicate
 
     # ------------------------------------------------------------------ #
@@ -180,8 +238,64 @@ class SlotTable:
                 f"slot index {slot!r} out of range for a table of size {self._size}"
             )
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SlotTable):
+            return NotImplemented
+        return self._size == other._size and self._owner == other._owner
+
+    __hash__ = None  # mutable; equality is by content
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SlotTable(size={self._size}, used={self.used_count})"
+
+
+def _mask_to_slots(mask: int) -> Tuple[int, ...]:
+    """Set bit positions of ``mask``, ascending."""
+    slots: List[int] = []
+    while mask:
+        low = mask & -mask
+        slots.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(slots)
+
+
+def pipelined_free_mask(masks: Sequence[int], size: int) -> int:
+    """Bitmask of admissible *starting* slots along a path of free masks.
+
+    ``masks[i]`` is the free mask of the ``i``-th link.  A starting slot
+    ``s`` is admissible when slot ``(s + i) mod S`` is free on link ``i``
+    for every hop ``i``; rotating each hop's mask right by ``i`` brings that
+    condition into the start-slot frame, so the admissible set is simply the
+    AND of the rotated masks.
+    """
+    full = (1 << size) - 1
+    admissible = full
+    for hop, mask in enumerate(masks):
+        rotation = hop % size
+        if rotation:
+            mask = ((mask >> rotation) | (mask << (size - rotation))) & full
+        admissible &= mask
+        if not admissible:
+            break
+    return admissible
+
+
+def lowest_set_bits(mask: int, count: int) -> Optional[Tuple[int, ...]]:
+    """The ``count`` lowest set bit positions of ``mask``, ascending.
+
+    Returns ``None`` when the mask has fewer than ``count`` set bits.  This
+    is the slot-picking rule of the pipelined search (lowest admissible
+    starting slots win), shared by :func:`find_pipelined_slots` and
+    :meth:`repro.noc.resources.ResourceState._plan`.
+    """
+    if mask.bit_count() < count:
+        return None
+    bits: List[int] = []
+    while len(bits) < count:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(bits)
 
 
 def find_pipelined_slots(
@@ -209,10 +323,5 @@ def find_pipelined_slots(
         raise ResourceError(f"slot demand must be positive, got {needed}")
     if needed > size:
         return None
-    admissible: List[int] = []
-    for start in range(size):
-        if all(table.is_free((start + hop) % size) for hop, table in enumerate(tables)):
-            admissible.append(start)
-            if len(admissible) == needed:
-                return tuple(admissible)
-    return None
+    admissible = pipelined_free_mask([table._free_mask for table in tables], size)
+    return lowest_set_bits(admissible, needed)

@@ -98,6 +98,10 @@ class Topology:
         self._graph.add_nodes_from(self._switches)
         for source, destination in links:
             self._add_link(source, destination)
+        # Topologies are immutable after construction, so the sorted link
+        # tuple is computed lazily once and reused (ResourceState creation
+        # iterates it for every group of every outer-loop attempt).
+        self._links_cache: Optional[Tuple[Link, ...]] = None
 
     def _add_link(self, source: int, destination: int) -> None:
         if source not in self._switches or destination not in self._switches:
@@ -222,7 +226,9 @@ class Topology:
     @property
     def links(self) -> Tuple[Link, ...]:
         """All directed inter-switch links."""
-        return tuple(sorted(self._graph.edges()))
+        if self._links_cache is None:
+            self._links_cache = tuple(sorted(self._graph.edges()))
+        return self._links_cache
 
     @property
     def link_count(self) -> int:

@@ -80,6 +80,10 @@ class AnnealingRefiner:
         rng = random.Random(self.seed)
         mapper = UnifiedMapper(params=result.params, config=result.config)
         group_spec = groups if groups is not None else [list(g) for g in result.groups]
+        # Validate once here; every candidate below re-maps the same design on
+        # the same topology (reusing the mapper's cached PathSelector), so
+        # per-candidate re-validation is skipped.
+        use_cases.validate()
         current = result
         current_cost = communication_cost(result)
         best = current
@@ -96,7 +100,7 @@ class AnnealingRefiner:
             try:
                 candidate = mapper.map_with_placement(
                     use_cases, result.topology, placement, groups=group_spec,
-                    method_name=result.method,
+                    method_name=result.method, validate=False,
                 )
             except MappingError:
                 temperature *= self.cooling

@@ -52,6 +52,9 @@ class TabuRefiner:
         rng = random.Random(self.seed)
         mapper = UnifiedMapper(params=result.params, config=result.config)
         group_spec = groups if groups is not None else [list(g) for g in result.groups]
+        # One up-front validation; candidate evaluations skip it (they re-map
+        # the same design repeatedly with the mapper's cached PathSelector).
+        use_cases.validate()
         cores = sorted(result.core_mapping)
 
         current = result
@@ -74,7 +77,7 @@ class TabuRefiner:
                 try:
                     candidate = mapper.map_with_placement(
                         use_cases, result.topology, placement, groups=group_spec,
-                        method_name=result.method,
+                        method_name=result.method, validate=False,
                     )
                 except MappingError:
                     continue

@@ -1,0 +1,58 @@
+"""Unit tests for the wall-time regression harness (benchmarks/bench_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_regression.py",
+)
+bench_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_regression)
+
+
+def _entry(seconds, topology="mesh-2x2", switch_count=4):
+    return {
+        "median_seconds": seconds,
+        "best_seconds": seconds,
+        "repeats": 5,
+        "topology": topology,
+        "switch_count": switch_count,
+    }
+
+
+def test_compare_passes_within_tolerance():
+    baseline = {"w": _entry(0.010)}
+    current = {"w": _entry(0.012)}
+    assert bench_regression.compare(baseline, current, tolerance=0.35) == []
+
+
+def test_compare_flags_median_regression():
+    baseline = {"w": _entry(0.010)}
+    current = {"w": _entry(0.020)}
+    failures = bench_regression.compare(baseline, current, tolerance=0.35)
+    assert len(failures) == 1
+    assert "exceeds baseline" in failures[0] and failures[0].startswith("w: best")
+
+
+def test_compare_flags_changed_mapping_shape():
+    baseline = {"w": _entry(0.010)}
+    current = {"w": _entry(0.010, topology="mesh-2x3", switch_count=6)}
+    failures = bench_regression.compare(baseline, current, tolerance=0.35)
+    assert any("topology changed" in failure for failure in failures)
+    assert any("switch_count changed" in failure for failure in failures)
+
+
+def test_compare_flags_missing_workload():
+    failures = bench_regression.compare({"w": _entry(0.010)}, {}, tolerance=0.35)
+    assert failures == ["w: missing from current run"]
+
+
+def test_workloads_cover_the_reference_designs():
+    assert set(bench_regression.WORKLOADS) == {
+        "set_top_box_4uc",
+        "spread_10uc",
+        "spread_40uc",
+    }

@@ -117,6 +117,32 @@ def test_mapping_is_deterministic_for_random_designs(design):
     assert first.switch_count == second.switch_count
 
 
+@given(design=small_designs())
+@_SETTINGS
+def test_mapper_reuse_matches_fresh_mapper(design):
+    """A reused mapper (warm selector/relative-path caches) must produce the
+    same mapping as a fresh one — the caches are pure."""
+    params = NoCParameters(max_cores_per_switch=3)
+    mapper = UnifiedMapper(params=params)
+    try:
+        first = mapper.map(design)
+    except MappingError:
+        return
+    second = mapper.map(design)  # warm caches
+    fresh = UnifiedMapper(params=params).map(design)
+    for other in (second, fresh):
+        assert first.core_mapping == other.core_mapping
+        assert first.topology.name == other.topology.name
+        for name, configuration in first.configurations.items():
+            for allocation in configuration:
+                twin = other.configurations[name].allocation_for(
+                    allocation.flow.source, allocation.flow.destination
+                )
+                assert twin is not None
+                assert twin.switch_path == allocation.switch_path
+                assert dict(twin.link_slots) == dict(allocation.link_slots)
+
+
 @given(
     design=small_designs(),
     slot_table_size=st.sampled_from([8, 16, 32]),

@@ -58,6 +58,21 @@ def test_attach_core_unknown_switch(state):
         state.attach_core("z", 99)
 
 
+def test_reserve_replans_when_tables_mutated_after_can_reserve(state, params):
+    # The can_reserve -> reserve plan cache must not hand out a stale
+    # assignment when the live table was mutated in between through the
+    # public slot_table() accessor.
+    path = (0, 1, 3)
+    bandwidth = params.link_capacity / params.slot_table_size * 2  # 2 slots
+    assert state.can_reserve("a", "b", path, bandwidth)
+    external = state.slot_table((0, 1)).reserve("ext", [0, 1])
+    reservation = state.reserve("f1", "a", "b", path, bandwidth)
+    # The external reservation survives untouched and f1 got different slots.
+    assert state.slot_table((0, 1)).slots_owned_by("ext") == (0, 1)
+    assert not set(reservation.link_slots[(0, 1)]) & {0, 1}
+    state.slot_table((0, 1)).release(external)
+
+
 def test_reserve_updates_residuals_and_slots(state, params):
     path = (0, 1, 3)
     reservation = state.reserve("f1", "a", "b", path, mbps(250))
@@ -176,6 +191,55 @@ def test_mesh_minimal_paths_count_and_length():
 def test_mesh_minimal_paths_respects_limit():
     mesh = Topology.mesh(4, 4)
     assert len(mesh_minimal_paths(mesh, 0, 15, limit=3)) == 3
+
+
+def _reference_mesh_minimal_paths(topology, source, destination, limit):
+    """The seed's recursive enumeration, kept as the order reference."""
+    src = topology.switch(source)
+    dst = topology.switch(destination)
+    _, cols = topology.dimensions
+    row_step = 1 if dst.row >= src.row else -1
+    col_step = 1 if dst.col >= src.col else -1
+    paths = []
+
+    def extend(row, col, acc):
+        if len(paths) >= limit:
+            return
+        if row == dst.row and col == dst.col:
+            paths.append(tuple(acc))
+            return
+        if col != dst.col:
+            extend(row, col + col_step, acc + [row * cols + (col + col_step)])
+        if row != dst.row:
+            extend(row + row_step, col, acc + [(row + row_step) * cols + col])
+
+    extend(src.row, src.col, [source])
+    return paths
+
+
+def test_mesh_minimal_paths_match_recursive_reference_in_order():
+    # The iterative walk (plus relative-offset cache) must reproduce the
+    # historical recursion exactly, including enumeration order — the
+    # ``limit`` cap truncates by that order.
+    mesh = Topology.mesh(5, 6)
+    for source in (0, 7, 17, 29):
+        for destination in (0, 5, 12, 24, 29):
+            if source == destination:
+                continue
+            for limit in (1, 3, 8, 100):
+                assert mesh_minimal_paths(mesh, source, destination, limit) == (
+                    _reference_mesh_minimal_paths(mesh, source, destination, limit)
+                )
+
+
+def test_mesh_minimal_paths_deep_on_large_mesh():
+    # 20x20 corner-to-corner would recurse ~40 deep with huge branching in
+    # the old implementation; the iterative walk handles it with any limit.
+    mesh = Topology.mesh(20, 20)
+    paths = mesh_minimal_paths(mesh, 0, 399, limit=8)
+    assert len(paths) == 8
+    assert all(len(path) - 1 == 38 for path in paths)
+    assert all(path[0] == 0 and path[-1] == 399 for path in paths)
 
 
 def test_path_selector_candidates_cached_and_valid(config):

@@ -4,7 +4,70 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro import ConfigurationError, ResourceError
-from repro.noc.slot_table import SlotTable, find_pipelined_slots, slots_needed
+from repro.noc.slot_table import (
+    SlotTable,
+    find_pipelined_slots,
+    pipelined_free_mask,
+    slots_needed,
+    slots_needed_cached,
+)
+
+
+class ReferenceSlotTable:
+    """List-based reference model of :class:`SlotTable` (the seed semantics).
+
+    Used by the property tests below to check that the bitmask
+    implementation is behaviourally identical to a straightforward
+    owner-list implementation under arbitrary operation sequences.
+    """
+
+    def __init__(self, size):
+        self.size = size
+        self.owner = [None] * size
+
+    def reserve(self, flow_id, slots):
+        requested = tuple(slots)
+        if not requested or len(set(requested)) != len(requested):
+            raise ResourceError("bad reservation")
+        for slot in requested:
+            if self.owner[slot] is not None:
+                raise ResourceError("conflict")
+        for slot in requested:
+            self.owner[slot] = flow_id
+
+    def release_flow(self, flow_id):
+        freed = 0
+        for idx, owner in enumerate(self.owner):
+            if owner == flow_id:
+                self.owner[idx] = None
+                freed += 1
+        return freed
+
+    def free_count(self):
+        return sum(1 for owner in self.owner if owner is None)
+
+    def free_slots(self):
+        return tuple(idx for idx, owner in enumerate(self.owner) if owner is None)
+
+    def slots_owned_by(self, flow_id):
+        return tuple(idx for idx, owner in enumerate(self.owner) if owner == flow_id)
+
+    def find_pipelined(self, tables, needed):
+        """Brute-force pipelined search over reference tables."""
+        size = tables[0].size
+        if needed > size:
+            return None
+        admissible = [
+            start
+            for start in range(size)
+            if all(
+                table.owner[(start + hop) % size] is None
+                for hop, table in enumerate(tables)
+            )
+        ]
+        if len(admissible) < needed:
+            return None
+        return tuple(admissible[:needed])
 
 
 # --------------------------------------------------------------------------- #
@@ -172,6 +235,101 @@ def test_find_pipelined_slots_rejects_empty_path_and_bad_demand():
         find_pipelined_slots([], 1)
     with pytest.raises(ResourceError):
         find_pipelined_slots([SlotTable(4)], 0)
+
+
+def test_slot_table_free_mask_tracks_reservations():
+    table = SlotTable(8)
+    assert table.free_mask == 0b11111111
+    table.reserve("f1", [0, 3])
+    assert table.free_mask == 0b11110110
+    table.release_flow("f1")
+    assert table.free_mask == 0b11111111
+
+
+def test_slot_table_equality():
+    first, second = SlotTable(8), SlotTable(8)
+    assert first == second
+    first.reserve("f1", [2])
+    assert first != second
+    second.reserve("f1", [2])
+    assert first == second
+    second.release_flow("f1")
+    second.reserve("f2", [2])  # same free set, different owner
+    assert first != second
+    assert first != SlotTable(4)
+    assert first.__eq__("not a table") is NotImplemented
+    duplicate = first.copy()
+    assert duplicate == first
+
+
+def test_pipelined_free_mask_matches_rotation_rule():
+    first, second = SlotTable(4), SlotTable(4)
+    second.reserve("other", [1])  # blocks start 0 on the second hop
+    mask = pipelined_free_mask([first.free_mask, second.free_mask], 4)
+    assert mask == 0b1110
+
+
+def test_slots_needed_cached_matches_uncached():
+    assert slots_needed_cached(126e6, 2e9, 16) == slots_needed(126e6, 2e9, 16)
+    with pytest.raises(ResourceError):
+        slots_needed_cached(0, 2e9, 16)
+
+
+# --------------------------------------------------------------------------- #
+# property tests: bitmask implementation == list-based reference model
+# --------------------------------------------------------------------------- #
+@given(
+    size=st.integers(min_value=1, max_value=64),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["reserve", "release_flow"]),
+            st.integers(min_value=0, max_value=7),  # flow id index
+            st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=6),
+        ),
+        max_size=30,
+    ),
+)
+def test_slot_table_matches_reference_model(size, ops):
+    table = SlotTable(size)
+    reference = ReferenceSlotTable(size)
+    for op, flow_index, slots in ops:
+        flow_id = f"f{flow_index}"
+        if op == "reserve":
+            slots = [slot % size for slot in slots]
+            outcomes = []
+            for model in (table, reference):
+                try:
+                    model.reserve(flow_id, slots)
+                    outcomes.append("ok")
+                except ResourceError:
+                    outcomes.append("error")
+            assert outcomes[0] == outcomes[1]
+        else:
+            assert table.release_flow(flow_id) == reference.release_flow(flow_id)
+        assert table.free_count == reference.free_count()
+        assert table.free_slots() == reference.free_slots()
+        assert table.slots_owned_by(flow_id) == reference.slots_owned_by(flow_id)
+        assert table.used_count == size - reference.free_count()
+
+
+@given(
+    size=st.integers(min_value=2, max_value=32),
+    hops=st.integers(min_value=1, max_value=6),
+    needed=st.integers(min_value=1, max_value=8),
+    blocked=st.lists(st.integers(min_value=0, max_value=31), max_size=12),
+)
+def test_find_pipelined_slots_matches_reference_search(size, hops, needed, blocked):
+    tables = [SlotTable(size) for _ in range(hops)]
+    references = [ReferenceSlotTable(size) for _ in range(hops)]
+    for index, slot in enumerate(blocked):
+        slot = slot % size
+        table = tables[index % hops]
+        reference = references[index % hops]
+        if table.is_free(slot):
+            table.reserve(f"blk{index}", [slot])
+            reference.reserve(f"blk{index}", [slot])
+    expected = references[0].find_pipelined(references, needed)
+    assert find_pipelined_slots(tables, needed) == expected
 
 
 @given(
