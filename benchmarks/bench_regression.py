@@ -1,14 +1,19 @@
 #!/usr/bin/env python
 """Wall-time regression harness for the unified-mapper hot path.
 
-Measures the median and best-of-N mapping wall-times of the three reference
-workloads the performance work is judged on (the regression gate compares
-best-of-N; the median is recorded for reporting):
+Measures the median and best-of-N wall-times of the reference workloads the
+performance work is judged on (the regression gate compares best-of-N; the
+median is recorded for reporting):
 
 * ``set_top_box_4uc``  — the paper's D1 design (4 use-cases),
 * ``spread_10uc``      — ``generate_benchmark("spread", 10, seed=3)``,
 * ``spread_40uc``      — ``generate_benchmark("spread", 40, seed=3)``
-  (the paper's largest synthetic sweep point).
+  (the paper's largest synthetic sweep point),
+* ``refine_spread10_annealing`` — a 60-iteration annealing refinement of
+  the spread-10 mapping, gating the refinement path: candidate evaluations
+  must keep flowing through the ``MappingEngine`` requirement/evaluation
+  caches instead of rebuilding ``GroupRequirement``/worklist state per
+  candidate.
 
 Usage::
 
@@ -19,8 +24,8 @@ Usage::
     python benchmarks/bench_regression.py --baseline BENCH_mapper.json \
         --tolerance 0.35
 
-Besides timing, every run asserts that the mapping *results* (topology and
-switch count) still match the baseline exactly — a faster mapper that maps
+Besides timing, every run asserts that the *results* (topology and switch
+count) still match the baseline exactly — a faster mapper that maps
 differently is a failure, not a win.  The default tolerance is generous
 (35 %) because CI machines are noisy; the point is catching the 2-10x
 algorithmic regressions that creep in when someone touches the hot loop, not
@@ -38,29 +43,72 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import UnifiedMapper  # noqa: E402
+from repro import AnnealingRefiner, UnifiedMapper  # noqa: E402
 from repro.gen import generate_benchmark, set_top_box_design  # noqa: E402
 
+
+def _mapping_workload(build):
+    """A workload that maps a design from scratch with a fresh mapper."""
+
+    def prepare():
+        use_cases = build()
+        UnifiedMapper().map(use_cases)  # warm-up (imports, process caches)
+        return use_cases
+
+    def run(use_cases):
+        mapper = UnifiedMapper()
+        start = time.perf_counter()
+        result = mapper.map(use_cases)
+        return time.perf_counter() - start, result
+
+    return prepare, run
+
+
+def _refinement_workload(build, iterations):
+    """A workload that anneals an existing mapping (fresh engine per run)."""
+
+    def prepare():
+        use_cases = build()
+        result = UnifiedMapper().map(use_cases)
+        AnnealingRefiner(iterations=5, seed=0).refine(result, use_cases)  # warm-up
+        return use_cases, result
+
+    def run(payload):
+        use_cases, result = payload
+        refiner = AnnealingRefiner(iterations=iterations, seed=0)
+        start = time.perf_counter()
+        outcome = refiner.refine(result, use_cases)
+        return time.perf_counter() - start, outcome.refined
+
+    return prepare, run
+
+
 WORKLOADS = {
-    "set_top_box_4uc": lambda: set_top_box_design(use_case_count=4).use_cases,
-    "spread_10uc": lambda: generate_benchmark("spread", 10, seed=3),
-    "spread_40uc": lambda: generate_benchmark("spread", 40, seed=3),
+    "set_top_box_4uc": _mapping_workload(
+        lambda: set_top_box_design(use_case_count=4).use_cases
+    ),
+    "spread_10uc": _mapping_workload(
+        lambda: generate_benchmark("spread", 10, seed=3)
+    ),
+    "spread_40uc": _mapping_workload(
+        lambda: generate_benchmark("spread", 40, seed=3)
+    ),
+    "refine_spread10_annealing": _refinement_workload(
+        lambda: generate_benchmark("spread", 10, seed=3), iterations=60
+    ),
 }
 
 
 def run_workloads(repeats: int) -> dict:
-    """Median/best mapping wall-time plus result shape per workload."""
+    """Median/best wall-time plus result shape per workload."""
     results = {}
-    for name, build in WORKLOADS.items():
-        use_cases = build()
-        UnifiedMapper().map(use_cases)  # warm-up (imports, caches)
+    for name, (prepare, run) in WORKLOADS.items():
+        payload = prepare()
         times = []
         result = None
         for _ in range(repeats):
-            mapper = UnifiedMapper()
-            start = time.perf_counter()
-            result = mapper.map(use_cases)
-            times.append(time.perf_counter() - start)
+            elapsed, result = run(payload)
+            times.append(elapsed)
         results[name] = {
             "median_seconds": statistics.median(times),
             "best_seconds": min(times),
@@ -69,7 +117,7 @@ def run_workloads(repeats: int) -> dict:
             "switch_count": result.switch_count,
         }
         print(
-            f"{name:>18}: median {results[name]['median_seconds'] * 1000:8.2f} ms  "
+            f"{name:>26}: median {results[name]['median_seconds'] * 1000:8.2f} ms  "
             f"best {results[name]['best_seconds'] * 1000:8.2f} ms  "
             f"-> {result.topology.name}"
         )

@@ -15,6 +15,10 @@ True
 """
 
 from repro.core import (
+    CompiledFlow,
+    CompiledGroup,
+    CompiledSpec,
+    CompiledUseCase,
     CompoundModeSpec,
     Core,
     DesignFlow,
@@ -22,6 +26,7 @@ from repro.core import (
     Flow,
     FlowAllocation,
     MapperConfig,
+    MappingEngine,
     MappingResult,
     NoCParameters,
     SwitchingGraph,
@@ -31,6 +36,7 @@ from repro.core import (
     UseCaseSet,
     WorstCaseMapper,
     build_worst_case_use_case,
+    compile_spec,
     generate_compound_modes,
     group_use_cases,
     map_use_cases,
@@ -71,6 +77,13 @@ __all__ = [
     "Flow",
     "UseCase",
     "UseCaseSet",
+    # compiled specifications and the engine session
+    "CompiledFlow",
+    "CompiledGroup",
+    "CompiledSpec",
+    "CompiledUseCase",
+    "compile_spec",
+    "MappingEngine",
     # methodology
     "CompoundModeSpec",
     "generate_compound_modes",

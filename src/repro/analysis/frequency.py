@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.usecase import UseCaseSet
 from repro.exceptions import MappingError
 from repro.params import MapperConfig, NoCParameters
@@ -38,6 +38,7 @@ def minimum_design_frequency(
     frequencies: Sequence[float] | None = None,
     groups=None,
     max_switches: Optional[int] = None,
+    engine: MappingEngine | None = None,
 ) -> Optional[float]:
     """Lowest frequency of the grid at which the design can be mapped.
 
@@ -47,20 +48,29 @@ def minimum_design_frequency(
         Optionally restrict the topology search (e.g. to the switch count of
         an already-chosen NoC) so the answer is "how fast must *this* NoC
         run", not "how fast must some NoC run".
+    engine:
+        Optional :class:`MappingEngine` whose compiled-spec caches the grid
+        walk should share (its params/config serve as the defaults).
 
     Returns the frequency in Hz, or ``None`` when even the fastest grid
     point cannot support the constraints.
+
+    The specification is compiled once: every grid point maps through a
+    sibling engine that shares the compiled spec and requirement caches and
+    only swaps the operating point.
     """
-    base_params = params or NoCParameters()
-    base_config = config or MapperConfig()
+    base = engine or MappingEngine(params=params, config=config)
+    base_params = params or base.params
+    base_config = config or base.config
     if max_switches is not None:
         base_config = replace(base_config, max_switches=max_switches)
     grid = sorted(frequencies or default_frequency_grid())
     for frequency in grid:
-        candidate = base_params.with_frequency(frequency)
-        mapper = UnifiedMapper(params=candidate, config=base_config)
+        point = base.with_params(
+            params=base_params.with_frequency(frequency), config=base_config
+        )
         try:
-            mapper.map(use_cases, groups=groups)
+            point.map(use_cases, groups=groups)
         except MappingError:
             continue
         return frequency

@@ -12,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.result import MappingResult
 from repro.core.switching import SwitchingGraph
 from repro.core.usecase import UseCaseSet
-from repro.core.worstcase import WorstCaseMapper
 from repro.exceptions import MappingError
 from repro.params import MapperConfig, NoCParameters
 from repro.power.area import AreaModel
@@ -90,26 +89,29 @@ def compare_methods(
     switching_graph: Optional[SwitchingGraph] = None,
     area_model: AreaModel | None = None,
     design_name: Optional[str] = None,
+    engine: MappingEngine | None = None,
 ) -> MethodComparison:
     """Run both mapping methods on one design and compare them.
 
     A method that cannot produce a valid mapping within the configured
     topology limit is recorded as ``None`` (this happens to the WC baseline
     on the large synthetic benchmarks, as in the paper).
+
+    Both methods run on one :class:`MappingEngine` session, so the design is
+    compiled once and shared; pass a long-lived ``engine`` (its
+    params/config then apply) to share compilation and results across many
+    comparisons, as the sweep drivers do.
     """
-    params = params or NoCParameters()
-    config = config or MapperConfig()
+    engine = engine or MappingEngine(params=params, config=config)
     model = area_model or AreaModel()
     name = design_name or use_cases.name
 
     try:
-        unified = UnifiedMapper(params=params, config=config).map(
-            use_cases, switching_graph=switching_graph
-        )
+        unified = engine.map(use_cases, switching_graph=switching_graph)
     except MappingError:
         unified = None
     try:
-        worst_case = WorstCaseMapper(params=params, config=config).map(use_cases)
+        worst_case = engine.worst_case(use_cases)
     except MappingError:
         worst_case = None
 

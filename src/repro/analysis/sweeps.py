@@ -22,9 +22,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.analysis.frequency import minimum_design_frequency
 from repro.analysis.metrics import MethodComparison, compare_methods
 from repro.core.compound import CompoundModeSpec, generate_compound_modes
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.usecase import UseCaseSet
-from repro.exceptions import MappingError
 from repro.gen.soc import standard_designs
 from repro.gen.synthetic import generate_benchmark
 from repro.params import MapperConfig, NoCParameters
@@ -67,15 +66,20 @@ def normalized_switch_count_study(
     designs: Optional[Mapping[str, UseCaseSet]] = None,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
-    """Normalised switch count of the proposed method vs. WC for D1-D4."""
+    """Normalised switch count of the proposed method vs. WC for D1-D4.
+
+    All design points run on one engine session, so each design is compiled
+    once and shared between the unified and worst-case methods (and with any
+    other study handed the same engine).
+    """
     if designs is None:
         designs = {name: design.use_cases for name, design in standard_designs().items()}
+    engine = engine or MappingEngine(params=params, config=config)
     rows: List[SweepRow] = []
     for name, use_cases in designs.items():
-        comparison = compare_methods(
-            use_cases, params=params, config=config, design_name=name
-        )
+        comparison = compare_methods(use_cases, design_name=name, engine=engine)
         rows.append(SweepRow(label=name, values=comparison.as_row()))
     return rows
 
@@ -90,14 +94,15 @@ def use_case_count_sweep(
     seed: int = 3,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
     """Normalised switch count vs. number of use-cases for Sp or Bot benchmarks."""
+    engine = engine or MappingEngine(params=params, config=config)
     rows: List[SweepRow] = []
     for count in use_case_counts:
         use_cases = generate_benchmark(kind, count, core_count=core_count, seed=seed)
         comparison = compare_methods(
-            use_cases, params=params, config=config,
-            design_name=f"{kind}-{count}uc",
+            use_cases, design_name=f"{kind}-{count}uc", engine=engine,
         )
         values = comparison.as_row()
         values["use_cases"] = count
@@ -112,6 +117,7 @@ def headline_summary(
     designs: Optional[Mapping[str, UseCaseSet]] = None,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> Dict[str, object]:
     """Average area reduction vs. WC and average DVS/DFS power saving.
 
@@ -122,13 +128,13 @@ def headline_summary(
     """
     if designs is None:
         designs = {name: design.use_cases for name, design in standard_designs().items()}
+    engine = engine or MappingEngine(params=params, config=config)
     area_reductions: List[float] = []
     dvfs_savings: List[float] = []
     per_design: Dict[str, Dict[str, object]] = {}
     analysis = DvfsAnalysis()
     for name, use_cases in designs.items():
-        comparison = compare_methods(use_cases, params=params, config=config,
-                                     design_name=name)
+        comparison = compare_methods(use_cases, design_name=name, engine=engine)
         entry: Dict[str, object] = comparison.as_row()
         if comparison.area_reduction is not None:
             area_reductions.append(comparison.area_reduction)
@@ -163,6 +169,7 @@ def parallel_use_case_study(
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
     max_switches: Optional[int] = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
     """Required NoC frequency as more use-cases of an Sp benchmark run in parallel.
 
@@ -174,8 +181,9 @@ def parallel_use_case_study(
     isolates the frequency cost, as the paper's figure does.
     """
     base = generate_benchmark("spread", use_case_count, core_count=core_count, seed=seed)
-    base_params = params or NoCParameters()
-    base_config = config or MapperConfig()
+    engine = engine or MappingEngine(params=params, config=config)
+    base_params = params or engine.params
+    base_config = config or engine.config
     if max_switches is None:
         per_switch = base_params.max_cores_per_switch or core_count
         minimum = -(-core_count // per_switch)  # ceil division
@@ -193,6 +201,7 @@ def parallel_use_case_study(
             params=base_params,
             config=base_config,
             max_switches=max_switches,
+            engine=engine,
         )
         rows.append(
             SweepRow(
@@ -211,28 +220,30 @@ def parallel_use_case_study(
 # --------------------------------------------------------------------------- #
 # Ablations of the design choices called out in DESIGN.md
 # --------------------------------------------------------------------------- #
-def _switches_or_none(use_cases: UseCaseSet, params: NoCParameters, config: MapperConfig):
-    try:
-        return UnifiedMapper(params=params, config=config).map(use_cases).switch_count
-    except MappingError:
-        return None
+def _switches_or_none(engine: MappingEngine, use_cases: UseCaseSet, groups=None):
+    result = engine.map_batch([use_cases], groups=groups)[0]
+    return None if result is None else result.switch_count
 
 
 def ablation_flow_ordering(
     use_cases: UseCaseSet,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
     """Largest-flow-first ordering (paper) vs. ignoring already-mapped endpoints."""
-    params = params or NoCParameters()
-    base = config or MapperConfig()
+    engine = engine or MappingEngine(params=params, config=config)
+    base = config or engine.config
     variants = {
         "prefer-mapped-endpoints": base,
         "ignore-mapped-endpoints": replace(base, prefer_mapped_endpoints=False),
     }
     return [
-        SweepRow(label=name,
-                 values={"switch_count": _switches_or_none(use_cases, params, cfg)})
+        SweepRow(
+            label=name,
+            values={"switch_count": _switches_or_none(
+                engine.with_params(config=cfg), use_cases)},
+        )
         for name, cfg in variants.items()
     ]
 
@@ -241,16 +252,17 @@ def ablation_routing_policy(
     use_cases: UseCaseSet,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
     """Effect of the candidate-path policy (XY vs. minimal vs. detours)."""
-    params = params or NoCParameters()
-    base = config or MapperConfig()
+    engine = engine or MappingEngine(params=params, config=config)
+    base = config or engine.config
     rows = []
     for policy in ("xy", "west_first", "minimal", "k_shortest"):
-        cfg = replace(base, routing_policy=policy)
+        point = engine.with_params(config=replace(base, routing_policy=policy))
         rows.append(
             SweepRow(label=policy,
-                     values={"switch_count": _switches_or_none(use_cases, params, cfg)})
+                     values={"switch_count": _switches_or_none(point, use_cases)})
         )
     return rows
 
@@ -260,17 +272,18 @@ def ablation_slot_table_size(
     sizes: Sequence[int] = (8, 16, 32, 64),
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
     """Effect of the TDMA slot-table size on the achievable NoC size."""
-    base_params = params or NoCParameters()
-    cfg = config or MapperConfig()
+    engine = engine or MappingEngine(params=params, config=config)
+    base_params = params or engine.params
     rows = []
     for size in sizes:
-        point = replace(base_params, slot_table_size=size)
+        point = engine.with_params(params=replace(base_params, slot_table_size=size))
         rows.append(
             SweepRow(label=f"slots-{size}",
                      values={"slot_table_size": size,
-                             "switch_count": _switches_or_none(use_cases, point, cfg)})
+                             "switch_count": _switches_or_none(point, use_cases)})
         )
     return rows
 
@@ -279,6 +292,7 @@ def ablation_grouping(
     use_cases: UseCaseSet,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> List[SweepRow]:
     """Fully re-configurable NoC vs. one shared configuration for all use-cases.
 
@@ -287,18 +301,9 @@ def ablation_grouping(
     must absorb everything), which is the cleanest demonstration of where
     the paper's gain comes from.
     """
-    params = params or NoCParameters()
-    cfg = config or MapperConfig()
-    separate = _switches_or_none(use_cases, params, cfg)
-    single_group = [list(use_cases.names)]
-    try:
-        shared = (
-            UnifiedMapper(params=params, config=cfg)
-            .map(use_cases, groups=single_group)
-            .switch_count
-        )
-    except MappingError:
-        shared = None
+    engine = engine or MappingEngine(params=params, config=config)
+    separate = _switches_or_none(engine, use_cases)
+    shared = _switches_or_none(engine, use_cases, groups=[list(use_cases.names)])
     return [
         SweepRow(label="per-use-case-configuration", values={"switch_count": separate}),
         SweepRow(label="single-shared-configuration", values={"switch_count": shared}),

@@ -19,7 +19,15 @@ from repro.core.compound import CompoundModeSpec, generate_compound_modes
 from repro.core.switching import SwitchingGraph, group_use_cases
 from repro.core.config import MapperConfig, NoCParameters
 from repro.core.result import FlowAllocation, MappingResult, UseCaseConfiguration
+from repro.core.spec import (
+    CompiledFlow,
+    CompiledGroup,
+    CompiledSpec,
+    CompiledUseCase,
+    compile_spec,
+)
 from repro.core.mapping import UnifiedMapper, map_use_cases
+from repro.core.engine import MappingEngine
 from repro.core.worstcase import build_worst_case_use_case, WorstCaseMapper
 from repro.core.design_flow import DesignFlow, DesignFlowResult
 
@@ -28,6 +36,11 @@ __all__ = [
     "Flow",
     "UseCase",
     "UseCaseSet",
+    "CompiledFlow",
+    "CompiledGroup",
+    "CompiledSpec",
+    "CompiledUseCase",
+    "compile_spec",
     "CompoundModeSpec",
     "generate_compound_modes",
     "SwitchingGraph",
@@ -38,6 +51,7 @@ __all__ = [
     "MappingResult",
     "UseCaseConfiguration",
     "UnifiedMapper",
+    "MappingEngine",
     "map_use_cases",
     "build_worst_case_use_case",
     "WorstCaseMapper",

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.compound import CompoundModeSpec, generate_compound_modes
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.result import MappingResult
 from repro.core.switching import SwitchingGraph
 from repro.core.usecase import UseCase, UseCaseSet
@@ -84,16 +84,24 @@ class DesignFlowResult:
 
 
 class DesignFlow:
-    """Orchestrates phases 1-4 of the multi-use-case NoC design methodology."""
+    """Orchestrates phases 1-4 of the multi-use-case NoC design methodology.
+
+    The flow owns a :class:`~repro.core.engine.MappingEngine` session (the
+    public mapping API) and delegates phase 3 to it; passing a shared engine
+    lets several flows — or a flow plus the analysis sweeps — reuse compiled
+    specifications and mapping results.
+    """
 
     def __init__(
         self,
         params: NoCParameters | None = None,
         config: MapperConfig | None = None,
         verify: bool = True,
+        engine: MappingEngine | None = None,
     ) -> None:
-        self.params = params or NoCParameters()
-        self.config = config or MapperConfig()
+        self.engine = engine or MappingEngine(params=params, config=config)
+        self.params = self.engine.params
+        self.config = self.engine.config
         self.verify = verify
 
     def run(
@@ -125,9 +133,8 @@ class DesignFlow:
         )
         groups = tuple(switching_graph.groups())
 
-        # Phase 3: unified mapping and NoC configuration.
-        mapper = UnifiedMapper(params=self.params, config=self.config)
-        mapping = mapper.map(expanded, switching_graph=switching_graph)
+        # Phase 3: unified mapping and NoC configuration (engine session).
+        mapping = self.engine.map(expanded, switching_graph=switching_graph)
 
         # Phase 4: analytical verification of the GT connections.
         report = verify_mapping(mapping, expanded) if self.verify else None

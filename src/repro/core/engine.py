@@ -1,0 +1,463 @@
+"""The mapping session object: compiled specs plus caches shared across runs.
+
+A :class:`MappingEngine` owns one :class:`~repro.core.mapping.UnifiedMapper`
+(one operating point + algorithm configuration) and the caches that let the
+rest of the system evaluate the same specification many times without
+re-deriving anything:
+
+* **spec cache** — ``UseCaseSet`` → :class:`~repro.core.spec.CompiledSpec`
+  (compiling freezes the set, so a hit can never be stale);
+* **requirement cache** — (spec hash, resolved grouping) →
+  ``GroupRequirement``/``_Worklist`` bundle, shared by every refinement
+  candidate, worst-case mesh attempt and sweep point;
+* **evaluation cache** — (group, endpoint-placement projection) → the
+  group's flow allocations, which makes repeated fixed-placement
+  evaluations (the annealing/tabu inner loop) hit instead of re-mapping;
+* **result cache** — (spec hash, grouping, method) → ``MappingResult`` for
+  full mapping runs, shared by sweeps that revisit a design.
+
+Engines are cheap to create; use :meth:`with_params` to derive a sibling at
+a different operating point that *shares* the params-independent spec and
+requirement caches (the frequency searches lean on this).
+
+Everything the engine returns is bit-identical to driving
+:class:`UnifiedMapper` directly — caches only ever short-circuit
+deterministic recomputation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.mapping import GroupRequirement, GroupSpec, UnifiedMapper, _Worklist
+from repro.core.result import MappingResult, UseCaseConfiguration
+from repro.core.spec import CompiledSpec, compile_spec
+from repro.core.switching import SwitchingGraph
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import MappingError
+from repro.noc.topology import Topology
+from repro.params import MapperConfig, NoCParameters
+
+__all__ = ["MappingEngine"]
+
+SpecLike = Union[UseCaseSet, CompiledSpec]
+
+
+class _RequirementBundle:
+    """Everything derived from (spec, grouping) that mapping runs share."""
+
+    __slots__ = (
+        "requirements",
+        "worklist",
+        "order",
+        "group_plans",
+        "group_endpoints",
+        "spec_core_names",
+    )
+
+    def __init__(self, spec: CompiledSpec, resolved: Tuple[FrozenSet[str], ...]) -> None:
+        self.spec_core_names = spec.core_names
+        compiled_groups = spec.groups_for(resolved)
+        self.requirements: Tuple[GroupRequirement, ...] = tuple(
+            GroupRequirement.from_compiled(group) for group in compiled_groups
+        )
+        self.worklist = _Worklist(self.requirements)
+        #: global fixed-placement processing order (see _Worklist)
+        self.order = self.worklist.placement_sequence()
+        #: per group: its slice of ``order``, each requirement paired with
+        #: the (member name, member flow) records to emit for it
+        self.group_plans: Dict[int, List] = {req.group_id: [] for req in self.requirements}
+        by_group = {req.group_id: req for req in self.requirements}
+        for pair_req in self.order:
+            requirement = by_group[pair_req.group_id]
+            members = tuple(
+                (member.name, flow)
+                for member in requirement.members
+                for flow in (member.flow_between(pair_req.source, pair_req.destination),)
+                if flow is not None
+            )
+            self.group_plans[pair_req.group_id].append((pair_req, members))
+        #: per group: the cores whose placement its evaluation depends on,
+        #: as indices into the spec's interned core table (compact cache keys)
+        self.group_endpoints: Dict[int, Tuple[int, ...]] = {
+            group.group_id: tuple(spec.core_index[name] for name in group.endpoints)
+            for group in compiled_groups
+        }
+
+
+class MappingEngine:
+    """Session object owning compiled specs and cross-run mapping caches."""
+
+    #: bound on cached fixed-placement group evaluations (LRU)
+    _EVAL_CACHE_SIZE = 8192
+    #: bound on cached full mapping results (LRU)
+    _RESULT_CACHE_SIZE = 128
+    #: bound on cached compiled specs and set-identity fast-path entries (LRU)
+    _SPEC_CACHE_SIZE = 256
+    #: bound on cached requirement bundles (LRU)
+    _BUNDLE_CACHE_SIZE = 64
+
+    def __init__(
+        self,
+        params: NoCParameters | None = None,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.params = params or NoCParameters()
+        self.config = config or MapperConfig()
+        self.mapper = UnifiedMapper(params=self.params, config=self.config)
+        #: spec hash -> CompiledSpec (authoritative, params-independent)
+        self._specs: "OrderedDict[str, CompiledSpec]" = OrderedDict()
+        #: id(UseCaseSet) -> (set, CompiledSpec) fast path; the entry pins
+        #: the keyed set so its id cannot be recycled while it exists, and
+        #: the identity check guards a key surviving its set
+        self._specs_by_id: "OrderedDict[int, Tuple[UseCaseSet, CompiledSpec]]" = (
+            OrderedDict()
+        )
+        #: (spec hash, resolved grouping) -> _RequirementBundle
+        self._bundles: "OrderedDict[Tuple[str, Tuple[FrozenSet[str], ...]], _RequirementBundle]" = (
+            OrderedDict()
+        )
+        #: (id(bundle), id(topology), group id, endpoint projection) ->
+        #: (bundle, topology, group evaluation | None); the bundle and
+        #: topology references pin their ids against recycling
+        self._group_evals: "OrderedDict" = OrderedDict()
+        #: (spec hash, resolved grouping, method name) -> MappingResult
+        self._results: "OrderedDict" = OrderedDict()
+        #: spec hash -> compiled worst-case spec (see worst_case)
+        self._worst_specs: "OrderedDict[str, CompiledSpec]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # compilation and derived-state caches
+    # ------------------------------------------------------------------ #
+    def compile(self, use_cases: SpecLike) -> CompiledSpec:
+        """Compile (and freeze) a use-case set, reusing any cached spec."""
+        if isinstance(use_cases, CompiledSpec):
+            return use_cases
+        entry = self._specs_by_id.get(id(use_cases))
+        if entry is not None and entry[0] is use_cases:
+            self._specs_by_id.move_to_end(id(use_cases))
+            return entry[1]
+        spec = compile_spec(use_cases)
+        existing = self._specs.get(spec.spec_hash)
+        if existing is not None:
+            self._specs.move_to_end(spec.spec_hash)
+            spec = existing
+        else:
+            self._specs[spec.spec_hash] = spec
+            if len(self._specs) > self._SPEC_CACHE_SIZE:
+                self._specs.popitem(last=False)
+        self._specs_by_id[id(use_cases)] = (use_cases, spec)
+        if len(self._specs_by_id) > self._SPEC_CACHE_SIZE:
+            self._specs_by_id.popitem(last=False)
+        return spec
+
+    def resolve_groups(
+        self,
+        spec: CompiledSpec,
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+    ) -> Tuple[FrozenSet[str], ...]:
+        """Resolve and validate the smooth-switching grouping for a spec."""
+        return self.mapper._resolve_groups(spec, groups, switching_graph)
+
+    def requirements_for(
+        self,
+        spec: CompiledSpec,
+        resolved_groups: Tuple[FrozenSet[str], ...],
+    ) -> _RequirementBundle:
+        """The cached requirement/worklist bundle of one (spec, grouping)."""
+        key = (spec.spec_hash, resolved_groups)
+        bundle = self._bundles.get(key)
+        if bundle is None:
+            bundle = _RequirementBundle(spec, resolved_groups)
+            self._bundles[key] = bundle
+            if len(self._bundles) > self._BUNDLE_CACHE_SIZE:
+                self._bundles.popitem(last=False)
+        else:
+            self._bundles.move_to_end(key)
+        return bundle
+
+    def with_params(
+        self,
+        params: NoCParameters | None = None,
+        config: MapperConfig | None = None,
+    ) -> "MappingEngine":
+        """A sibling engine at another operating point, sharing spec caches.
+
+        Compiled specs, requirement bundles and worst-case specs are pure
+        functions of the specification and are shared by reference; mapping
+        results and evaluations (which depend on params/config) are not.
+        """
+        sibling = MappingEngine(params or self.params, config or self.config)
+        sibling._specs = self._specs
+        sibling._specs_by_id = self._specs_by_id
+        sibling._bundles = self._bundles
+        sibling._worst_specs = self._worst_specs
+        return sibling
+
+    # ------------------------------------------------------------------ #
+    # full mapping runs
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        use_cases: SpecLike,
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+        method_name: str = "unified",
+    ) -> MappingResult:
+        """Map a design onto the smallest feasible topology (cached).
+
+        Semantically identical to :meth:`UnifiedMapper.map`; repeated calls
+        for the same specification, grouping and method return the cached
+        result object.
+        """
+        spec = self.compile(use_cases)
+        resolved = self.resolve_groups(spec, groups, switching_graph)
+        key = (spec.spec_hash, resolved, method_name)
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            return cached
+        bundle = self.requirements_for(spec, resolved)
+        result = self.mapper.map_requirements(
+            spec.core_names, bundle.requirements, bundle.worklist, resolved, method_name
+        )
+        self._results[key] = result
+        if len(self._results) > self._RESULT_CACHE_SIZE:
+            self._results.popitem(last=False)
+        return result
+
+    def map_batch(
+        self,
+        designs: Iterable[SpecLike],
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+        method_name: str = "unified",
+    ) -> List[Optional[MappingResult]]:
+        """Map several designs in one pass, sharing every engine cache.
+
+        The batch entry point for sweeps: each design is compiled at most
+        once for the whole batch (and across batches on the same engine).
+        Designs that cannot be mapped yield ``None`` instead of raising, so
+        a sweep row can record the failure the way the paper's figures do.
+        """
+        results: List[Optional[MappingResult]] = []
+        for design in designs:
+            try:
+                results.append(
+                    self.map(design, groups=groups, switching_graph=switching_graph,
+                             method_name=method_name)
+                )
+            except MappingError:
+                results.append(None)
+        return results
+
+    def worst_case(self, use_cases: SpecLike) -> MappingResult:
+        """Map a design with the worst-case baseline method (cached).
+
+        The synthetic worst-case use-case is itself derived (and compiled)
+        once per spec hash, so growing-mesh attempts and repeated calls —
+        the frequency searches probe many operating points — share one
+        compilation.
+        """
+        from repro.core.worstcase import WORST_CASE_NAME, build_worst_case_use_case
+
+        spec = self.compile(use_cases)
+        worst_spec = self._worst_specs.get(spec.spec_hash)
+        if worst_spec is None:
+            worst = build_worst_case_use_case(spec.use_case_set, name=WORST_CASE_NAME)
+            singleton = UseCaseSet([worst], name=f"{spec.name}-worst-case")
+            worst_spec = self.compile(singleton)
+            self._worst_specs[spec.spec_hash] = worst_spec
+            if len(self._worst_specs) > self._SPEC_CACHE_SIZE:
+                self._worst_specs.popitem(last=False)
+        else:
+            self._worst_specs.move_to_end(spec.spec_hash)
+        return self.map(worst_spec, method_name="worst_case")
+
+    # ------------------------------------------------------------------ #
+    # fixed-placement evaluation (the refinement hot path)
+    # ------------------------------------------------------------------ #
+    def _evaluate_groups(
+        self,
+        bundle: _RequirementBundle,
+        topology: Topology,
+        placement: Mapping[str, int],
+    ) -> Dict[int, List]:
+        """Evaluate (or recall) every group under a complete placement.
+
+        Validates the placement globally (switch indices exist, per-switch
+        core limit holds — mirroring the checks the per-state attachments
+        perform in the general path), then evaluates each group against the
+        memoised (group, endpoint-placement) cache.  Raises
+        :class:`MappingError` when the placement or any group is infeasible.
+        """
+        limit = self.params.max_cores_per_switch
+        occupancy: Dict[int, int] = {}
+        for core, switch in placement.items():
+            topology.switch(switch)
+            occupancy[switch] = occupancy.get(switch, 0) + 1
+            if limit is not None and occupancy[switch] > limit:
+                raise MappingError(
+                    f"placement is infeasible on topology {topology.name!r}",
+                    largest_topology=topology.name,
+                )
+
+        core_names = bundle.spec_core_names
+        evals = self._group_evals
+        outcomes: Dict[int, List] = {}
+        for requirement in bundle.requirements:
+            group_id = requirement.group_id
+            projection = tuple(
+                placement[core_names[index]]
+                for index in bundle.group_endpoints[group_id]
+            )
+            key = (id(bundle), id(topology), group_id, projection)
+            entry = evals.get(key)
+            if entry is not None and entry[0] is bundle and entry[1] is topology:
+                evals.move_to_end(key)
+                outcome = entry[2]
+            else:
+                outcome = self.mapper.evaluate_group_fixed(
+                    topology, group_id, bundle.group_plans[group_id], placement
+                )
+                evals[key] = (bundle, topology, outcome)
+                if len(evals) > self._EVAL_CACHE_SIZE:
+                    evals.popitem(last=False)
+            if outcome is None:
+                raise MappingError(
+                    f"placement is infeasible on topology {topology.name!r}",
+                    largest_topology=topology.name,
+                )
+            outcomes[group_id] = outcome
+        return outcomes
+
+    def placement_cost(
+        self,
+        use_cases: SpecLike,
+        topology: Topology,
+        placement: Mapping[str, int],
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+    ) -> float:
+        """Communication cost (Σ bandwidth × hops) of a complete placement.
+
+        The cost-only twin of :meth:`evaluate_placement`: it runs (or
+        recalls) the same per-group evaluations but skips materialising the
+        ``MappingResult``, which the refiners only need for *accepted*
+        candidates — a subsequent :meth:`evaluate_placement` for the same
+        placement hits the evaluation cache and only pays for assembly.
+        The float is bit-identical to summing the assembled result.
+
+        Raises :class:`MappingError` when the placement is infeasible.
+        """
+        spec = self.compile(use_cases)
+        resolved = self.resolve_groups(spec, groups, switching_graph)
+        if any(name not in placement for name in spec.core_names):
+            result = self.mapper.map_with_placement(
+                spec.use_case_set, topology, placement, groups=resolved,
+                validate=False,
+            )
+            return sum(
+                configuration.total_bandwidth_hops()
+                for configuration in result.configurations.values()
+            )
+        bundle = self.requirements_for(spec, resolved)
+        outcomes = self._evaluate_groups(bundle, topology, placement)
+        return self._walk_outcomes(bundle, outcomes)[0]
+
+    @staticmethod
+    def _walk_outcomes(
+        bundle: _RequirementBundle,
+        outcomes: Mapping[int, List],
+        configurations: Optional[Dict[str, UseCaseConfiguration]] = None,
+    ) -> Tuple[float, Dict[str, UseCaseConfiguration]]:
+        """Walk group outcomes in the exact global allocation order.
+
+        The single accumulation loop behind both :meth:`placement_cost` and
+        :meth:`evaluate_placement`: per-use-case cost sums build up in the
+        order the monolithic path records allocations (float addition order
+        is part of the bit-identical contract), and when ``configurations``
+        is supplied the allocations are materialised into it as well.
+        Returns the total communication cost and the configurations map.
+        """
+        cost_sums: Dict[str, float] = {}
+        for requirement in bundle.requirements:
+            for name in requirement.member_names:
+                cost_sums[name] = 0
+                if configurations is not None:
+                    configurations[name] = UseCaseConfiguration(
+                        name, requirement.group_id
+                    )
+        cursor: Dict[int, int] = {gid: 0 for gid in outcomes}
+        for pair_req in bundle.order:
+            group_id = pair_req.group_id
+            index = cursor[group_id]
+            cursor[group_id] = index + 1
+            entry = outcomes[group_id][index]
+            terms = entry.cost_terms
+            if configurations is None:
+                members = entry.members
+                for position in range(len(terms)):
+                    name = members[position][0]
+                    cost_sums[name] = cost_sums[name] + terms[position]
+            else:
+                for position, (name, allocation) in enumerate(entry.allocations()):
+                    configurations[name].add(allocation)
+                    cost_sums[name] = cost_sums[name] + terms[position]
+        return sum(cost_sums.values()), configurations if configurations is not None else {}
+
+    def evaluate_placement(
+        self,
+        use_cases: SpecLike,
+        topology: Topology,
+        placement: Mapping[str, int],
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+        method_name: str = "unified-fixed-placement",
+    ) -> MappingResult:
+        """Map a design onto a fixed topology and complete core placement.
+
+        Drop-in equivalent of :meth:`UnifiedMapper.map_with_placement` for
+        placements that cover every core of the design (the refinement
+        passes always do): each configuration group is evaluated
+        independently against its cached requirement sequence, and the
+        evaluation is memoised on the placement of the group's endpoint
+        cores — unchanged groups and revisited placements are free.
+        Placements that leave cores unmapped fall back to the general path.
+
+        Raises :class:`MappingError` when the placement is infeasible.
+        """
+        spec = self.compile(use_cases)
+        resolved = self.resolve_groups(spec, groups, switching_graph)
+        if any(name not in placement for name in spec.core_names):
+            return self.mapper.map_with_placement(
+                spec.use_case_set, topology, placement, groups=resolved,
+                method_name=method_name, validate=False,
+            )
+        bundle = self.requirements_for(spec, resolved)
+        outcomes = self._evaluate_groups(bundle, topology, placement)
+
+        # Reassemble the per-use-case configurations in the exact global
+        # order the general path records allocations in (float accumulations
+        # downstream observe insertion order).
+        total_cost, configurations = self._walk_outcomes(bundle, outcomes, {})
+        result = MappingResult(
+            method=method_name,
+            topology=topology,
+            params=self.params,
+            config=self.config,
+            core_mapping=dict(placement),
+            groups=resolved,
+            configurations=configurations,
+            attempted_topologies=(topology.name,),
+        )
+        result.cached_communication_cost = total_cost
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MappingEngine(specs={len(self._specs)}, bundles={len(self._bundles)}, "
+            f"evaluations={len(self._group_evals)}, results={len(self._results)})"
+        )

@@ -58,7 +58,7 @@ class _PairRequirement:
     """
 
     __slots__ = ("group_id", "source", "destination", "bandwidth", "latency",
-                 "guaranteed", "pair")
+                 "guaranteed", "pair", "flow_id")
 
     def __init__(
         self,
@@ -76,6 +76,8 @@ class _PairRequirement:
         self.latency = latency
         self.guaranteed = guaranteed
         self.pair = (source, destination)
+        #: reservation identifier, formatted once (read per placement attempt)
+        self.flow_id = f"g{group_id}:{source}->{destination}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -114,7 +116,11 @@ class GroupRequirement:
                     if flow.latency < entry[1]:
                         entry[1] = flow.latency
                     entry[2] = entry[2] or guaranteed
-        self._pairs: Dict[Tuple[str, str], _PairRequirement] = {
+        self._pairs = self._build_pairs(group_id, accumulated.items())
+
+    @staticmethod
+    def _build_pairs(group_id, items) -> Dict[Tuple[str, str], _PairRequirement]:
+        return {
             pair: _PairRequirement(
                 group_id=group_id,
                 source=pair[0],
@@ -123,8 +129,23 @@ class GroupRequirement:
                 latency=latency,
                 guaranteed=guaranteed,
             )
-            for pair, (bandwidth, latency, guaranteed) in accumulated.items()
+            for pair, (bandwidth, latency, guaranteed) in items
         }
+
+    @classmethod
+    def from_compiled(cls, group) -> "GroupRequirement":
+        """Build a requirement from a :class:`~repro.core.spec.CompiledGroup`.
+
+        The compiled group already aggregated its pair table (in the exact
+        order this constructor would have), so no flow scan happens here —
+        this is what lets the engine build requirements once per spec hash.
+        """
+        requirement = cls.__new__(cls)
+        requirement.group_id = group.group_id
+        requirement.members = group.members
+        requirement.member_names = group.member_names
+        requirement._pairs = cls._build_pairs(group.group_id, group.pair_table.items())
+        return requirement
 
     @property
     def pair_requirements(self) -> Tuple[_PairRequirement, ...]:
@@ -169,6 +190,37 @@ class _Worklist:
             self.by_endpoint.setdefault(req.source, []).append(position)
             if req.destination != req.source:
                 self.by_endpoint.setdefault(req.destination, []).append(position)
+        self._placement_sequence: Optional[Tuple[_PairRequirement, ...]] = None
+
+    def placement_sequence(self) -> Tuple[_PairRequirement, ...]:
+        """The order pairs are placed in when every core is already mapped.
+
+        With a complete initial placement the "prefer mapped endpoints"
+        tie-break never fires, so the main loop's processing order is a pure
+        function of the worklist: repeatedly take the first live item and
+        then every other live requirement of the same core pair.  The
+        engine's fixed-placement evaluator replays this exact order without
+        the per-candidate ``done``/head bookkeeping.
+        """
+        if self._placement_sequence is not None:
+            return self._placement_sequence
+        done = [False] * len(self.items)
+        order: List[_PairRequirement] = []
+        head = 0
+        remaining = len(self.items)
+        while remaining:
+            while done[head]:
+                head += 1
+            chosen = self.items[head]
+            for req in self.by_pair[chosen.pair]:
+                position = self.position_of[req]
+                if done[position]:
+                    continue
+                done[position] = True
+                order.append(req)
+                remaining -= 1
+        self._placement_sequence = tuple(order)
+        return self._placement_sequence
 
 
 class _AttemptAccounting:
@@ -226,6 +278,54 @@ class _AttemptAccounting:
             heapq.heappush(self.preferred, position)
 
 
+class PairPlacement:
+    """Outcome of placing one aggregated pair during fixed-placement evaluation.
+
+    Holds what both consumers of a cached group evaluation need: the
+    ``bandwidth x hops`` cost terms (cost-only candidate screening) and the
+    ingredients of the member :class:`FlowAllocation` records, which are
+    materialised lazily — only placements that get *accepted* ever assemble
+    a full :class:`MappingResult` — and then memoised for later assemblies
+    of the same cached evaluation.
+    """
+
+    __slots__ = ("members", "switch_path", "link_slots", "cost_terms", "_allocations")
+
+    def __init__(
+        self,
+        members: Tuple[Tuple[str, Flow], ...],
+        switch_path: Tuple[int, ...],
+        link_slots: Mapping,
+        cost_terms: Tuple[float, ...],
+    ) -> None:
+        self.members = members
+        self.switch_path = switch_path
+        self.link_slots = link_slots
+        self.cost_terms = cost_terms
+        self._allocations: Optional[Tuple[Tuple[str, FlowAllocation], ...]] = None
+
+    def allocations(self) -> Tuple[Tuple[str, "FlowAllocation"], ...]:
+        """(member name, allocation) pairs, built on first use and memoised."""
+        cached = self._allocations
+        if cached is None:
+            switch_path = self.switch_path
+            link_slots = self.link_slots
+            cached = tuple(
+                (
+                    name,
+                    FlowAllocation(
+                        use_case=name,
+                        flow=flow,
+                        switch_path=switch_path,
+                        link_slots=dict(link_slots),
+                    ),
+                )
+                for name, flow in self.members
+            )
+            self._allocations = cached
+        return cached
+
+
 class UnifiedMapper:
     """The paper's unified mapping / path-selection / slot-reservation engine."""
 
@@ -243,10 +343,25 @@ class UnifiedMapper:
         self._selector_cache: "OrderedDict[int, Tuple[Topology, PathSelector]]" = (
             OrderedDict()
         )
+        #: pristine (no cores, no reservations) ResourceState per topology;
+        #: every attempt copies the template instead of rebuilding the link
+        #: and slot tables, and the copies share the template's path->links
+        #: memo, so derived routing state carries over across the outer
+        #: loop's growing mesh attempts and across refinement candidates.
+        self._pristine_cache: "OrderedDict[int, Tuple[Topology, ResourceState]]" = (
+            OrderedDict()
+        )
         #: live accounting of the attempt currently in flight (None outside)
         self._acct: Optional[_AttemptAccounting] = None
         #: (bandwidth, latency) -> hop budget memo (pure function of params)
         self._hop_budget_cache: Dict[Tuple[float, float], Optional[int]] = {}
+        #: id(plan) -> (plan, per-entry hop budgets) for engine evaluation
+        #: plans; the entry pins the plan list so its id cannot be recycled
+        #: while the entry exists, and the identity check guards against a
+        #: key surviving its plan (bounded LRU)
+        self._plan_budget_cache: "OrderedDict[int, Tuple[object, Tuple[Optional[int], ...]]]" = (
+            OrderedDict()
+        )
 
     #: number of (topology, PathSelector) pairs kept alive per mapper
     _SELECTOR_CACHE_SIZE = 4
@@ -265,6 +380,19 @@ class UnifiedMapper:
         if len(self._selector_cache) > self._SELECTOR_CACHE_SIZE:
             self._selector_cache.popitem(last=False)
         return selector
+
+    def _pristine_for(self, topology: Topology) -> ResourceState:
+        """An empty ResourceState template for a topology (identity-cached)."""
+        key = id(topology)
+        entry = self._pristine_cache.get(key)
+        if entry is not None and entry[0] is topology:
+            self._pristine_cache.move_to_end(key)
+            return entry[1]
+        template = ResourceState(topology, self.params, name="pristine")
+        self._pristine_cache[key] = (topology, template)
+        if len(self._pristine_cache) > self._SELECTOR_CACHE_SIZE:
+            self._pristine_cache.popitem(last=False)
+        return template
 
     # ------------------------------------------------------------------ #
     # public API
@@ -312,15 +440,35 @@ class UnifiedMapper:
             GroupRequirement(group_id, [use_cases[name] for name in sorted(group)])
             for group_id, group in enumerate(resolved_groups)
         ]
+        return self.map_requirements(
+            list(use_cases.all_core_names()),
+            requirements,
+            _Worklist(requirements),
+            resolved_groups,
+            method_name,
+        )
+
+    def map_requirements(
+        self,
+        all_core_names: Sequence[str],
+        requirements: Sequence[GroupRequirement],
+        worklist: _Worklist,
+        resolved_groups: Tuple[FrozenSet[str], ...],
+        method_name: str = "unified",
+    ) -> MappingResult:
+        """Run the outer topology-growth loop over prebuilt requirements.
+
+        This is the engine-facing entry point: :class:`MappingEngine` caches
+        ``requirements`` and ``worklist`` per spec hash and grouping, so
+        repeated mappings of the same specification skip the aggregation and
+        sorting phases entirely.  Semantics are identical to :meth:`map`.
+        """
         if self.config.enable_quick_infeasibility_check:
             self._quick_infeasibility_check(requirements)
-
-        worklist = _Worklist(requirements)
-        core_names = list(use_cases.all_core_names())
         attempted: List[str] = []
-        for topology in self._topology_schedule(len(core_names)):
+        for topology in self._topology_schedule(len(all_core_names)):
             attempted.append(topology.name)
-            outcome = self._attempt(topology, use_cases, requirements, worklist)
+            outcome = self._attempt(topology, all_core_names, requirements, worklist)
             if outcome is not None:
                 core_mapping, configurations = outcome
                 return MappingResult(
@@ -333,9 +481,10 @@ class UnifiedMapper:
                     configurations=configurations,
                     attempted_topologies=attempted,
                 )
+        use_case_count = sum(len(req.member_names) for req in requirements)
         raise MappingError(
             f"no topology with up to {self.config.max_switches} switches satisfies "
-            f"the constraints of {len(use_cases)} use-case(s)",
+            f"the constraints of {use_case_count} use-case(s)",
             largest_topology=attempted[-1] if attempted else None,
         )
 
@@ -458,8 +607,8 @@ class UnifiedMapper:
             for group_id, group in enumerate(resolved_groups)
         ]
         outcome = self._attempt(
-            topology, use_cases, requirements, _Worklist(requirements),
-            initial_placement=placement,
+            topology, list(use_cases.all_core_names()), requirements,
+            _Worklist(requirements), initial_placement=placement,
         )
         if outcome is None:
             raise MappingError(
@@ -478,10 +627,97 @@ class UnifiedMapper:
             attempted_topologies=(topology.name,),
         )
 
+    def evaluate_group_fixed(
+        self,
+        topology: Topology,
+        group_id: int,
+        plan: Sequence[Tuple[_PairRequirement, Tuple[Tuple[str, Flow], ...]]],
+        placement: Mapping[str, int],
+    ) -> Optional[List[PairPlacement]]:
+        """Evaluate one configuration group under a complete core placement.
+
+        ``plan`` is the group's slice of the worklist's placement sequence,
+        each entry pairing the aggregated requirement with the (member name,
+        member flow) records to emit for it.  Returns one
+        :class:`PairPlacement` per plan item (in plan order), or ``None``
+        when the group cannot be mapped — exactly the decisions
+        :meth:`_attempt` makes for this group when every endpoint is
+        pre-placed:
+
+        * with a complete placement the group's resource state evolves
+          independently of every other group, so evaluating it alone is
+          exact (this is what makes per-group caching in the engine sound);
+        * when a pair has a single candidate path, ranking by cost is
+          skipped: the reservation plan performs a strict superset of the
+          path-cost feasibility checks, so attempting the reservation
+          directly accepts and rejects in exactly the same cases;
+        * with several candidates, ranking by (cost, path) and trying the
+          cheapest reservable candidate first replays
+          ``PathSelector.select_least_cost`` exactly (its ``min`` is the
+          first element of the stable full sort).
+        """
+        selector = self._selector_for(topology)
+        state = self._pristine_for(topology).copy(name=f"group-{group_id}")
+        seen: Set[str] = set()
+        seed_items: List[Tuple[str, int]] = []
+        for req, _members in plan:
+            for core in (req.source, req.destination):
+                if core not in seen:
+                    seen.add(core)
+                    seed_items.append((core, placement[core]))
+        state.seed_cores(seed_items)
+        budgets = self._budgets_for(plan)
+        candidate_paths = selector.candidate_paths
+        path_cost = state.path_cost
+        reserve_unrecorded = state.reserve_unrecorded
+        config = self.config
+        entries: List[PairPlacement] = []
+        for index, (req, members) in enumerate(plan):
+            max_hops = budgets[index]
+            if max_hops is not None and max_hops < 0:
+                return None
+            bandwidth = req.bandwidth
+            guaranteed = req.guaranteed
+            assignment = None
+            paths = candidate_paths(placement[req.source], placement[req.destination])
+            if len(paths) == 1:
+                path = paths[0]
+                if max_hops is None or len(path) - 1 <= max_hops:
+                    assignment = reserve_unrecorded(
+                        req.flow_id, req.source, req.destination, path,
+                        bandwidth, guaranteed=guaranteed,
+                    )
+            else:
+                ranked: List[Tuple[float, Tuple[int, ...]]] = []
+                for path in paths:
+                    if max_hops is not None and len(path) - 1 > max_hops:
+                        continue
+                    cost = path_cost(path, bandwidth, config, guaranteed=guaranteed)
+                    if cost != INFEASIBLE_COST:
+                        ranked.append((cost, path))
+                ranked.sort()
+                for _cost, path in ranked:
+                    assignment = reserve_unrecorded(
+                        req.flow_id, req.source, req.destination, path,
+                        bandwidth, guaranteed=guaranteed,
+                    )
+                    if assignment is not None:
+                        break
+            if assignment is None:
+                return None
+            hops = len(path) - 1
+            entries.append(PairPlacement(
+                members=members,
+                switch_path=path,
+                link_slots=assignment,
+                cost_terms=tuple(flow.bandwidth * hops for _name, flow in members),
+            ))
+        return entries
+
     def _attempt(
         self,
         topology: Topology,
-        use_cases: UseCaseSet,
+        all_cores: Sequence[str],
         requirements: Sequence[GroupRequirement],
         worklist: _Worklist,
         initial_placement: Optional[Mapping[str, int]] = None,
@@ -494,10 +730,9 @@ class UnifiedMapper:
         cores to switches (used by :meth:`map_with_placement`).
         """
         selector = self._selector_for(topology)
+        pristine = self._pristine_for(topology)
         states: Dict[int, ResourceState] = {
-            requirement.group_id: ResourceState(
-                topology, self.params, name=f"group-{requirement.group_id}"
-            )
+            requirement.group_id: pristine.copy(name=f"group-{requirement.group_id}")
             for requirement in requirements
         }
         configurations: Dict[str, UseCaseConfiguration] = {}
@@ -512,7 +747,6 @@ class UnifiedMapper:
         position_of = worklist.position_of
 
         core_mapping: Dict[str, int] = {}
-        all_cores = list(use_cases.all_core_names())
         # Used by the placement heuristic to derive the target core spacing.
         self._core_count_hint = len(all_cores)
         acct = _AttemptAccounting(topology, worklist)
@@ -596,7 +830,7 @@ class UnifiedMapper:
             return False
         source_switch = core_mapping.get(req.source)
         destination_switch = core_mapping.get(req.destination)
-        flow_id = f"g{req.group_id}:{req.source}->{req.destination}"
+        flow_id = req.flow_id
 
         if source_switch is None or destination_switch is None:
             placement = self._choose_placement(
@@ -650,6 +884,22 @@ class UnifiedMapper:
                 )
             )
         return True
+
+    #: number of evaluation plans whose hop budgets are kept per mapper
+    _BUDGET_CACHE_SIZE = 64
+
+    def _budgets_for(self, plan) -> Tuple[Optional[int], ...]:
+        """Per-entry hop budgets of one evaluation plan, computed once."""
+        key = id(plan)
+        entry = self._plan_budget_cache.get(key)
+        if entry is not None and entry[0] is plan:
+            self._plan_budget_cache.move_to_end(key)
+            return entry[1]
+        budgets = tuple(self._hop_budget(req) for req, _members in plan)
+        self._plan_budget_cache[key] = (plan, budgets)
+        if len(self._plan_budget_cache) > self._BUDGET_CACHE_SIZE:
+            self._plan_budget_cache.popitem(last=False)
+        return budgets
 
     def _hop_budget(self, req: _PairRequirement) -> Optional[int]:
         """Maximum hop count allowed by the pair's latency constraint."""

@@ -183,6 +183,10 @@ class MappingResult:
         self.groups: Tuple[FrozenSet[str], ...] = tuple(groups)
         self.configurations: Dict[str, UseCaseConfiguration] = dict(configurations)
         self.attempted_topologies: Tuple[str, ...] = tuple(attempted_topologies)
+        #: total bandwidth-hops, precomputed by producers that already walk
+        #: every allocation (the engine's fixed-placement evaluator); the
+        #: refiners' cost function uses it instead of re-summing
+        self.cached_communication_cost: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # headline metrics

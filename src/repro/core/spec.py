@@ -1,0 +1,275 @@
+"""Compiled, immutable use-case specifications.
+
+The design flow (Fig. 3) evaluates the same specification many times — once
+per refinement candidate, per worst-case mesh attempt and per sweep point —
+so the mutable builder objects of :mod:`repro.core.usecase` are *compiled*
+once into immutable value objects that every evaluation shares:
+
+* :class:`CompiledFlow` — one flow with its endpoint core names interned to
+  dense indices of the design's core table;
+* :class:`CompiledUseCase` — one use-case with its flows, core universe and
+  content hash;
+* :class:`CompiledGroup` — one smooth-switching group with the per-pair
+  bandwidth/latency aggregates of Algorithm 2's step 6 precomputed;
+* :class:`CompiledSpec` — the whole design: interned core table, compiled
+  use-cases and a spec hash that keys every cache of the
+  :class:`~repro.core.engine.MappingEngine`.
+
+Compiling freezes the source ``UseCaseSet`` (mutation afterwards raises), so
+a compiled spec can never silently drift from the objects it was derived
+from.  The ``spec_hash`` deliberately covers *declaration order* as well as
+content: Algorithm 2's tie-breaks (group ids, the trailing placement of
+traffic-less cores) observe the order in which use-cases and cores were
+declared, and a cache key must capture everything that influences results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.usecase import (
+    Core,
+    Flow,
+    TrafficClass,
+    UseCase,
+    UseCaseSet,
+    _hash_blob,
+)
+from repro.exceptions import SpecificationError
+
+__all__ = ["CompiledFlow", "CompiledUseCase", "CompiledGroup", "CompiledSpec", "compile_spec"]
+
+
+@dataclass(frozen=True)
+class CompiledFlow:
+    """One flow of a compiled use-case, with interned endpoint indices.
+
+    ``source_index``/``destination_index`` are positions in the owning
+    :class:`CompiledSpec`'s core table; engine cache keys use them instead of
+    repeating core-name strings.  ``flow`` keeps the original (frozen)
+    :class:`~repro.core.usecase.Flow` so result objects can reference it.
+    """
+
+    source: str
+    destination: str
+    source_index: int
+    destination_index: int
+    bandwidth: float
+    latency: float
+    guaranteed: bool
+    flow: Flow
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The ordered (source, destination) core-name pair."""
+        return (self.source, self.destination)
+
+
+class CompiledUseCase:
+    """Immutable compiled form of one use-case.
+
+    Duck-type compatible with :class:`~repro.core.usecase.UseCase` for the
+    queries the mapper performs while recording allocations (``name``,
+    ``flow_between``); everything is precomputed at compile time.
+    """
+
+    __slots__ = (
+        "name",
+        "flows",
+        "cores",
+        "core_names",
+        "core_indices",
+        "parents",
+        "content_hash",
+        "_flow_by_pair",
+    )
+
+    def __init__(
+        self,
+        use_case: UseCase,
+        core_index: Mapping[str, int],
+    ) -> None:
+        self.name = use_case.name
+        self.parents: Tuple[str, ...] = use_case.parents
+        self.cores: Tuple[Core, ...] = use_case.cores
+        self.core_names: Tuple[str, ...] = use_case.core_names
+        self.core_indices: Tuple[int, ...] = tuple(
+            core_index[name] for name in self.core_names
+        )
+        self.flows: Tuple[CompiledFlow, ...] = tuple(
+            CompiledFlow(
+                source=flow.source,
+                destination=flow.destination,
+                source_index=core_index[flow.source],
+                destination_index=core_index[flow.destination],
+                bandwidth=flow.bandwidth,
+                latency=flow.latency,
+                guaranteed=flow.traffic_class == TrafficClass.GUARANTEED,
+                flow=flow,
+            )
+            for flow in use_case.flows
+        )
+        #: pair -> original Flow (what FlowAllocation records carry)
+        self._flow_by_pair: Dict[Tuple[str, str], Flow] = {
+            compiled.pair: compiled.flow for compiled in self.flows
+        }
+        self.content_hash = use_case.content_hash()
+
+    def flow_between(self, source: str, destination: str) -> Optional[Flow]:
+        """The original flow from ``source`` to ``destination``, or ``None``."""
+        return self._flow_by_pair.get((source, destination))
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[CompiledFlow]:
+        return iter(self.flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledUseCase(name={self.name!r}, cores={len(self.core_names)}, "
+            f"flows={len(self.flows)})"
+        )
+
+
+class CompiledGroup:
+    """One smooth-switching group with its step-6 aggregates precomputed.
+
+    For every core pair used by any member the group needs the *largest*
+    bandwidth and the *tightest* latency any member requires for that pair.
+    The aggregation iterates members in name-sorted order and flows in
+    declaration order — exactly the order the mapper historically used — so
+    float accumulations downstream reproduce the seed bit-for-bit.
+    """
+
+    __slots__ = ("group_id", "members", "member_names", "pair_table", "endpoints")
+
+    def __init__(self, group_id: int, members: Sequence[CompiledUseCase]) -> None:
+        self.group_id = group_id
+        self.members: Tuple[CompiledUseCase, ...] = tuple(members)
+        self.member_names: Tuple[str, ...] = tuple(uc.name for uc in members)
+        #: pair -> [max bandwidth, min latency, any-guaranteed], in
+        #: first-occurrence order over the members' flows.
+        pair_table: Dict[Tuple[str, str], List] = {}
+        for member in members:
+            for flow in member.flows:
+                entry = pair_table.get(flow.pair)
+                if entry is None:
+                    pair_table[flow.pair] = [flow.bandwidth, flow.latency, flow.guaranteed]
+                else:
+                    if flow.bandwidth > entry[0]:
+                        entry[0] = flow.bandwidth
+                    if flow.latency < entry[1]:
+                        entry[1] = flow.latency
+                    entry[2] = entry[2] or flow.guaranteed
+        self.pair_table: Dict[Tuple[str, str], Tuple[float, float, bool]] = {
+            pair: (bandwidth, latency, guaranteed)
+            for pair, (bandwidth, latency, guaranteed) in pair_table.items()
+        }
+        #: every core that is an endpoint of some aggregated pair, in
+        #: first-occurrence order (the placement projection the engine's
+        #: evaluation cache keys on).
+        endpoints: Dict[str, None] = {}
+        for source, destination in self.pair_table:
+            endpoints.setdefault(source)
+            endpoints.setdefault(destination)
+        self.endpoints: Tuple[str, ...] = tuple(endpoints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledGroup(group_id={self.group_id}, members={self.member_names}, "
+            f"pairs={len(self.pair_table)})"
+        )
+
+
+class CompiledSpec:
+    """The immutable compiled form of a whole multi-use-case design."""
+
+    __slots__ = (
+        "name",
+        "use_cases",
+        "core_names",
+        "core_index",
+        "cores",
+        "spec_hash",
+        "use_case_set",
+        "_by_name",
+        "_group_cache",
+    )
+
+    def __init__(self, use_case_set: UseCaseSet) -> None:
+        use_case_set.validate()
+        use_case_set.freeze()
+        self.use_case_set = use_case_set
+        self.name = use_case_set.name
+        #: union core universe in declaration order (first definition wins),
+        #: exactly ``UseCaseSet.all_core_names`` — the trailing placement of
+        #: traffic-less cores iterates it in this order.
+        self.cores: Tuple[Core, ...] = use_case_set.all_cores()
+        self.core_names: Tuple[str, ...] = tuple(core.name for core in self.cores)
+        self.core_index: Dict[str, int] = {
+            name: index for index, name in enumerate(self.core_names)
+        }
+        self.use_cases: Tuple[CompiledUseCase, ...] = tuple(
+            CompiledUseCase(use_case, self.core_index) for use_case in use_case_set
+        )
+        self._by_name: Dict[str, CompiledUseCase] = {
+            uc.name: uc for uc in self.use_cases
+        }
+        #: ordered hash: member content hashes in declaration order plus the
+        #: core-universe order — covers everything Algorithm 2 observes.
+        self.spec_hash: str = _hash_blob(
+            ["spec", *(uc.content_hash for uc in self.use_cases), "coreorder",
+             *self.core_names]
+        )
+        #: resolved-groups tuple -> Tuple[CompiledGroup, ...]
+        self._group_cache: Dict[Tuple[FrozenSet[str], ...], Tuple[CompiledGroup, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # UseCaseSet-compatible queries (what group resolution needs)
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Names of all use-cases in declaration order."""
+        return tuple(uc.name for uc in self.use_cases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> CompiledUseCase:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError(
+                f"no use-case named {name!r} in compiled spec {self.name!r}; "
+                f"known: {sorted(self._by_name)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.use_cases)
+
+    def groups_for(
+        self, resolved_groups: Tuple[FrozenSet[str], ...]
+    ) -> Tuple[CompiledGroup, ...]:
+        """Compiled groups for one resolved grouping (cached per grouping)."""
+        cached = self._group_cache.get(resolved_groups)
+        if cached is not None:
+            return cached
+        groups = tuple(
+            CompiledGroup(group_id, [self[name] for name in sorted(group)])
+            for group_id, group in enumerate(resolved_groups)
+        )
+        self._group_cache[resolved_groups] = groups
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledSpec(name={self.name!r}, use_cases={len(self.use_cases)}, "
+            f"cores={len(self.core_names)}, hash={self.spec_hash[:12]})"
+        )
+
+
+def compile_spec(use_cases: UseCaseSet) -> CompiledSpec:
+    """Compile (and freeze) a use-case set into an immutable spec."""
+    return CompiledSpec(use_cases)

@@ -11,6 +11,7 @@ objects; all algorithmic behaviour lives in the mapping / analysis modules.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -18,6 +19,33 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 from repro.exceptions import SpecificationError
 
 __all__ = ["Core", "Flow", "UseCase", "UseCaseSet", "TrafficClass"]
+
+
+def _hash_blob(parts: Iterable[str]) -> str:
+    """SHA-256 hex digest over an iterable of string tokens."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _flow_token(flow: "Flow") -> str:
+    """Canonical string token of one flow (exact float encoding)."""
+    return "|".join(
+        (
+            flow.source,
+            flow.destination,
+            float(flow.bandwidth).hex(),
+            float(flow.latency).hex(),
+            flow.traffic_class,
+        )
+    )
+
+
+def _core_token(core: "Core") -> str:
+    """Canonical string token of one core."""
+    return f"{core.name}|{core.kind}"
 
 
 #: Default latency constraint (seconds) for flows that do not specify one.
@@ -183,6 +211,8 @@ class UseCase:
         self._flows: List[Flow] = []
         self._flow_by_pair: Dict[Tuple[str, str], Flow] = {}
         self._cores: Dict[str, Core] = {}
+        self._frozen = False
+        self._content_hash: Optional[str] = None
         for core in cores:
             self.add_core(core)
         for flow in flows:
@@ -191,8 +221,48 @@ class UseCase:
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
+    def _guard_mutation(self) -> None:
+        if self._frozen:
+            raise SpecificationError(
+                f"use-case {self.name!r} is frozen (it was compiled or hashed for "
+                "caching); build a new UseCase instead of mutating it"
+            )
+
+    def freeze(self) -> "UseCase":
+        """Seal the use-case: any further mutation raises.
+
+        Freezing is what makes content hashes usable as cache keys — the
+        compiled-spec layer freezes every use-case it compiles.  Freezing is
+        idempotent and returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the use-case has been sealed against mutation."""
+        return self._frozen
+
+    def content_hash(self) -> str:
+        """Stable hash of the use-case content, independent of build order.
+
+        Flows and cores are hashed in a canonical (sorted) order, so two
+        use-cases built by adding the same flows in different orders hash
+        identically.  The hash is cached once the use-case is frozen.
+        """
+        if self._content_hash is not None:
+            return self._content_hash
+        tokens = ["usecase", self.name, "parents", *self.parents, "cores"]
+        tokens.extend(sorted(_core_token(core) for core in self._cores.values()))
+        tokens.extend(sorted(_flow_token(flow) for flow in self._flows))
+        value = _hash_blob(tokens)
+        if self._frozen:
+            self._content_hash = value
+        return value
+
     def add_core(self, core: Core) -> None:
         """Register a core with the use-case (idempotent for identical cores)."""
+        self._guard_mutation()
         existing = self._cores.get(core.name)
         if existing is not None and existing != core:
             raise SpecificationError(
@@ -208,6 +278,7 @@ class UseCase:
         most one aggregate requirement per ordered pair, matching the
         paper's per-pair formulation.
         """
+        self._guard_mutation()
         for endpoint in (flow.source, flow.destination):
             if endpoint not in self._cores:
                 self._cores[endpoint] = Core(endpoint)
@@ -304,16 +375,60 @@ class UseCaseSet:
     def __init__(self, use_cases: Iterable[UseCase] = (), name: str = "design") -> None:
         self.name = name
         self._use_cases: Dict[str, UseCase] = {}
+        self._frozen = False
+        self._content_hash: Optional[str] = None
         for use_case in use_cases:
             self.add(use_case)
 
     def add(self, use_case: UseCase) -> None:
         """Add a use-case; names must be unique within the set."""
+        if self._frozen:
+            raise SpecificationError(
+                f"use-case set {self.name!r} is frozen (it was compiled or hashed "
+                "for caching); build a new UseCaseSet instead of mutating it"
+            )
         if use_case.name in self._use_cases:
             raise SpecificationError(
                 f"duplicate use-case name {use_case.name!r} in set {self.name!r}"
             )
         self._use_cases[use_case.name] = use_case
+
+    def freeze(self) -> "UseCaseSet":
+        """Seal the set and every member use-case against mutation.
+
+        Called by the compiled-spec layer before hashing; idempotent.  Note
+        that building a *new* set from frozen use-cases is always allowed —
+        freezing seals objects, not the design space.
+        """
+        self._frozen = True
+        for use_case in self._use_cases.values():
+            use_case.freeze()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the set has been sealed against mutation."""
+        return self._frozen
+
+    def content_hash(self) -> str:
+        """Stable hash of the set content, independent of insertion order.
+
+        Member use-cases are hashed in name-sorted order, so two sets built
+        by adding the same use-cases in different orders hash identically.
+        (The mapping engine's cache keys additionally cover declaration
+        order, which Algorithm 2's tie-breaks observe — see
+        :meth:`repro.core.spec.CompiledSpec.spec_hash`.)
+        """
+        if self._content_hash is not None:
+            return self._content_hash
+        tokens = ["usecaseset"]
+        tokens.extend(
+            self._use_cases[name].content_hash() for name in sorted(self._use_cases)
+        )
+        value = _hash_blob(tokens)
+        if self._frozen:
+            self._content_hash = value
+        return value
 
     # ------------------------------------------------------------------ #
     # queries

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.result import MappingResult
 from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
 from repro.exceptions import SpecificationError
@@ -84,15 +84,26 @@ def build_worst_case_use_case(
 
 
 class WorstCaseMapper:
-    """Maps a multi-use-case design via the worst-case baseline method."""
+    """Maps a multi-use-case design via the worst-case baseline method.
+
+    Backed by a :class:`~repro.core.engine.MappingEngine`: the synthetic
+    worst-case use-case is compiled once per specification and its
+    requirement/worklist derivation is shared by every growing-mesh attempt
+    of the outer loop and by repeated calls (the frequency searches probe
+    the same worst-case spec at many operating points).  Mesh attempts also
+    reuse the engine mapper's per-topology pristine resource-state templates
+    and path caches instead of rebuilding them from scratch per attempt.
+    """
 
     def __init__(
         self,
         params: NoCParameters | None = None,
         config: MapperConfig | None = None,
+        engine: MappingEngine | None = None,
     ) -> None:
-        self.params = params or NoCParameters()
-        self.config = config or MapperConfig()
+        self.engine = engine or MappingEngine(params=params, config=config)
+        self.params = self.engine.params
+        self.config = self.engine.config
 
     def map(self, use_cases: UseCaseSet) -> MappingResult:
         """Build the worst-case use-case and map it as a single use-case.
@@ -108,16 +119,14 @@ class WorstCaseMapper:
             worst-case traffic — the situation the paper reports for the
             40-use-case synthetic benchmarks.
         """
-        worst = build_worst_case_use_case(use_cases)
-        singleton = UseCaseSet([worst], name=f"{use_cases.name}-worst-case")
-        mapper = UnifiedMapper(params=self.params, config=self.config)
-        return mapper.map(singleton, method_name="worst_case")
+        return self.engine.worst_case(use_cases)
 
 
 def map_worst_case(
     use_cases: UseCaseSet,
     params: NoCParameters | None = None,
     config: MapperConfig | None = None,
+    engine: MappingEngine | None = None,
 ) -> MappingResult:
     """Convenience wrapper around :class:`WorstCaseMapper`."""
-    return WorstCaseMapper(params=params, config=config).map(use_cases)
+    return WorstCaseMapper(params=params, config=config, engine=engine).map(use_cases)

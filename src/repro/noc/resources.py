@@ -114,15 +114,21 @@ class ResourceState:
         self._ingress_residual: Dict[str, float] = {}
         #: residual bandwidth of the switch -> core access link
         self._egress_residual: Dict[str, float] = {}
-        self._reservations: List[PathReservation] = []
+        #: reservations keyed by object identity (insertion-ordered), so
+        #: release is O(1) instead of a linear list scan + remove — rip-up /
+        #: re-route workloads release constantly
+        self._reservations: Dict[int, PathReservation] = {}
         #: switch path -> link tuple memo (pure function of the topology, so
         #: copies share the same dict object)
         self._links_memo: Dict[Tuple[int, ...], Tuple[Link, ...]] = {}
         #: monotonically bumped on every mutation; stamps the one-entry plan
-        #: cache below so ``reserve`` can reuse the assignment computed by an
-        #: immediately preceding ``can_reserve`` on an unchanged state
+        #: cache below so ``reserve`` can reuse the (links, assignment) plan
+        #: computed by an immediately preceding ``can_reserve`` on an
+        #: unchanged state
         self._version = 0
-        self._last_plan: Optional[Tuple[int, Tuple, Dict[Link, Tuple[int, ...]]]] = None
+        self._last_plan: Optional[
+            Tuple[int, Tuple, Tuple[Tuple[Link, ...], Dict[Link, Tuple[int, ...]]]]
+        ] = None
 
     # ------------------------------------------------------------------ #
     # core attachment
@@ -157,6 +163,27 @@ class ResourceState:
         capacity = self._capacity
         self._ingress_residual[core_name] = capacity
         self._egress_residual[core_name] = capacity
+
+    def seed_cores(self, items: Sequence[Tuple[str, int]]) -> None:
+        """Bulk-attach pre-validated cores to a fresh state.
+
+        Fast path for the engine's fixed-placement evaluator, which
+        validates switch indices and the per-switch core limit globally
+        before seeding each group's throwaway state; equivalent to calling
+        :meth:`attach_core` per item on a state with no prior attachments.
+        """
+        capacity = self._capacity
+        core_switch = self._core_switch
+        counts = self._switch_core_count
+        ingress = self._ingress_residual
+        egress = self._egress_residual
+        for core_name, switch_index in items:
+            core_switch[core_name] = switch_index
+            counts[switch_index] = counts.get(switch_index, 0) + 1
+            ingress[core_name] = capacity
+            egress[core_name] = capacity
+        self._version += 1
+        self._last_plan = None
 
     def switch_of(self, core_name: str) -> Optional[int]:
         """The switch a core is attached to, or ``None`` if unmapped."""
@@ -204,8 +231,8 @@ class ResourceState:
 
     @property
     def reservations(self) -> Tuple[PathReservation, ...]:
-        """All currently held path reservations."""
-        return tuple(self._reservations)
+        """All currently held path reservations (in reservation order)."""
+        return tuple(self._reservations.values())
 
     def max_link_utilization(self) -> float:
         """Highest bandwidth utilisation over all inter-switch links (0–1)."""
@@ -286,14 +313,15 @@ class ResourceState:
         bandwidth: float,
         guaranteed: bool,
         required_slots: Optional[Tuple[int, ...]],
-    ) -> Optional[Dict[Link, Tuple[int, ...]]]:
-        """Compute the per-link slot assignment for a reservation, or ``None``.
+    ) -> Optional[Tuple[Tuple[Link, ...], Dict[Link, Tuple[int, ...]]]]:
+        """Compute a reservation's (path links, slot assignment), or ``None``.
 
-        Returns an (possibly empty) mapping when the reservation is feasible
-        — bandwidth fits on the access links and every path link, and (for
-        GT flows) a pipelined slot assignment exists.  ``required_slots``
-        forces a specific set of *starting* slots (used to replicate a
-        group-shared configuration into each member use-case's state).
+        Returns the path's link tuple and a (possibly empty) slot mapping
+        when the reservation is feasible — bandwidth fits on the access
+        links and every path link, and (for GT flows) a pipelined slot
+        assignment exists.  ``required_slots`` forces a specific set of
+        *starting* slots (used to replicate a group-shared configuration
+        into each member use-case's state).
         """
         if bandwidth <= 0:
             raise ResourceError(f"bandwidth must be positive, got {bandwidth}")
@@ -315,7 +343,7 @@ class ResourceState:
             if link_residual[link] < threshold:
                 return None
         if not guaranteed or not links:
-            return {}
+            return links, {}
         needed = self.slots_for_bandwidth(bandwidth)
         size = self.params.slot_table_size
         if needed > size:
@@ -329,18 +357,38 @@ class ResourceState:
         if required_slots is not None:
             if len(required_slots) < needed:
                 return None
-            starts: Optional[Tuple[int, ...]] = required_slots
             for start in required_slots:
                 if not admissible >> (start % size) & 1:
                     return None
-        else:
-            starts = lowest_set_bits(admissible, needed)
-            if starts is None:
-                return None
-        assignment: Dict[Link, Tuple[int, ...]] = {}
+            assignment: Dict[Link, Tuple[int, ...]] = {}
+            for hop, link in enumerate(links):
+                assignment[link] = tuple(
+                    sorted((start + hop) % size for start in required_slots)
+                )
+            return links, assignment
+        starts = lowest_set_bits(admissible, needed)
+        if starts is None:
+            return None
+        # ``starts`` is ascending, so each hop's rotated slot set stays sorted
+        # except at the wrap point: everything that wrapped (now < shift) goes
+        # before everything that did not (now >= shift).  Same tuples the
+        # historical per-hop sort produced, without sorting.
+        assignment = {}
         for hop, link in enumerate(links):
-            assignment[link] = tuple(sorted((start + hop) % size for start in starts))
-        return assignment
+            shift = hop % size
+            if shift == 0:
+                assignment[link] = starts
+                continue
+            wrapped = []
+            straight = []
+            for start in starts:
+                value = start + shift
+                if value >= size:
+                    wrapped.append(value - size)
+                else:
+                    straight.append(value)
+            assignment[link] = tuple(wrapped + straight)
+        return links, assignment
 
     def _assignment_still_free(self, assignment: Dict[Link, Tuple[int, ...]]) -> bool:
         """Whether every slot of a cached plan is still free right now.
@@ -411,40 +459,30 @@ class ResourceState:
         Raises :class:`ResourceError` when the reservation cannot be
         satisfied; the state is unchanged in that case.
         """
-        assignment: Optional[Dict[Link, Tuple[int, ...]]] = None
+        plan: Optional[Tuple[Tuple[Link, ...], Dict[Link, Tuple[int, ...]]]] = None
         cached = self._last_plan
         if cached is not None and cached[0] == self._version:
             key = (
                 source_core, destination_core, tuple(switch_path),
                 bandwidth, guaranteed, required_slots,
             )
-            if cached[1] == key and self._assignment_still_free(cached[2]):
-                # Reuse the assignment planned by the immediately preceding
+            if cached[1] == key and self._assignment_still_free(cached[2][1]):
+                # Reuse the plan computed by the immediately preceding
                 # can_reserve on this (unchanged) state — the common
                 # path-selection sequence — instead of re-deriving it.
-                assignment = cached[2]
-        if assignment is None:
-            assignment = self._plan(
+                plan = cached[2]
+        if plan is None:
+            plan = self._plan(
                 source_core, destination_core, switch_path, bandwidth, guaranteed,
                 required_slots,
             )
-        if assignment is None:
+        if plan is None:
             raise ResourceError(
                 f"cannot reserve {bandwidth:.3g} B/s for {flow_id!r} along "
                 f"{tuple(switch_path)} in state {self.name!r}"
             )
-        self._version += 1
-        self._last_plan = None
-        links = self._path_links(switch_path)
-        self._ingress_residual[source_core] -= bandwidth
-        self._egress_residual[destination_core] -= bandwidth
-        for link in links:
-            self._link_residual[link] -= bandwidth
-        for link, slots in assignment.items():
-            # The assignment was planned against the current table state
-            # (directly above or by the version-checked plan cache), so the
-            # unchecked grant path is safe.
-            self._slot_tables[link]._grant(flow_id, slots)
+        links, assignment = plan
+        self._commit(flow_id, source_core, destination_core, bandwidth, links, assignment)
         reservation = PathReservation(
             flow_id=flow_id,
             source_core=source_core,
@@ -454,30 +492,93 @@ class ResourceState:
             link_slots=assignment,
             guaranteed=guaranteed,
         )
-        self._reservations.append(reservation)
+        self._reservations[id(reservation)] = reservation
         return reservation
 
+    def _commit(
+        self,
+        flow_id: str,
+        source_core: str,
+        destination_core: str,
+        bandwidth: float,
+        links: Tuple[Link, ...],
+        assignment: Dict[Link, Tuple[int, ...]],
+    ) -> None:
+        """Apply a validated plan to the residual and slot tables."""
+        self._version += 1
+        self._last_plan = None
+        self._ingress_residual[source_core] -= bandwidth
+        self._egress_residual[destination_core] -= bandwidth
+        link_residual = self._link_residual
+        for link in links:
+            link_residual[link] -= bandwidth
+        slot_tables = self._slot_tables
+        for link, slots in assignment.items():
+            # The assignment was planned against the current table state, so
+            # the unchecked grant path is safe.
+            slot_tables[link]._grant(flow_id, slots)
+
+    def reserve_unrecorded(
+        self,
+        flow_id: str,
+        source_core: str,
+        destination_core: str,
+        switch_path: Sequence[int],
+        bandwidth: float,
+        guaranteed: bool = True,
+    ) -> Optional[Dict[Link, Tuple[int, ...]]]:
+        """Reserve along a path without creating a :class:`PathReservation`.
+
+        Fast path for throwaway evaluation states (the engine's
+        fixed-placement evaluator): the plan/commit behaviour is exactly
+        :meth:`reserve`'s, but infeasibility returns ``None`` instead of
+        raising and no release record is kept — such states are discarded,
+        never unwound.  Returns the per-link slot assignment on success.
+        """
+        plan = self._plan(
+            source_core, destination_core, switch_path, bandwidth, guaranteed, None
+        )
+        if plan is None:
+            return None
+        links, assignment = plan
+        self._commit(flow_id, source_core, destination_core, bandwidth, links, assignment)
+        return assignment
+
     def release(self, reservation: PathReservation) -> None:
-        """Return a reservation's bandwidth and slots to the free pool."""
-        if reservation not in self._reservations:
+        """Return a reservation's bandwidth and slots to the free pool.
+
+        O(1) for reservations returned by :meth:`reserve` on this state (or
+        carried into a :meth:`copy`); an equal-but-distinct record falls
+        back to a linear scan so historical equality semantics still hold.
+        """
+        held = self._reservations.pop(id(reservation), None)
+        if held is None:
+            for key, candidate in self._reservations.items():
+                if candidate == reservation:
+                    held = self._reservations.pop(key)
+                    break
+        if held is None:
             raise ResourceError(
                 f"reservation for {reservation.flow_id!r} is not held by state {self.name!r}"
             )
         self._version += 1
         self._last_plan = None
-        links = self._path_links(reservation.switch_path)
-        self._ingress_residual[reservation.source_core] += reservation.bandwidth
-        self._egress_residual[reservation.destination_core] += reservation.bandwidth
+        links = self._path_links(held.switch_path)
+        self._ingress_residual[held.source_core] += held.bandwidth
+        self._egress_residual[held.destination_core] += held.bandwidth
         for link in links:
-            self._link_residual[link] += reservation.bandwidth
-        for link, slots in reservation.link_slots.items():
+            self._link_residual[link] += held.bandwidth
+        for link, slots in held.link_slots.items():
             table = self._slot_tables[link]
-            table.release_flow(reservation.flow_id)
-        self._reservations.remove(reservation)
+            table.release_flow(held.flow_id)
 
     def copy(self, name: Optional[str] = None) -> "ResourceState":
         """An independent deep copy (same topology/params objects)."""
-        duplicate = ResourceState(self.topology, self.params, name or self.name)
+        duplicate = ResourceState.__new__(ResourceState)
+        duplicate.topology = self.topology
+        duplicate.params = self.params
+        duplicate.name = name or self.name
+        duplicate._capacity = self._capacity
         duplicate._link_residual = dict(self._link_residual)
         duplicate._slot_tables = {
             link: table.copy() for link, table in self._slot_tables.items()
@@ -486,7 +587,9 @@ class ResourceState:
         duplicate._switch_core_count = dict(self._switch_core_count)
         duplicate._ingress_residual = dict(self._ingress_residual)
         duplicate._egress_residual = dict(self._egress_residual)
-        duplicate._reservations = list(self._reservations)
+        duplicate._reservations = dict(self._reservations)
+        duplicate._version = 0
+        duplicate._last_plan = None
         # A pure cache (function of the topology only), safe to share.
         duplicate._links_memo = self._links_memo
         return duplicate

@@ -2,11 +2,19 @@
 
 The neighbourhood is the classic one for quadratic-assignment-style mapping
 problems: swap the switches of two cores, or move one core to a switch that
-still has a free NI port.  Every candidate placement is re-mapped from
-scratch (path selection and slot reservation re-run) on the *same* topology,
-so a candidate is only accepted if it still satisfies every use-case's
+still has a free NI port.  Every candidate placement is re-mapped (path
+selection and slot reservation re-run) on the *same* topology, so a
+candidate is only accepted if it still satisfies every use-case's
 constraints; among feasible placements the total communication cost
 (Σ bandwidth × hops over all use-cases) is minimised.
+
+Candidate evaluation goes through a
+:class:`~repro.core.engine.MappingEngine`: the specification is compiled
+once, the ``GroupRequirement``/worklist derivation is cached for the whole
+run, and group evaluations are memoised on the placement of their endpoint
+cores, so revisited placements (swap/swap-back is common at low
+temperature) cost a cache lookup instead of a re-map.  Decisions are
+bit-identical to re-mapping from scratch.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.result import MappingResult
 from repro.core.usecase import UseCaseSet
 from repro.exceptions import ConfigurationError, MappingError
@@ -26,6 +34,8 @@ __all__ = ["RefinementResult", "AnnealingRefiner", "refine_mapping", "communicat
 
 def communication_cost(result: MappingResult) -> float:
     """Total bandwidth-hop product over all use-cases (power/latency proxy)."""
+    if result.cached_communication_cost is not None:
+        return result.cached_communication_cost
     return sum(
         configuration.total_bandwidth_hops()
         for configuration in result.configurations.values()
@@ -75,15 +85,16 @@ class AnnealingRefiner:
         result: MappingResult,
         use_cases: UseCaseSet,
         groups=None,
+        engine: MappingEngine | None = None,
     ) -> RefinementResult:
         """Refine the core placement of an existing mapping result."""
         rng = random.Random(self.seed)
-        mapper = UnifiedMapper(params=result.params, config=result.config)
+        engine = engine or MappingEngine(params=result.params, config=result.config)
         group_spec = groups if groups is not None else [list(g) for g in result.groups]
-        # Validate once here; every candidate below re-maps the same design on
-        # the same topology (reusing the mapper's cached PathSelector), so
-        # per-candidate re-validation is skipped.
-        use_cases.validate()
+        # Compiling validates (and freezes) the specification once; every
+        # candidate below re-evaluates the same compiled spec on the same
+        # topology through the engine's requirement and evaluation caches.
+        spec = engine.compile(use_cases)
         current = result
         current_cost = communication_cost(result)
         best = current
@@ -98,16 +109,21 @@ class AnnealingRefiner:
                 temperature *= self.cooling
                 continue
             try:
-                candidate = mapper.map_with_placement(
-                    use_cases, result.topology, placement, groups=group_spec,
-                    method_name=result.method, validate=False,
+                # Cost-only evaluation; the full result is materialised only
+                # for accepted candidates (the evaluation cache makes that
+                # second call assembly-only).
+                candidate_cost = engine.placement_cost(
+                    spec, result.topology, placement, groups=group_spec,
                 )
             except MappingError:
                 temperature *= self.cooling
                 continue
-            candidate_cost = communication_cost(candidate)
             delta = (candidate_cost - current_cost) / max(current_cost, 1e-9)
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                candidate = engine.evaluate_placement(
+                    spec, result.topology, placement, groups=group_spec,
+                    method_name=result.method,
+                )
                 current, current_cost = candidate, candidate_cost
                 accepted += 1
                 if candidate_cost < best_cost:

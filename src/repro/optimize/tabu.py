@@ -16,7 +16,7 @@ import random
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.mapping import UnifiedMapper
+from repro.core.engine import MappingEngine
 from repro.core.result import MappingResult
 from repro.core.usecase import UseCaseSet
 from repro.exceptions import ConfigurationError, MappingError
@@ -47,14 +47,15 @@ class TabuRefiner:
         result: MappingResult,
         use_cases: UseCaseSet,
         groups=None,
+        engine: MappingEngine | None = None,
     ) -> RefinementResult:
         """Refine the core placement of an existing mapping result."""
         rng = random.Random(self.seed)
-        mapper = UnifiedMapper(params=result.params, config=result.config)
+        engine = engine or MappingEngine(params=result.params, config=result.config)
         group_spec = groups if groups is not None else [list(g) for g in result.groups]
-        # One up-front validation; candidate evaluations skip it (they re-map
-        # the same design repeatedly with the mapper's cached PathSelector).
-        use_cases.validate()
+        # Compiling validates (and freezes) the specification once; candidate
+        # evaluations share the engine's requirement and evaluation caches.
+        spec = engine.compile(use_cases)
         cores = sorted(result.core_mapping)
 
         current = result
@@ -66,7 +67,7 @@ class TabuRefiner:
         for _ in range(self.iterations):
             if len(cores) < 2:
                 break
-            candidates: List[Tuple[float, MappingResult, Tuple[str, str]]] = []
+            candidates: List[Tuple[float, Dict[str, int], Tuple[str, str]]] = []
             for _ in range(self.neighbours_per_iteration):
                 first, second = rng.sample(cores, 2)
                 move = tuple(sorted((first, second)))
@@ -75,17 +76,23 @@ class TabuRefiner:
                 placement = dict(current.core_mapping)
                 placement[first], placement[second] = placement[second], placement[first]
                 try:
-                    candidate = mapper.map_with_placement(
-                        use_cases, result.topology, placement, groups=group_spec,
-                        method_name=result.method, validate=False,
+                    # Cost-only evaluation per sampled neighbour; only the
+                    # winning move is materialised into a full result below
+                    # (assembly-only thanks to the evaluation cache).
+                    cost = engine.placement_cost(
+                        spec, result.topology, placement, groups=group_spec,
                     )
                 except MappingError:
                     continue
-                candidates.append((communication_cost(candidate), candidate, move))
+                candidates.append((cost, placement, move))
             if not candidates:
                 continue
             candidates.sort(key=lambda item: item[0])
-            cost, candidate, move = candidates[0]
+            cost, placement, move = candidates[0]
+            candidate = engine.evaluate_placement(
+                spec, result.topology, placement, groups=group_spec,
+                method_name=result.method,
+            )
             current, current_cost = candidate, cost
             tabu.append(move)
             accepted += 1

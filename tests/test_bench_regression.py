@@ -55,4 +55,10 @@ def test_workloads_cover_the_reference_designs():
         "set_top_box_4uc",
         "spread_10uc",
         "spread_40uc",
+        "refine_spread10_annealing",
     }
+
+
+def test_workloads_are_prepare_run_pairs():
+    for prepare, run in bench_regression.WORKLOADS.values():
+        assert callable(prepare) and callable(run)

@@ -99,6 +99,64 @@ def test_release_restores_everything(state, params):
         state.release(reservation)
 
 
+def test_release_accepts_copied_and_equal_reservations(state, params):
+    # O(1) identity release must keep the historical equality semantics: a
+    # reservation carried into a copy (same object) and an equal-but-distinct
+    # record both release fine; a never-held one still raises.
+    reservation = state.reserve("f1", "a", "b", (0, 1, 3), mbps(500))
+    duplicate = state.copy("dup")
+    duplicate.release(reservation)  # same object held by the copy
+    assert duplicate.link_residual((0, 1)) == pytest.approx(params.link_capacity)
+
+    from repro.noc.resources import PathReservation
+
+    equal = PathReservation(
+        flow_id=reservation.flow_id,
+        source_core=reservation.source_core,
+        destination_core=reservation.destination_core,
+        switch_path=reservation.switch_path,
+        bandwidth=reservation.bandwidth,
+        link_slots=dict(reservation.link_slots),
+        guaranteed=reservation.guaranteed,
+    )
+    state.release(equal)  # equality fallback
+    assert state.link_residual((0, 1)) == pytest.approx(params.link_capacity)
+    with pytest.raises(ResourceError):
+        state.release(equal)
+
+
+def test_release_is_constant_time_under_many_reservations(state):
+    # Smoke-check the dict-backed bookkeeping: release from the middle of a
+    # large reservation population and confirm exact accounting.
+    held = [
+        state.reserve(f"f{i}", "a", "b", (0, 1, 3), mbps(1), guaranteed=False)
+        for i in range(200)
+    ]
+    for reservation in held[50:150]:
+        state.release(reservation)
+    assert len(state.reservations) == 100
+
+
+def test_reserve_unrecorded_matches_reserve(mesh, params):
+    recorded = ResourceState(mesh, params, name="recorded")
+    unrecorded = ResourceState(mesh, params, name="unrecorded")
+    for s in (recorded, unrecorded):
+        s.attach_core("a", 0)
+        s.attach_core("b", 3)
+    reservation = recorded.reserve("f1", "a", "b", (0, 1, 3), mbps(500))
+    assignment = unrecorded.reserve_unrecorded("f1", "a", "b", (0, 1, 3), mbps(500))
+    assert assignment == dict(reservation.link_slots)
+    for link in mesh.links:
+        assert unrecorded.link_residual(link) == recorded.link_residual(link)
+        assert (unrecorded.slot_table(link).free_mask
+                == recorded.slot_table(link).free_mask)
+    # Infeasible: None instead of raising, state untouched.
+    assert unrecorded.reserve_unrecorded(
+        "f2", "a", "b", (0, 1, 3), params.link_capacity
+    ) is None
+    assert len(unrecorded.reservations) == 0  # never recorded
+
+
 def test_same_switch_reservation_uses_no_links(state):
     state.attach_core("d", 0)
     reservation = state.reserve("f1", "a", "d", (0,), mbps(100))
