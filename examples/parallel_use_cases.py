@@ -6,17 +6,23 @@ Reproduces the designer-facing trade-off of the paper's Figure 7(c): take a
 parallel (compound modes generated automatically) and find the lowest NoC
 clock that still supports the design on a fixed-size mesh.
 
+The study is expressed as one declarative :class:`~repro.jobs.SweepJob` and
+executed through the :class:`~repro.jobs.JobRunner` — the same job could be
+saved to JSON (``save_job``) and run from the shell with ``python -m repro
+run``, or farmed out with ``--workers``/``--cache-dir`` next to other jobs.
+
 Run with:  python examples/parallel_use_cases.py
 """
 
-from repro.analysis import parallel_use_case_study
+from repro import JobRunner, SweepJob
 from repro.io import format_rows
 
 
 def main() -> None:
-    rows = parallel_use_case_study(parallelism_levels=(1, 2, 3, 4))
+    job = SweepJob(study="parallel_use_cases", parallelism_levels=(1, 2, 3, 4))
+    result = JobRunner().run(job)
     print(format_rows(
-        rows,
+        result.payload["rows"],
         columns=["parallel_use_cases", "required_frequency_mhz"],
         title="Required NoC frequency vs. number of parallel use-cases",
     ))

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""Quickstart: map a small two-use-case design onto a NoC.
+"""Quickstart: map a small two-use-case design via the declarative jobs API.
 
 This walks the public API end to end on the paper's Figure 5 example:
 
 1. describe cores, flows and use-cases,
-2. run the full design flow (compound-mode generation, grouping, unified
-   mapping, analytical verification), and
+2. wrap the design in a :class:`~repro.jobs.DesignFlowJob` — the serializable
+   unit of work the runner, the persistent cache and the ``python -m repro``
+   CLI all share — and execute it with a :class:`~repro.jobs.JobRunner`, and
 3. inspect the resulting NoC: topology, core placement, per-use-case paths
-   and TDMA slots.
+   and TDMA slots, loaded back into a rich :class:`~repro.MappingResult`.
+
+The same job, written to JSON with ``save_job`` (see
+``examples/jobs/quickstart_job.json``), runs unchanged from the shell:
+
+    python -m repro run examples/jobs/quickstart_job.json --workers 2
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import DesignFlow, Flow, UseCase, UseCaseSet
+from repro import DesignFlowJob, Flow, JobRunner, UseCase, UseCaseSet, UseCaseSource
+from repro.io import mapping_result_from_dict
 from repro.units import mbps, to_mbps, us
 
 
@@ -40,15 +47,23 @@ def build_design() -> UseCaseSet:
 def main() -> None:
     design = build_design()
 
-    # Phases 1-4 of the methodology with the default 500 MHz / 32-bit NoC.
-    outcome = DesignFlow().run(design)
-    mapping = outcome.mapping
+    # One declarative job = phases 1-4 of the methodology on one design at
+    # the default 500 MHz / 32-bit operating point.
+    job = DesignFlowJob(use_cases=UseCaseSource.from_value(design))
+    result = JobRunner().run(job)
+
+    # The payload is plain JSON-ready data (what the CLI writes with --out);
+    # the full mapping loads back into a rich MappingResult for inspection.
+    payload = result.payload
+    mapping = mapping_result_from_dict(payload["mapping"])
 
     print(f"design            : {design.name}")
+    print(f"job spec hash     : {result.spec_hash[:16]}...")
     print(f"topology          : {mapping.topology.name} ({mapping.switch_count} switches)")
-    print(f"configuration     : {len(outcome.groups)} group(s), "
+    print(f"configuration     : {len(mapping.groups)} group(s), "
           f"{mapping.reconfigurable_pairs()} re-configurable switching pair(s)")
-    print(f"verification      : {'passed' if outcome.verification.passed else 'FAILED'}")
+    print(f"verification      : "
+          f"{'passed' if payload['verification_passed'] else 'FAILED'}")
     print()
     print("core placement:")
     for core, switch in sorted(mapping.core_mapping.items()):

@@ -1,11 +1,26 @@
-"""Setuptools shim.
+"""Setuptools packaging for the repro library.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` also works on environments whose setuptools/pip
-combination cannot build PEP 660 editable wheels (e.g. offline machines
-without the ``wheel`` package), via ``pip install -e . --no-use-pep517``.
+``pip install .`` (or ``-e .``) installs the ``repro`` package from ``src/``
+and a ``repro`` console script — the same entry point as ``python -m repro``
+— so installed environments get the jobs CLI on their ``PATH``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Methodology for Mapping Multiple Use-Cases onto "
+        "Networks on Chips' (Murali et al., DATE 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.jobs.cli:main",
+        ],
+    },
+)

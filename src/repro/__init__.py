@@ -66,6 +66,22 @@ from repro.gen import (
 )
 from repro.power import AreaModel, PowerModel, analyze_dvfs, area_frequency_tradeoff, noc_area
 from repro.io import export_design, load_use_case_set, save_use_case_set
+from repro.jobs import (
+    DesignFlowJob,
+    FrequencyJob,
+    JobCache,
+    JobResult,
+    JobRunner,
+    RefineJob,
+    SweepJob,
+    UseCaseSource,
+    WorstCaseJob,
+    job_from_dict,
+    job_hash,
+    job_to_dict,
+    load_jobs,
+    save_job,
+)
 from repro.optimize import AnnealingRefiner, TabuRefiner, refine_mapping
 
 __version__ = "1.0.0"
@@ -124,6 +140,21 @@ __all__ = [
     "export_design",
     "save_use_case_set",
     "load_use_case_set",
+    # jobs API (the declarative front door; see repro.jobs)
+    "UseCaseSource",
+    "DesignFlowJob",
+    "WorstCaseJob",
+    "RefineJob",
+    "FrequencyJob",
+    "SweepJob",
+    "JobRunner",
+    "JobResult",
+    "JobCache",
+    "job_to_dict",
+    "job_from_dict",
+    "job_hash",
+    "save_job",
+    "load_jobs",
     # refinement
     "AnnealingRefiner",
     "TabuRefiner",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the command-line entry point of the jobs API."""
+
+import sys
+
+from repro.jobs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

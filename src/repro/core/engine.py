@@ -456,6 +456,49 @@ class MappingEngine:
         result.cached_communication_cost = total_cost
         return result
 
+    # ------------------------------------------------------------------ #
+    # cache export hooks (the jobs layer persists results across processes)
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, int]:
+        """Current sizes of every in-process cache, for job-level telemetry.
+
+        The jobs layer attaches this to each :class:`~repro.jobs.JobResult`
+        so a sweep farm can see how much work the engine short-circuited.
+        """
+        return {
+            "specs": len(self._specs),
+            "bundles": len(self._bundles),
+            "evaluations": len(self._group_evals),
+            "results": len(self._results),
+            "worst_specs": len(self._worst_specs),
+        }
+
+    def export_results(self) -> List[Dict]:
+        """Serialise every cached full-mapping result to plain dictionaries.
+
+        Each entry carries the cache key components (``spec_hash``,
+        ``groups``, ``method``) plus the :func:`mapping_result_to_dict`
+        payload, so an external store — a sweep farm's artifact bucket, or
+        the engine-level persistence of ROADMAP follow-up (h) — can dump
+        what this process computed and rebuild the results elsewhere with
+        ``mapping_result_from_dict``.  (The jobs layer currently persists
+        finished ``JobResult`` envelopes instead; this hook is the export
+        half of seeding engine caches from such a store.)
+        """
+        from repro.io.serialization import mapping_result_to_dict
+
+        exported: List[Dict] = []
+        for (spec_hash, resolved, method_name), result in self._results.items():
+            exported.append(
+                {
+                    "spec_hash": spec_hash,
+                    "groups": [sorted(group) for group in resolved],
+                    "method": method_name,
+                    "result": mapping_result_to_dict(result),
+                }
+            )
+        return exported
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MappingEngine(specs={len(self._specs)}, bundles={len(self._bundles)}, "

@@ -14,7 +14,10 @@ from repro.io.serialization import (
     save_use_case_set,
     load_use_case_set,
     mapping_result_to_dict,
+    mapping_result_from_dict,
     save_mapping_result,
+    load_mapping_result,
+    mapping_fingerprint,
 )
 from repro.io.export import export_design, design_to_dict
 from repro.io.report import format_rows, format_summary
@@ -25,7 +28,10 @@ __all__ = [
     "save_use_case_set",
     "load_use_case_set",
     "mapping_result_to_dict",
+    "mapping_result_from_dict",
     "save_mapping_result",
+    "load_mapping_result",
+    "mapping_fingerprint",
     "export_design",
     "design_to_dict",
     "format_rows",

@@ -26,13 +26,16 @@ units) and converted to the library's internal base units on load.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, Union
 
-from repro.core.result import MappingResult
+from repro.core.result import MappingResult, UseCaseConfiguration, FlowAllocation
 from repro.core.usecase import Core, Flow, UseCase, UseCaseSet
 from repro.exceptions import SerializationError
+from repro.noc.topology import Switch, Topology
+from repro.params import MapperConfig, NoCParameters
 from repro.units import mbps, to_mbps, us
 
 __all__ = [
@@ -41,7 +44,10 @@ __all__ = [
     "save_use_case_set",
     "load_use_case_set",
     "mapping_result_to_dict",
+    "mapping_result_from_dict",
     "save_mapping_result",
+    "load_mapping_result",
+    "mapping_fingerprint",
 ]
 
 _MICROSECOND = 1e-6
@@ -130,11 +136,12 @@ def load_use_case_set(path: Union[str, Path]) -> UseCaseSet:
 def mapping_result_to_dict(result: MappingResult) -> Dict:
     """Convert a mapping result to a JSON-ready dictionary.
 
-    The dictionary contains everything needed to configure a NoC instance:
+    The dictionary contains everything needed to configure a NoC instance —
     topology, core placement, groups and, per use-case, every flow's path
-    and TDMA slots.  (Loading a result back into live objects is not
-    supported — re-run the mapper on the loaded use-case set instead; the
-    algorithms are deterministic.)
+    and TDMA slots — plus the full operating point and mapper configuration,
+    so :func:`mapping_result_from_dict` can rebuild an equivalent
+    :class:`MappingResult` (the persistent job cache relies on this round
+    trip).
     """
     return {
         "method": result.method,
@@ -142,7 +149,13 @@ def mapping_result_to_dict(result: MappingResult) -> Dict:
             "name": result.topology.name,
             "kind": result.topology.kind,
             "switch_count": result.topology.switch_count,
-            "dimensions": result.topology.dimensions,
+            "dimensions": None
+            if result.topology.dimensions is None
+            else list(result.topology.dimensions),
+            "positions": [
+                None if switch.position is None else list(switch.position)
+                for switch in result.topology.switches
+            ],
             "links": [list(link) for link in result.topology.links],
         },
         "parameters": {
@@ -150,6 +163,9 @@ def mapping_result_to_dict(result: MappingResult) -> Dict:
             "link_width_bits": result.params.link_width_bits,
             "slot_table_size": result.params.slot_table_size,
         },
+        "params": result.params.to_dict(),
+        "config": result.config.to_dict(),
+        "attempted_topologies": list(result.attempted_topologies),
         "core_mapping": dict(result.core_mapping),
         "groups": [sorted(group) for group in result.groups],
         "use_cases": {
@@ -158,6 +174,8 @@ def mapping_result_to_dict(result: MappingResult) -> Dict:
                     "source": allocation.flow.source,
                     "destination": allocation.flow.destination,
                     "bandwidth_mbps": to_mbps(allocation.flow.bandwidth),
+                    "latency_us": allocation.flow.latency / _MICROSECOND,
+                    "traffic_class": allocation.flow.traffic_class,
                     "path": list(allocation.switch_path),
                     "slots": {
                         f"{link[0]}->{link[1]}": list(slots)
@@ -171,8 +189,146 @@ def mapping_result_to_dict(result: MappingResult) -> Dict:
     }
 
 
+def _topology_from_dict(document: Dict) -> Topology:
+    """Rebuild a topology from its dictionary form."""
+    dimensions = document.get("dimensions")
+    if dimensions is not None:
+        dimensions = tuple(dimensions)
+    positions = document.get("positions")
+    count = int(document["switch_count"])
+    switches = []
+    for index in range(count):
+        if positions is not None:
+            stored = positions[index]
+            position = None if stored is None else tuple(stored)
+        elif dimensions is not None:
+            # Older documents lack positions; meshes/tori number switches
+            # row-major, so the grid coordinate is recoverable.
+            position = (index // dimensions[1], index % dimensions[1])
+        else:
+            position = None
+        switches.append(Switch(index=index, position=position))
+    return Topology(
+        name=document["name"],
+        switches=switches,
+        links=[tuple(link) for link in document.get("links", [])],
+        kind=document.get("kind", "custom"),
+        dimensions=dimensions,
+    )
+
+
+def mapping_result_from_dict(document: Dict) -> MappingResult:
+    """Reconstruct a :class:`MappingResult` from its dictionary form.
+
+    The inverse of :func:`mapping_result_to_dict`: topology, placement,
+    groups and every flow allocation (paths and TDMA slots) come back as
+    live objects.  Documents written before the round trip existed (without
+    ``params``/``config`` blocks) load with defaults for the missing fields.
+    """
+    try:
+        topology = _topology_from_dict(document["topology"])
+        groups = tuple(frozenset(group) for group in document["groups"])
+        core_mapping = dict(document["core_mapping"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed mapping-result document: {exc}") from None
+
+    if "params" in document:
+        params = NoCParameters.from_dict(document["params"])
+    else:
+        legacy = document.get("parameters", {})
+        params = NoCParameters.from_dict(
+            {key: legacy[key] for key in ("frequency_mhz", "link_width_bits",
+                                          "slot_table_size") if key in legacy}
+        )
+    config = MapperConfig.from_dict(document.get("config", {}))
+
+    def group_id_of(use_case: str) -> int:
+        for index, group in enumerate(groups):
+            if use_case in group:
+                return index
+        raise SerializationError(
+            f"use-case {use_case!r} appears in no configuration group"
+        )
+
+    configurations: Dict[str, UseCaseConfiguration] = {}
+    try:
+        for name, entries in document.get("use_cases", {}).items():
+            configuration = UseCaseConfiguration(name, group_id_of(name))
+            for entry in entries:
+                flow = Flow(
+                    source=entry["source"],
+                    destination=entry["destination"],
+                    bandwidth=mbps(entry["bandwidth_mbps"]),
+                    latency=us(entry.get("latency_us", 1e3)),
+                    traffic_class=entry.get("traffic_class", "GT"),
+                )
+                link_slots = {}
+                for key, slots in entry.get("slots", {}).items():
+                    source_switch, _, destination_switch = key.partition("->")
+                    link_slots[(int(source_switch), int(destination_switch))] = tuple(slots)
+                configuration.add(
+                    FlowAllocation(
+                        use_case=name,
+                        flow=flow,
+                        switch_path=tuple(entry["path"]),
+                        link_slots=link_slots,
+                    )
+                )
+            configurations[name] = configuration
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed flow allocation in document: {exc}") from None
+
+    return MappingResult(
+        method=document.get("method", "unified"),
+        topology=topology,
+        params=params,
+        config=config,
+        core_mapping=core_mapping,
+        groups=groups,
+        configurations=configurations,
+        attempted_topologies=tuple(document.get("attempted_topologies", ())),
+    )
+
+
 def save_mapping_result(result: MappingResult, path: Union[str, Path]) -> Path:
     """Write a mapping result to a JSON file; returns the path written."""
     target = Path(path)
     target.write_text(json.dumps(mapping_result_to_dict(result), indent=2))
     return target
+
+
+def load_mapping_result(path: Union[str, Path]) -> MappingResult:
+    """Load a mapping result back from a JSON file."""
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read mapping result from {source}: {exc}") from exc
+    return mapping_result_from_dict(document)
+
+
+def mapping_fingerprint(result: MappingResult) -> str:
+    """Stable SHA-256 over every observable decision of a mapping result.
+
+    Covers the final topology, the core placement and, per use-case, every
+    flow's switch path and TDMA slot assignment — exactly the quantities the
+    regression suite pins against the seed implementation.  Two results with
+    equal fingerprints configure identical NoCs, which is how the job runner
+    proves parallel execution bit-identical to serial.
+    """
+    slots: Dict[str, list] = {}
+    for name, configuration in sorted(result.configurations.items()):
+        for allocation in configuration:
+            key = f"{name}:{allocation.flow.source}->{allocation.flow.destination}"
+            slots[key] = [
+                list(allocation.switch_path),
+                sorted(
+                    (str(link), list(indices))
+                    for link, indices in allocation.link_slots.items()
+                ),
+            ]
+    blob = json.dumps(
+        [result.topology.name, sorted(result.core_mapping.items()), slots],
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()

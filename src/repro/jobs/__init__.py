@@ -1,0 +1,55 @@
+"""The declarative jobs API — the canonical front door of the library.
+
+One describable, serializable unit of work (:mod:`repro.jobs.spec`), one
+executor with a worker story (:mod:`repro.jobs.runner`), one persistent
+result store (:mod:`repro.jobs.cache`) and one CLI (:mod:`repro.jobs.cli`):
+
+>>> from repro.jobs import DesignFlowJob, JobRunner, UseCaseSource
+>>> job = DesignFlowJob(use_cases=UseCaseSource.from_value(my_design))
+>>> result = JobRunner().run(job)                      # doctest: +SKIP
+>>> result.payload["summary"]["switch_count"]          # doctest: +SKIP
+
+The same job serialised with :func:`save_job` runs unchanged from the shell
+(``python -m repro run job.json --workers 4 --cache-dir .cache``), which is
+what lets interactive sessions, sweep farms and CI share one vocabulary.
+"""
+
+from repro.jobs.cache import JobCache
+from repro.jobs.runner import JobResult, JobRunner, execute_job
+from repro.jobs.spec import (
+    JOB_KINDS,
+    SWEEP_STUDIES,
+    DesignFlowJob,
+    FrequencyJob,
+    JobSpec,
+    RefineJob,
+    SweepJob,
+    UseCaseSource,
+    WorstCaseJob,
+    job_from_dict,
+    job_hash,
+    job_to_dict,
+    load_jobs,
+    save_job,
+)
+
+__all__ = [
+    "UseCaseSource",
+    "DesignFlowJob",
+    "WorstCaseJob",
+    "RefineJob",
+    "FrequencyJob",
+    "SweepJob",
+    "JobSpec",
+    "JOB_KINDS",
+    "SWEEP_STUDIES",
+    "job_to_dict",
+    "job_from_dict",
+    "job_hash",
+    "save_job",
+    "load_jobs",
+    "JobRunner",
+    "JobResult",
+    "JobCache",
+    "execute_job",
+]

@@ -1,0 +1,89 @@
+"""Persistent on-disk job-result cache.
+
+Closes ROADMAP follow-up (e): the :class:`~repro.core.engine.MappingEngine`
+caches live per process, so a sweep farm that re-evaluates the same designs
+across many invocations — or many worker machines sharing a filesystem —
+used to redo every mapping.  :class:`JobCache` persists finished
+:class:`~repro.jobs.runner.JobResult` envelopes as one JSON file per key,
+where the key is :func:`repro.jobs.spec.job_hash` — a content hash over the
+resolved job (design contents, operating point, mapper configuration, job
+kind and knobs) — so a hit is valid by construction and never stale.
+
+The store is deliberately simple and concurrency-tolerant:
+
+* one file per key, named by the hash — no index to corrupt, safe to prune
+  with ``rm`` or share over NFS;
+* writes go through a per-process temporary file and ``os.replace`` — a
+  reader never observes a half-written entry, and concurrent writers of the
+  same key overwrite each other with identical content (payloads are pure
+  functions of the key);
+* unreadable or corrupt entries count as misses and are re-computed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = ["JobCache"]
+
+
+class JobCache:
+    """Directory-backed result store keyed by job content hashes."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: number of lookups answered from disk / missed since construction
+        self.hits = 0
+        self.misses = 0
+        #: number of results written since construction
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """The file one key's result lives in."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored result document for a key, or ``None`` on a miss."""
+        target = self.path_for(key)
+        try:
+            document = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, key: str, document: Dict) -> Path:
+        """Atomically store one result document; returns the path written."""
+        target = self.path_for(key)
+        scratch = target.with_suffix(f".tmp.{os.getpid()}")
+        scratch.write_text(json.dumps(document, indent=2))
+        os.replace(scratch, target)
+        self.stores += 1
+        return target
+
+    def keys(self) -> Iterator[str]:
+        """All keys currently stored."""
+        for entry in sorted(self.directory.glob("*.json")):
+            yield entry.stem
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        for entry in self.directory.glob("*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobCache({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,199 @@
+"""The ``python -m repro`` / ``repro`` command-line front door.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``repro run job.json [more.json ...]``
+    Execute job files (each holding one job, a list, or ``{"jobs": [...]}``)
+    — optionally in parallel and against a persistent cache::
+
+        python -m repro run examples/jobs/quickstart_job.json \\
+            --workers 4 --cache-dir .repro-cache --out results.json
+
+``repro sweep --study use_case_count --benchmark spread --counts 2,5,10``
+    Build and run one :class:`~repro.jobs.spec.SweepJob` from flags.
+
+``repro worst-case design.json``
+    Map a use-case-set file with the worst-case baseline.
+
+Every subcommand accepts ``--workers N`` (process-pool fan-out),
+``--cache-dir DIR`` (persistent result cache) and ``--out FILE`` (write the
+full :class:`~repro.jobs.runner.JobResult` envelopes as JSON); a short
+human-readable digest always goes to stdout.  Exit status is 0 on success
+and 1 on any error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool workers for job execution (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory of the persistent result cache (created if missing); "
+             "already-computed jobs are returned from disk instead of re-run",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the full JSON result envelopes to FILE",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative job runner for the multi-use-case NoC mapping "
+                    "methodology (Murali et al., DATE 2006 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute one or more job JSON files",
+        description="Execute job files; each may hold a single job object, a "
+                    "list of jobs, or a {\"jobs\": [...]} wrapper.",
+    )
+    run.add_argument("job_files", nargs="+", metavar="JOB.json")
+    _add_common_options(run)
+
+    sweep = commands.add_parser(
+        "sweep", help="run one analysis study without writing a job file",
+    )
+    sweep.add_argument(
+        "--study", default="use_case_count",
+        help="study name (default: use_case_count); see repro.jobs.SWEEP_STUDIES",
+    )
+    sweep.add_argument("--benchmark", default="spread",
+                       help="synthetic benchmark family (spread / bottleneck)")
+    sweep.add_argument("--counts", default=None, metavar="N,N,...",
+                       help="comma-separated use-case counts for the sweep")
+    sweep.add_argument("--core-count", type=int, default=20)
+    sweep.add_argument("--seed", type=int, default=3)
+    sweep.add_argument("--design", default=None, metavar="DESIGN.json",
+                       help="use-case-set file (required by the ablation studies)")
+    _add_common_options(sweep)
+
+    worst = commands.add_parser(
+        "worst-case", help="map a use-case-set file with the worst-case baseline",
+    )
+    worst.add_argument("design_file", metavar="DESIGN.json")
+    _add_common_options(worst)
+
+    return parser
+
+
+def _print_result(result, index: int, total: int) -> None:
+    origin = "cache" if result.cached else f"{result.elapsed_s:.2f}s"
+    print(f"[{index + 1}/{total}] {result.kind}  spec={result.spec_hash[:12]}  ({origin})")
+    payload = result.payload
+    if "summary" in payload:
+        summary = payload["summary"]
+        print(f"    topology {summary['topology']}  switches {summary['switch_count']}  "
+              f"groups {summary['groups']}  max-util {summary['max_utilization']}")
+    if payload.get("mapped") is False:
+        print(f"    MAPPING FAILED: {payload.get('error', 'unknown error')}")
+    if "required_frequency_mhz" in payload:
+        frequency = payload["required_frequency_mhz"]
+        print("    required frequency: "
+              + ("unachievable on the grid" if frequency is None else f"{frequency:g} MHz"))
+    if "refined_cost" in payload:
+        print(f"    refinement: cost {payload['initial_cost']:.4g} -> "
+              f"{payload['refined_cost']:.4g} "
+              f"({payload['accepted_moves']} accepted moves)")
+    if "rows" in payload:
+        from repro.io.report import format_rows
+
+        print(format_rows(payload["rows"]))
+    if "headline" in payload:
+        from repro.io.report import format_summary
+
+        print(format_summary(payload["headline"]))
+
+
+def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
+    from repro.jobs.runner import JobRunner
+
+    runner = JobRunner(workers=args.workers, cache_dir=args.cache_dir, base_dir=base_dir)
+    results = runner.run_many(jobs)
+    for index, result in enumerate(results):
+        _print_result(result, index, len(results))
+    if args.out:
+        target = Path(args.out)
+        target.write_text(json.dumps([result.to_dict() for result in results], indent=2))
+        print(f"wrote {len(results)} result(s) to {target}")
+    if args.cache_dir:
+        cached = sum(1 for result in results if result.cached)
+        print(f"cache: {cached} hit(s), {runner.executed_jobs} executed, "
+              f"dir {args.cache_dir}")
+    return 0
+
+
+def _command_run(args) -> int:
+    from repro.jobs.spec import load_jobs
+
+    jobs = []
+    for job_file in args.job_files:
+        jobs.extend(load_jobs(job_file))
+    if not jobs:
+        print("no jobs found in the given file(s)", file=sys.stderr)
+        return 1
+    return _run_jobs(jobs, args)
+
+
+def _command_sweep(args) -> int:
+    from repro.jobs.spec import SweepJob, UseCaseSource
+
+    knobs = {}
+    if args.counts:
+        knobs["use_case_counts"] = tuple(
+            int(value) for value in args.counts.split(",") if value.strip()
+        )
+    job = SweepJob(
+        study=args.study,
+        benchmark=args.benchmark,
+        core_count=args.core_count,
+        seed=args.seed,
+        use_cases=None if args.design is None else UseCaseSource(path=args.design),
+        **knobs,
+    )
+    return _run_jobs([job], args)
+
+
+def _command_worst_case(args) -> int:
+    from repro.jobs.spec import UseCaseSource, WorstCaseJob
+
+    job = WorstCaseJob(use_cases=UseCaseSource(path=args.design_file))
+    return _run_jobs([job], args)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "worst-case": _command_worst_case,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,394 @@
+"""Job execution: uniform result envelopes, a process pool, and caching.
+
+:class:`JobRunner` is the execution half of the jobs API.  It owns three
+responsibilities and nothing else:
+
+* **dispatch** — every job kind maps to one executor function that drives
+  the engine-backed consumer which already existed (``DesignFlow``, the
+  worst-case baseline, the refiners, the frequency search, the analysis
+  sweeps).  Executors are module-level functions of the job spec alone, so
+  the same code runs in-process and inside pool workers, and a job's payload
+  is a pure function of its spec — which is what makes parallel execution
+  bit-identical to serial and results safe to cache.
+* **parallelism** — :meth:`JobRunner.run_many` farms jobs out over a
+  ``ProcessPoolExecutor`` (``workers >= 2``); results come back in
+  submission order and duplicate specs are computed once.
+* **persistence** — with a ``cache_dir``, results are stored on disk keyed
+  by :func:`repro.jobs.spec.job_hash` (design content + params + config +
+  kind + knobs) and later runs — in this process or any other — skip
+  execution entirely.
+
+Every execution returns a :class:`JobResult` envelope: the job kind, the
+spec hash, the params/config the job ran under, the deterministic
+``payload`` dictionary, and diagnostics (wall time, engine cache sizes)
+that are deliberately *outside* the payload so payloads can be compared
+across serial, parallel and cached runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.design_flow import DesignFlow
+from repro.core.engine import MappingEngine
+from repro.exceptions import MappingError, SpecificationError
+from repro.io.serialization import mapping_fingerprint, mapping_result_to_dict
+from repro.jobs.cache import JobCache
+from repro.jobs.spec import (
+    DesignFlowJob,
+    FrequencyJob,
+    JobSpec,
+    RefineJob,
+    SweepJob,
+    WorstCaseJob,
+    job_hash,
+    job_to_dict,
+    resolve_job,
+)
+
+__all__ = ["JobResult", "JobRunner", "execute_job"]
+
+
+@dataclass
+class JobResult:
+    """Uniform envelope every job execution returns.
+
+    ``payload`` is the deterministic outcome (bit-identical across serial,
+    parallel and cached execution); ``elapsed_s``, ``stats`` and ``cached``
+    are diagnostics and vary run to run.
+    """
+
+    kind: str
+    spec_hash: str
+    params: Dict
+    config: Dict
+    payload: Dict
+    elapsed_s: float = 0.0
+    cached: bool = False
+    stats: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dictionary form (what the cache stores)."""
+        return {
+            "kind": self.kind,
+            "spec_hash": self.spec_hash,
+            "params": self.params,
+            "config": self.config,
+            "payload": self.payload,
+            "elapsed_s": self.elapsed_s,
+            "cached": self.cached,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "JobResult":
+        return cls(
+            kind=document["kind"],
+            spec_hash=document["spec_hash"],
+            params=document.get("params", {}),
+            config=document.get("config", {}),
+            payload=document.get("payload", {}),
+            elapsed_s=float(document.get("elapsed_s", 0.0)),
+            cached=bool(document.get("cached", False)),
+            stats=document.get("stats", {}),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# per-kind executors
+# --------------------------------------------------------------------------- #
+def _mapping_payload(result) -> Dict:
+    """The common payload of one mapping: summary, full dict, fingerprint."""
+    return {
+        "mapped": True,
+        "summary": result.summary(),
+        "mapping": mapping_result_to_dict(result),
+        "fingerprint": mapping_fingerprint(result),
+    }
+
+
+def _failure_payload(error: MappingError) -> Dict:
+    """Payload of an expected mapping failure (the paper reports these too)."""
+    payload = {"mapped": False, "error": str(error)}
+    largest = getattr(error, "largest_topology", None)
+    if largest is not None:
+        payload["largest_topology"] = largest
+    return payload
+
+
+def _execute_design_flow(job: DesignFlowJob, engine: MappingEngine) -> Dict:
+    flow = DesignFlow(engine=engine, verify=job.verify)
+    try:
+        outcome = flow.run(
+            job.use_cases.build(),
+            parallel_modes=job.parallel_modes,
+            smooth_switching=job.smooth_switching,
+        )
+    except MappingError as exc:
+        return _failure_payload(exc)
+    payload = _mapping_payload(outcome.mapping)
+    payload["flow"] = outcome.summary()
+    payload["verification_passed"] = (
+        None if outcome.verification is None else outcome.verification.passed
+    )
+    return payload
+
+
+def _execute_worst_case(job: WorstCaseJob, engine: MappingEngine) -> Dict:
+    try:
+        result = engine.worst_case(job.use_cases.build())
+    except MappingError as exc:
+        return _failure_payload(exc)
+    return _mapping_payload(result)
+
+
+def _execute_refine(job: RefineJob, engine: MappingEngine) -> Dict:
+    from repro.optimize import AnnealingRefiner, TabuRefiner
+
+    use_cases = job.use_cases.build()
+    groups = None if job.groups is None else [list(group) for group in job.groups]
+    try:
+        initial = engine.map(use_cases, groups=groups)
+    except MappingError as exc:
+        return _failure_payload(exc)
+    if job.method == "tabu":
+        refiner = TabuRefiner(iterations=job.iterations, seed=job.seed)
+    else:
+        refiner = AnnealingRefiner(iterations=job.iterations, seed=job.seed)
+    refinement = refiner.refine(initial, use_cases, groups=groups, engine=engine)
+    payload = _mapping_payload(refinement.refined)
+    payload.update(
+        {
+            "initial_fingerprint": mapping_fingerprint(refinement.initial),
+            "initial_cost": refinement.initial_cost,
+            "refined_cost": refinement.refined_cost,
+            "improvement": refinement.improvement,
+            "iterations": refinement.iterations,
+            "accepted_moves": refinement.accepted_moves,
+        }
+    )
+    return payload
+
+
+def _execute_frequency(job: FrequencyJob, engine: MappingEngine) -> Dict:
+    from repro.analysis.frequency import minimum_design_frequency
+    from repro.units import mhz
+
+    grid = (
+        None
+        if job.frequencies_mhz is None
+        else [mhz(value) for value in job.frequencies_mhz]
+    )
+    groups = None if job.groups is None else [list(group) for group in job.groups]
+    frequency = minimum_design_frequency(
+        job.use_cases.build(),
+        frequencies=grid,
+        groups=groups,
+        max_switches=job.max_switches,
+        engine=engine,
+    )
+    return {
+        "mapped": frequency is not None,
+        "required_frequency_mhz": None if frequency is None else frequency / 1e6,
+    }
+
+
+def _execute_sweep(job: SweepJob, engine: MappingEngine) -> Dict:
+    from repro.analysis import sweeps
+
+    if job.study == "normalized_switch_count":
+        rows = sweeps.normalized_switch_count_study(engine=engine)
+    elif job.study == "use_case_count":
+        rows = sweeps.use_case_count_sweep(
+            job.benchmark,
+            use_case_counts=job.use_case_counts,
+            core_count=job.core_count,
+            seed=job.seed,
+            engine=engine,
+        )
+    elif job.study == "headline":
+        return {"headline": sweeps.headline_summary(engine=engine)}
+    elif job.study == "parallel_use_cases":
+        rows = sweeps.parallel_use_case_study(
+            parallelism_levels=job.parallelism_levels,
+            use_case_count=job.use_case_count,
+            core_count=job.core_count,
+            seed=job.seed,
+            max_switches=job.max_switches,
+            engine=engine,
+        )
+    else:
+        use_cases = job.use_cases.build()
+        if job.study == "ablation_flow_ordering":
+            rows = sweeps.ablation_flow_ordering(use_cases, engine=engine)
+        elif job.study == "ablation_routing_policy":
+            rows = sweeps.ablation_routing_policy(use_cases, engine=engine)
+        elif job.study == "ablation_slot_table_size":
+            rows = sweeps.ablation_slot_table_size(
+                use_cases, sizes=job.slot_table_sizes, engine=engine
+            )
+        else:  # ablation_grouping — SweepJob validated the study name already
+            rows = sweeps.ablation_grouping(use_cases, engine=engine)
+    return {"rows": [row.as_dict() for row in rows]}
+
+
+_EXECUTORS: Dict[str, Callable[[JobSpec, MappingEngine], Dict]] = {
+    DesignFlowJob.KIND: _execute_design_flow,
+    WorstCaseJob.KIND: _execute_worst_case,
+    RefineJob.KIND: _execute_refine,
+    FrequencyJob.KIND: _execute_frequency,
+    SweepJob.KIND: _execute_sweep,
+}
+
+
+def execute_job(job: JobSpec, spec_hash: Optional[str] = None) -> JobResult:
+    """Execute one (resolved) job in this process and envelope the outcome.
+
+    Every execution gets a fresh :class:`MappingEngine`, so the payload
+    depends on the job spec alone — never on what ran before it in the same
+    process — which is the invariant behind serial/parallel/cached parity.
+    """
+    try:
+        executor = _EXECUTORS[job.KIND]
+    except (KeyError, AttributeError):
+        raise SpecificationError(f"no executor for job {job!r}") from None
+    engine = MappingEngine(params=job.params, config=job.config)
+    started = time.perf_counter()
+    payload = executor(job, engine)
+    elapsed = time.perf_counter() - started
+    # Canonicalise through JSON so in-process results are indistinguishable
+    # from pool-transported or cache-loaded ones (tuples become lists etc.).
+    payload = json.loads(json.dumps(payload))
+    return JobResult(
+        kind=job.KIND,
+        spec_hash=spec_hash or job_hash(job),
+        params=job.params.to_dict(),
+        config=job.config.to_dict(),
+        payload=payload,
+        elapsed_s=elapsed,
+        stats={"engine": engine.cache_info()},
+    )
+
+
+def _execute_document(document: Dict, spec_hash: str) -> Dict:
+    """Pool-worker entry point: job dict in, result dict out (both picklable)."""
+    from repro.jobs.spec import job_from_dict
+
+    return execute_job(job_from_dict(document), spec_hash).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+class JobRunner:
+    """Executes job specs — serially, over a process pool, and via the cache.
+
+    Parameters
+    ----------
+    workers:
+        Default worker count for :meth:`run_many`; ``None``/``0``/``1`` run
+        serially in-process.
+    cache_dir:
+        Optional directory of the persistent result cache.  When set,
+        results are stored after execution and later runs (any process)
+        return them without re-computing; :attr:`executed_jobs` counts the
+        executions that actually happened.
+    base_dir:
+        Directory that relative ``path`` use-case sources resolve against
+        (the CLI passes the job file's directory).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Union[str, Path, None] = None,
+        base_dir: Union[str, Path, None] = None,
+    ) -> None:
+        self.workers = workers
+        self.cache = None if cache_dir is None else JobCache(cache_dir)
+        self.base_dir = base_dir
+        #: number of jobs this runner actually executed (cache misses)
+        self.executed_jobs = 0
+
+    def run(self, job: JobSpec) -> JobResult:
+        """Execute one job in-process (honouring the cache)."""
+        return self.run_many([job], workers=1)[0]
+
+    def run_many(
+        self,
+        jobs: Sequence[JobSpec],
+        workers: Optional[int] = None,
+    ) -> List[JobResult]:
+        """Execute many jobs, returning results in the order given.
+
+        Payloads are bit-identical to running each job serially: every
+        execution is a pure function of its (resolved) spec.  Duplicate
+        specs are executed once; cached specs are not executed at all.
+        """
+        workers = self.workers if workers is None else workers
+        resolved = [resolve_job(job, self.base_dir) for job in jobs]
+        hashes = [job_hash(job) for job in resolved]
+
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: Dict[str, int] = {}  # spec hash -> first index needing it
+        loaded: Dict[str, JobResult] = {}  # cache hits, read from disk once
+        for index, spec_hash in enumerate(hashes):
+            if spec_hash in pending:
+                continue
+            if spec_hash in loaded:
+                results[index] = loaded[spec_hash]
+                continue
+            if self.cache is not None:
+                stored = self.cache.get(spec_hash)
+                if stored is not None:
+                    hit = JobResult.from_dict(stored)
+                    hit.cached = True
+                    loaded[spec_hash] = hit
+                    results[index] = hit
+                    continue
+            pending[spec_hash] = index
+
+        if pending:
+            fresh = self._execute_pending(
+                [(resolved[index], hashes[index]) for index in pending.values()],
+                workers,
+            )
+            self.executed_jobs += len(fresh)
+            for result in fresh:
+                results[pending[result.spec_hash]] = result
+                if self.cache is not None:
+                    self.cache.put(result.spec_hash, result.to_dict())
+
+        # Fan results out to duplicate and cache-hit positions.
+        by_hash = {
+            result.spec_hash: result for result in results if result is not None
+        }
+        for index, spec_hash in enumerate(hashes):
+            if results[index] is None:
+                results[index] = by_hash[spec_hash]
+        return list(results)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _execute_pending(
+        work: List, workers: Optional[int]
+    ) -> List[JobResult]:
+        """Run (job, hash) pairs serially or over a process pool.
+
+        ``workers >= 2`` always goes through the pool — even for a single
+        job — so the transport path (pickling, worker imports) is exercised
+        whenever the caller asked for it.
+        """
+        if not workers or workers <= 1:
+            return [execute_job(job, spec_hash) for job, spec_hash in work]
+        documents = [(job_to_dict(job), spec_hash) for job, spec_hash in work]
+        with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
+            futures = [
+                pool.submit(_execute_document, document, spec_hash)
+                for document, spec_hash in documents
+            ]
+            return [JobResult.from_dict(future.result()) for future in futures]

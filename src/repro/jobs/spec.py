@@ -1,0 +1,541 @@
+"""Declarative, JSON-serializable job specifications.
+
+A *job* is the unit of work of the public API: one frozen dataclass that
+bundles everything needed to reproduce a computation — the use-case set (by
+value, by file path or by synthetic-generator recipe), the NoC operating
+point, the mapper configuration and the job-specific knobs.  Jobs
+
+* round-trip losslessly through plain dictionaries and JSON
+  (:func:`job_to_dict` / :func:`job_from_dict` / :func:`save_job` /
+  :func:`load_jobs`), so they can be written by hand, produced by other
+  tools, queued, or diffed in version control;
+* hash stably (:func:`job_hash`) over their *content* — a job referencing a
+  design by path hashes the file's contents, not its name — which is the key
+  of the persistent result cache; and
+* know nothing about execution: :class:`repro.jobs.runner.JobRunner`
+  dispatches each kind to the engine-backed consumer that already existed
+  (``DesignFlow``, the worst-case baseline, the refiners, the frequency
+  search, the analysis sweeps).
+
+The five kinds cover the paper's evaluation surface:
+
+========================  ====================================================
+kind                      computation
+========================  ====================================================
+``design_flow``           phases 1-4 of the methodology on one design
+``worst_case``            the WC baseline mapping of one design
+``refine``                unified mapping + annealing/tabu refinement
+``frequency``             minimum-frequency search over the grid
+``sweep``                 one of the figure/ablation studies in
+                          :mod:`repro.analysis.sweeps`
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.compound import CompoundModeSpec
+from repro.core.usecase import UseCaseSet
+from repro.exceptions import SerializationError, SpecificationError
+from repro.io.serialization import (
+    load_use_case_set,
+    use_case_set_from_dict,
+    use_case_set_to_dict,
+)
+from repro.params import MapperConfig, NoCParameters
+
+__all__ = [
+    "UseCaseSource",
+    "DesignFlowJob",
+    "WorstCaseJob",
+    "RefineJob",
+    "FrequencyJob",
+    "SweepJob",
+    "JobSpec",
+    "JOB_KINDS",
+    "SWEEP_STUDIES",
+    "job_to_dict",
+    "job_from_dict",
+    "job_hash",
+    "save_job",
+    "load_jobs",
+]
+
+
+# --------------------------------------------------------------------------- #
+# use-case sources
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class UseCaseSource:
+    """Where a job's use-case set comes from: inline, a file, or a generator.
+
+    Exactly one of the three fields is set:
+
+    * ``inline`` — the use-case-set document itself (the
+      :func:`repro.io.serialization.use_case_set_to_dict` shape);
+    * ``path`` — a JSON file in the same shape (resolved relative to the job
+      file by the CLI);
+    * ``generator`` — a recipe for :func:`repro.gen.synthetic.generate_benchmark`,
+      e.g. ``{"kind": "spread", "use_case_count": 10, "seed": 3}``.
+    """
+
+    inline: Optional[Dict] = None
+    path: Optional[str] = None
+    generator: Optional[Dict] = None
+
+    def __post_init__(self) -> None:
+        populated = sum(value is not None for value in (self.inline, self.path, self.generator))
+        if populated != 1:
+            raise SpecificationError(
+                "a use-case source needs exactly one of 'inline', 'path' or "
+                f"'generator', got {populated}"
+            )
+
+    @classmethod
+    def from_value(cls, value: "UseCaseSourceLike") -> "UseCaseSource":
+        """Coerce the natural Python spellings into a source.
+
+        Accepts an existing source, a :class:`UseCaseSet` (stored inline), a
+        path, a source dictionary (``{"path": ...}`` etc.) or a raw
+        use-case-set document (recognised by its ``use_cases`` list).
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, UseCaseSet):
+            return cls(inline=use_case_set_to_dict(value))
+        if isinstance(value, (str, Path)):
+            return cls(path=str(value))
+        if isinstance(value, dict):
+            if set(value) & {"inline", "path", "generator"}:
+                return cls(
+                    inline=value.get("inline"),
+                    path=value.get("path"),
+                    generator=value.get("generator"),
+                )
+            if "use_cases" in value:
+                return cls(inline=value)
+        raise SerializationError(f"cannot interpret use-case source {value!r}")
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dictionary form."""
+        if self.inline is not None:
+            return {"inline": self.inline}
+        if self.path is not None:
+            return {"path": self.path}
+        return {"generator": self.generator}
+
+    def resolve(self, base_dir: Union[str, Path, None] = None) -> "UseCaseSource":
+        """A path-free equivalent source (file contents pulled inline).
+
+        Resolving before hashing/dispatching makes cache keys depend on the
+        *content* of a referenced design file and spares worker processes
+        from re-reading (and possibly racing on) the file.
+        """
+        if self.path is None:
+            return self
+        target = Path(self.path)
+        if base_dir is not None and not target.is_absolute():
+            target = Path(base_dir) / target
+        return UseCaseSource(inline=use_case_set_to_dict(load_use_case_set(target)))
+
+    def build(self, base_dir: Union[str, Path, None] = None) -> UseCaseSet:
+        """Materialise the use-case set this source describes."""
+        if self.inline is not None:
+            return use_case_set_from_dict(self.inline)
+        if self.path is not None:
+            return self.resolve(base_dir).build()
+        from repro.gen.synthetic import generate_benchmark
+
+        recipe = dict(self.generator or {})
+        try:
+            kind = recipe.pop("kind")
+        except KeyError:
+            raise SerializationError(
+                "generator source needs a 'kind' (e.g. 'spread' or 'bottleneck')"
+            ) from None
+        if "flows_per_use_case" in recipe:
+            recipe["flows_per_use_case"] = tuple(recipe["flows_per_use_case"])
+        return generate_benchmark(kind, **recipe)
+
+
+UseCaseSourceLike = Union[UseCaseSource, UseCaseSet, str, Path, Dict]
+
+
+# --------------------------------------------------------------------------- #
+# shared (de)serialisation helpers
+# --------------------------------------------------------------------------- #
+def _parse_params(document: Dict) -> NoCParameters:
+    return NoCParameters.from_dict(document.get("params", {}))
+
+
+def _parse_config(document: Dict) -> MapperConfig:
+    return MapperConfig.from_dict(document.get("config", {}))
+
+
+def _parse_source(document: Dict, *, required: bool = True) -> Optional[UseCaseSource]:
+    value = document.get("use_cases")
+    if value is None:
+        if required:
+            raise SerializationError("job document is missing its 'use_cases' source")
+        return None
+    return UseCaseSource.from_value(value)
+
+
+def _parse_groups(value) -> Optional[Tuple[Tuple[str, ...], ...]]:
+    if value is None:
+        return None
+    return tuple(tuple(group) for group in value)
+
+
+def _parse_modes(value) -> Tuple[CompoundModeSpec, ...]:
+    modes: List[CompoundModeSpec] = []
+    for entry in value or ():
+        if isinstance(entry, CompoundModeSpec):
+            modes.append(entry)
+        elif isinstance(entry, dict):
+            modes.append(CompoundModeSpec(entry["members"], entry.get("name", "")))
+        else:
+            modes.append(CompoundModeSpec(entry))
+    return tuple(modes)
+
+
+def _modes_to_dicts(modes: Tuple[CompoundModeSpec, ...]) -> List[Dict]:
+    return [{"members": list(mode.members), "name": mode.name} for mode in modes]
+
+
+# --------------------------------------------------------------------------- #
+# the job kinds
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DesignFlowJob:
+    """Run phases 1-4 of the methodology (``DesignFlow.run``) on one design."""
+
+    KIND = "design_flow"
+
+    use_cases: UseCaseSource
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    #: the ``PUC`` input: sets of use-case names that may run in parallel
+    parallel_modes: Tuple[CompoundModeSpec, ...] = ()
+    #: the ``SUC`` input: pairs of use-case names that must switch smoothly
+    smooth_switching: Tuple[Tuple[str, str], ...] = ()
+    verify: bool = True
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "parallel_modes": _modes_to_dicts(self.parallel_modes),
+            "smooth_switching": [list(pair) for pair in self.smooth_switching],
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "DesignFlowJob":
+        return cls(
+            use_cases=_parse_source(document),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            parallel_modes=_parse_modes(document.get("parallel_modes")),
+            smooth_switching=tuple(
+                (pair[0], pair[1]) for pair in document.get("smooth_switching", ())
+            ),
+            verify=bool(document.get("verify", True)),
+        )
+
+
+@dataclass(frozen=True)
+class WorstCaseJob:
+    """Map one design with the worst-case baseline method (ref. [25])."""
+
+    KIND = "worst_case"
+
+    use_cases: UseCaseSource
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "WorstCaseJob":
+        return cls(
+            use_cases=_parse_source(document),
+            params=_parse_params(document),
+            config=_parse_config(document),
+        )
+
+
+@dataclass(frozen=True)
+class RefineJob:
+    """Unified mapping followed by an annealing or tabu refinement pass."""
+
+    KIND = "refine"
+
+    use_cases: UseCaseSource
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    method: str = "annealing"
+    iterations: int = 200
+    seed: int = 0
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("annealing", "tabu"):
+            raise SpecificationError(
+                f"unknown refinement method {self.method!r}; expected 'annealing' or 'tabu'"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "method": self.method,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "groups": None if self.groups is None else [list(g) for g in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "RefineJob":
+        return cls(
+            use_cases=_parse_source(document),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            method=document.get("method", "annealing"),
+            iterations=int(document.get("iterations", 200)),
+            seed=int(document.get("seed", 0)),
+            groups=_parse_groups(document.get("groups")),
+        )
+
+
+@dataclass(frozen=True)
+class FrequencyJob:
+    """Find the lowest NoC clock at which a design still maps (Figure 7c)."""
+
+    KIND = "frequency"
+
+    use_cases: UseCaseSource
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    max_switches: Optional[int] = None
+    #: candidate grid in MHz; ``None`` uses the default 100 MHz - 2 GHz grid
+    frequencies_mhz: Optional[Tuple[float, ...]] = None
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "max_switches": self.max_switches,
+            "frequencies_mhz": None
+            if self.frequencies_mhz is None
+            else list(self.frequencies_mhz),
+            "groups": None if self.groups is None else [list(g) for g in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "FrequencyJob":
+        grid = document.get("frequencies_mhz")
+        return cls(
+            use_cases=_parse_source(document),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            max_switches=document.get("max_switches"),
+            frequencies_mhz=None if grid is None else tuple(float(f) for f in grid),
+            groups=_parse_groups(document.get("groups")),
+        )
+
+
+#: sweep studies that need a designer-supplied use-case set
+_STUDIES_NEEDING_DESIGN = frozenset(
+    {"ablation_flow_ordering", "ablation_routing_policy",
+     "ablation_slot_table_size", "ablation_grouping"}
+)
+#: every study a SweepJob may name, mapped in the runner to
+#: :mod:`repro.analysis.sweeps`
+SWEEP_STUDIES = frozenset(
+    {"normalized_switch_count", "use_case_count", "headline", "parallel_use_cases"}
+) | _STUDIES_NEEDING_DESIGN
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One figure/ablation study from :mod:`repro.analysis.sweeps`.
+
+    ``study`` selects the driver; the remaining knobs parameterise it (each
+    study reads only the knobs it understands, mirroring the driver
+    signatures).  The ablation studies additionally require ``use_cases``.
+    """
+
+    KIND = "sweep"
+
+    study: str
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    use_cases: Optional[UseCaseSource] = None
+    benchmark: str = "spread"
+    use_case_counts: Tuple[int, ...] = (2, 5, 10, 15, 20)
+    use_case_count: int = 10
+    core_count: int = 20
+    seed: int = 3
+    parallelism_levels: Tuple[int, ...] = (1, 2, 3, 4)
+    slot_table_sizes: Tuple[int, ...] = (8, 16, 32, 64)
+    max_switches: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.study not in SWEEP_STUDIES:
+            raise SpecificationError(
+                f"unknown sweep study {self.study!r}; expected one of "
+                f"{sorted(SWEEP_STUDIES)}"
+            )
+        if self.study in _STUDIES_NEEDING_DESIGN and self.use_cases is None:
+            raise SpecificationError(
+                f"sweep study {self.study!r} needs a 'use_cases' source"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "study": self.study,
+            "use_cases": None if self.use_cases is None else self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "benchmark": self.benchmark,
+            "use_case_counts": list(self.use_case_counts),
+            "use_case_count": self.use_case_count,
+            "core_count": self.core_count,
+            "seed": self.seed,
+            "parallelism_levels": list(self.parallelism_levels),
+            "slot_table_sizes": list(self.slot_table_sizes),
+            "max_switches": self.max_switches,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "SweepJob":
+        try:
+            study = document["study"]
+        except KeyError:
+            raise SerializationError("sweep job document is missing its 'study'") from None
+        return cls(
+            study=study,
+            use_cases=_parse_source(document, required=False),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            benchmark=document.get("benchmark", "spread"),
+            use_case_counts=tuple(int(c) for c in document.get("use_case_counts", (2, 5, 10, 15, 20))),
+            use_case_count=int(document.get("use_case_count", 10)),
+            core_count=int(document.get("core_count", 20)),
+            seed=int(document.get("seed", 3)),
+            parallelism_levels=tuple(int(l) for l in document.get("parallelism_levels", (1, 2, 3, 4))),
+            slot_table_sizes=tuple(int(s) for s in document.get("slot_table_sizes", (8, 16, 32, 64))),
+            max_switches=document.get("max_switches"),
+        )
+
+
+JobSpec = Union[DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob]
+
+#: kind string -> job class (the registry :func:`job_from_dict` dispatches on)
+JOB_KINDS: Dict[str, type] = {
+    cls.KIND: cls
+    for cls in (DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob)
+}
+
+
+# --------------------------------------------------------------------------- #
+# registry-level helpers
+# --------------------------------------------------------------------------- #
+def job_to_dict(job: JobSpec) -> Dict:
+    """Convert any job spec to its JSON-ready dictionary form."""
+    return job.to_dict()
+
+
+def job_from_dict(document: Dict) -> JobSpec:
+    """Reconstruct a job spec of any kind from its dictionary form."""
+    if not isinstance(document, dict):
+        raise SerializationError(
+            f"job document must be a mapping, got {type(document).__name__}"
+        )
+    kind = document.get("kind")
+    try:
+        cls = JOB_KINDS[kind]
+    except KeyError:
+        raise SerializationError(
+            f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}"
+        ) from None
+    try:
+        return cls.from_dict(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        # Malformed hand-written documents surface as clean serialization
+        # errors (the CLI's error contract), not raw builtin tracebacks.
+        raise SerializationError(
+            f"malformed {kind!r} job document: {exc!r}"
+        ) from exc
+
+
+def resolve_job(job: JobSpec, base_dir: Union[str, Path, None] = None) -> JobSpec:
+    """A copy of the job with any path use-case source pulled inline."""
+    source = getattr(job, "use_cases", None)
+    if source is None or source.path is None:
+        return job
+    return dataclasses.replace(job, use_cases=source.resolve(base_dir))
+
+
+def job_hash(job: JobSpec, base_dir: Union[str, Path, None] = None) -> str:
+    """Content hash of a job: the persistent cache key.
+
+    Stable SHA-256 over the canonical JSON of the *resolved* job (path
+    sources replaced by the referenced file's contents), so two jobs that
+    describe the same computation hash identically regardless of how the
+    design was supplied, and editing a referenced design file changes the
+    key.
+    """
+    document = job_to_dict(resolve_job(job, base_dir))
+    blob = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def save_job(job: JobSpec, path: Union[str, Path]) -> Path:
+    """Write one job spec to a JSON file; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(job_to_dict(job), indent=2))
+    return target
+
+
+def load_jobs(path: Union[str, Path]) -> List[JobSpec]:
+    """Load job specs from a JSON file.
+
+    The file may contain a single job object, a list of job objects, or a
+    ``{"jobs": [...]}`` wrapper; relative ``path`` use-case sources are
+    resolved against the job file's directory immediately, so the loaded
+    jobs are location-independent.
+    """
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read jobs from {source}: {exc}") from exc
+    if isinstance(document, dict) and "jobs" in document:
+        entries = document["jobs"]
+    elif isinstance(document, list):
+        entries = document
+    else:
+        entries = [document]
+    return [resolve_job(job_from_dict(entry), source.parent) for entry in entries]

@@ -17,13 +17,34 @@ Both are frozen dataclasses; derive modified copies with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.units import link_capacity, mhz
 
 __all__ = ["NoCParameters", "MapperConfig"]
+
+
+def _fields_from_dict(cls, document: Dict) -> Dict:
+    """Validate a plain-dict field mapping against a parameter dataclass.
+
+    Unknown keys raise :class:`ConfigurationError` (catching typos in
+    hand-written job files beats silently ignoring them); missing keys fall
+    back to the dataclass defaults.
+    """
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            f"{cls.__name__} document must be a mapping, got {type(document).__name__}"
+        )
+    allowed = {field.name for field in fields(cls)}
+    unknown = sorted(set(document) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} field(s) {unknown}; expected a subset of "
+            f"{sorted(allowed)}"
+        )
+    return dict(document)
 
 
 @dataclass(frozen=True)
@@ -101,6 +122,34 @@ class NoCParameters:
     def with_frequency(self, frequency_hz: float) -> "NoCParameters":
         """A copy of these parameters at a different clock frequency."""
         return replace(self, frequency_hz=frequency_hz)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary form (exact round trip via :meth:`from_dict`).
+
+        The frequency is stored in Hz — not the reporting-friendly MHz — so
+        serialising and re-loading reproduces the float bit-for-bit.
+        """
+        return {
+            "frequency_hz": self.frequency_hz,
+            "link_width_bits": self.link_width_bits,
+            "slot_table_size": self.slot_table_size,
+            "max_cores_per_switch": self.max_cores_per_switch,
+            "topology_kind": self.topology_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "NoCParameters":
+        """Reconstruct parameters from their dictionary form.
+
+        Accepts ``frequency_mhz`` as a convenience alias for hand-written
+        documents; missing fields take the dataclass defaults and unknown
+        fields raise :class:`ConfigurationError`.
+        """
+        data = dict(document)
+        if "frequency_mhz" in data:
+            alias = data.pop("frequency_mhz")
+            data.setdefault("frequency_hz", mhz(alias))
+        return cls(**_fields_from_dict(cls, data))
 
 
 @dataclass(frozen=True)
@@ -201,3 +250,16 @@ class MapperConfig:
             raise ConfigurationError(
                 f"refinement_iterations must be non-negative, got {self.refinement_iterations}"
             )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary form (round trips via :meth:`from_dict`)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "MapperConfig":
+        """Reconstruct a configuration from its dictionary form.
+
+        Missing fields take the dataclass defaults; unknown fields raise
+        :class:`ConfigurationError`.
+        """
+        return cls(**_fields_from_dict(cls, document))

@@ -1,0 +1,373 @@
+"""Tests for the declarative jobs API: specs, runner, cache and CLI.
+
+Pins the three contracts the ISSUE demands:
+
+* every job kind round-trips ``JobSpec`` ↔ dict ↔ JSON losslessly;
+* ``run_many(workers=2)`` is bit-identical to serial execution on the
+  spread-10 workload (mapping fingerprints and full payloads);
+* a persistent cache hit skips recomputation entirely (verified on the
+  runner's execution counter and the cache's hit counter).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    DesignFlowJob,
+    FrequencyJob,
+    JobRunner,
+    MapperConfig,
+    NoCParameters,
+    RefineJob,
+    SweepJob,
+    UnifiedMapper,
+    UseCaseSource,
+    WorstCaseJob,
+    job_from_dict,
+    job_hash,
+    job_to_dict,
+    load_jobs,
+    save_job,
+)
+from repro.core.compound import CompoundModeSpec
+from repro.exceptions import (
+    ConfigurationError,
+    SerializationError,
+    SpecificationError,
+)
+from repro.gen import generate_benchmark
+from repro.io.serialization import (
+    load_mapping_result,
+    mapping_fingerprint,
+    mapping_result_from_dict,
+    mapping_result_to_dict,
+    save_mapping_result,
+    save_use_case_set,
+    use_case_set_to_dict,
+)
+from repro.jobs.cli import main as cli_main
+from repro.jobs.spec import resolve_job
+
+SPREAD10 = UseCaseSource(generator={"kind": "spread", "use_case_count": 10, "seed": 3})
+
+#: the seed fingerprint of the spread-10 unified mapping (see
+#: tests/test_mapping_regression.py) — the jobs API must reproduce it
+SPREAD10_FINGERPRINT = "fe6d93388377d6e6d578733f2efe5de71e885b8b2f4280ddd634f13a74994a29"
+
+
+def every_job_kind():
+    """One representative instance of every job kind, with non-default knobs."""
+    params = NoCParameters(slot_table_size=16)
+    config = MapperConfig(max_switches=64, seed=7)
+    return [
+        DesignFlowJob(
+            use_cases=SPREAD10,
+            params=params,
+            config=config,
+            parallel_modes=(CompoundModeSpec(("spread-1", "spread-2")),),
+            smooth_switching=(("spread-3", "spread-4"),),
+            verify=False,
+        ),
+        WorstCaseJob(use_cases=SPREAD10, params=params, config=config),
+        RefineJob(use_cases=SPREAD10, method="tabu", iterations=13, seed=5),
+        FrequencyJob(
+            use_cases=SPREAD10,
+            max_switches=9,
+            frequencies_mhz=(100.0, 500.0, 1000.0),
+            groups=(("spread-1", "spread-2"),),
+        ),
+        SweepJob(study="use_case_count", benchmark="bottleneck",
+                 use_case_counts=(2, 4), core_count=12, seed=2),
+        SweepJob(study="ablation_grouping", use_cases=SPREAD10),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# spec serialisation
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("job", every_job_kind(), ids=lambda job: job.KIND)
+def test_job_round_trips_through_dict_and_json(job):
+    document = job_to_dict(job)
+    assert document["kind"] == job.KIND
+    rebuilt = job_from_dict(json.loads(json.dumps(document)))
+    assert rebuilt == job
+    assert job_to_dict(rebuilt) == document
+
+
+def test_job_file_round_trip(tmp_path):
+    job = WorstCaseJob(use_cases=SPREAD10)
+    path = save_job(job, tmp_path / "job.json")
+    assert load_jobs(path) == [job]
+
+
+def test_load_jobs_accepts_lists_and_wrappers(tmp_path):
+    jobs = [job_to_dict(WorstCaseJob(use_cases=SPREAD10)),
+            job_to_dict(FrequencyJob(use_cases=SPREAD10))]
+    listed = tmp_path / "list.json"
+    listed.write_text(json.dumps(jobs))
+    wrapped = tmp_path / "wrapped.json"
+    wrapped.write_text(json.dumps({"jobs": jobs}))
+    assert [job.KIND for job in load_jobs(listed)] == ["worst_case", "frequency"]
+    assert load_jobs(listed) == load_jobs(wrapped)
+
+
+def test_unknown_job_kind_rejected():
+    with pytest.raises(SerializationError):
+        job_from_dict({"kind": "no-such-kind"})
+
+
+def test_malformed_job_documents_raise_serialization_errors():
+    source = {"generator": {"kind": "spread", "use_case_count": 3}}
+    # non-integer knob
+    with pytest.raises(SerializationError):
+        job_from_dict({"kind": "refine", "use_cases": source, "iterations": "many"})
+    # parallel-mode entry missing its members
+    with pytest.raises(SerializationError):
+        job_from_dict({"kind": "design_flow", "use_cases": source,
+                       "parallel_modes": [{"name": "broken"}]})
+    # missing use-case source
+    with pytest.raises(SerializationError):
+        job_from_dict({"kind": "worst_case"})
+
+
+def test_cli_rejects_malformed_job_file_cleanly(tmp_path, capsys):
+    job_file = tmp_path / "bad.json"
+    job_file.write_text(json.dumps(
+        {"kind": "refine",
+         "use_cases": {"generator": {"kind": "spread", "use_case_count": 3}},
+         "iterations": "many"}
+    ))
+    assert cli_main(["run", str(job_file)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_job_validates_study_and_design():
+    with pytest.raises(SpecificationError):
+        SweepJob(study="no-such-study")
+    with pytest.raises(SpecificationError):
+        SweepJob(study="ablation_grouping")  # needs a use_cases source
+
+
+def test_use_case_source_is_exclusive():
+    with pytest.raises(SpecificationError):
+        UseCaseSource()
+    with pytest.raises(SpecificationError):
+        UseCaseSource(path="x.json", generator={"kind": "spread"})
+
+
+def test_path_source_resolves_and_hashes_by_content(tmp_path):
+    design = generate_benchmark("spread", 3, core_count=12, seed=1)
+    path = save_use_case_set(design, tmp_path / "design.json")
+    by_path = WorstCaseJob(use_cases=UseCaseSource(path="design.json"))
+    by_value = WorstCaseJob(use_cases=UseCaseSource.from_value(design))
+    # hashing a path source loads the file: same content => same cache key
+    assert job_hash(by_path, base_dir=tmp_path) == job_hash(by_value)
+    resolved = resolve_job(by_path, tmp_path)
+    assert resolved.use_cases.path is None
+    assert resolved.use_cases.inline == use_case_set_to_dict(design)
+    # ...and editing the design changes the key
+    other = save_use_case_set(generate_benchmark("spread", 4, core_count=12, seed=1), path)
+    assert job_hash(by_path, base_dir=tmp_path) != job_hash(by_value)
+    assert other == path
+
+
+# --------------------------------------------------------------------------- #
+# params / config serialisation (satellite)
+# --------------------------------------------------------------------------- #
+def test_noc_parameters_round_trip():
+    params = NoCParameters(frequency_hz=7.77e8, slot_table_size=24,
+                           max_cores_per_switch=None, topology_kind="torus")
+    assert NoCParameters.from_dict(json.loads(json.dumps(params.to_dict()))) == params
+    assert NoCParameters.from_dict({"frequency_mhz": 500}) == NoCParameters()
+    with pytest.raises(ConfigurationError):
+        NoCParameters.from_dict({"frequnecy_hz": 1e8})
+
+
+def test_mapper_config_round_trip():
+    config = MapperConfig(routing_policy="k_shortest", refinement="tabu", seed=11)
+    assert MapperConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+    with pytest.raises(ConfigurationError):
+        MapperConfig.from_dict({"max_switchez": 4})
+
+
+# --------------------------------------------------------------------------- #
+# mapping-result round trip (satellite)
+# --------------------------------------------------------------------------- #
+def test_mapping_result_round_trips_bit_identically(tmp_path):
+    result = UnifiedMapper().map(generate_benchmark("spread", 10, seed=3))
+    document = json.loads(json.dumps(mapping_result_to_dict(result)))
+    rebuilt = mapping_result_from_dict(document)
+    assert mapping_fingerprint(rebuilt) == mapping_fingerprint(result)
+    assert mapping_fingerprint(result) == SPREAD10_FINGERPRINT
+    assert rebuilt.params == result.params
+    assert rebuilt.config == result.config
+    assert rebuilt.groups == result.groups
+    assert rebuilt.core_mapping == result.core_mapping
+    # the dictionary form is canonical: serialising the rebuilt result
+    # reproduces the document exactly (the persistent cache relies on this)
+    assert mapping_result_to_dict(rebuilt) == document
+
+    path = save_mapping_result(result, tmp_path / "result.json")
+    assert mapping_fingerprint(load_mapping_result(path)) == mapping_fingerprint(result)
+
+
+def test_mapping_result_from_legacy_document():
+    result = UnifiedMapper().map(generate_benchmark("spread", 5, seed=3))
+    document = mapping_result_to_dict(result)
+    # documents written before the round trip existed lack these blocks
+    for key in ("params", "config", "positions"):
+        document.pop(key, None)
+    document["topology"].pop("positions", None)
+    rebuilt = mapping_result_from_dict(json.loads(json.dumps(document)))
+    assert mapping_fingerprint(rebuilt) == mapping_fingerprint(result)
+
+
+# --------------------------------------------------------------------------- #
+# runner: parallel parity and caching
+# --------------------------------------------------------------------------- #
+def parity_jobs():
+    """The spread-10 workload expressed as one job of each mapping kind."""
+    return [
+        DesignFlowJob(use_cases=SPREAD10),
+        WorstCaseJob(use_cases=SPREAD10),
+        RefineJob(use_cases=SPREAD10, iterations=15, seed=0),
+        FrequencyJob(use_cases=SPREAD10, frequencies_mhz=(100.0, 250.0, 500.0)),
+    ]
+
+
+def test_run_many_parallel_bit_identical_to_serial():
+    serial = JobRunner().run_many(parity_jobs(), workers=1)
+    parallel = JobRunner().run_many(parity_jobs(), workers=2)
+    assert [r.spec_hash for r in serial] == [r.spec_hash for r in parallel]
+    for serial_result, parallel_result in zip(serial, parallel):
+        assert serial_result.payload == parallel_result.payload
+    # the unified mapping of the design-flow job is the seed mapping
+    assert serial[0].payload["fingerprint"] == SPREAD10_FINGERPRINT
+    fingerprints = [r.payload.get("fingerprint") for r in serial[:3]]
+    assert all(fingerprints)
+    assert serial[3].payload["required_frequency_mhz"] == 250.0
+
+
+def test_cache_hit_skips_recomputation(tmp_path):
+    cache_dir = tmp_path / "cache"
+    jobs = [DesignFlowJob(use_cases=SPREAD10), WorstCaseJob(use_cases=SPREAD10)]
+
+    first = JobRunner(cache_dir=cache_dir)
+    cold = first.run_many(jobs)
+    assert first.executed_jobs == 2
+    assert first.cache.stores == 2
+    assert not any(result.cached for result in cold)
+
+    # a different runner (standing in for a different process) re-runs the
+    # same specs: zero evaluations, everything answered from disk
+    second = JobRunner(cache_dir=cache_dir)
+    warm = second.run_many(jobs)
+    assert second.executed_jobs == 0
+    assert second.cache.hits == 2
+    assert all(result.cached for result in warm)
+    assert [r.payload for r in warm] == [r.payload for r in cold]
+    assert [r.spec_hash for r in warm] == [r.spec_hash for r in cold]
+
+    # duplicate occurrences of a cached spec read the disk entry only once
+    third = JobRunner(cache_dir=cache_dir)
+    repeated = third.run_many([jobs[0]] * 3)
+    assert third.cache.hits == 1
+    assert all(result.cached for result in repeated)
+    assert repeated[0].payload == repeated[2].payload == cold[0].payload
+
+
+def test_run_many_deduplicates_identical_specs():
+    runner = JobRunner()
+    results = runner.run_many([WorstCaseJob(use_cases=SPREAD10)] * 3)
+    assert runner.executed_jobs == 1
+    assert results[0].payload == results[1].payload == results[2].payload
+
+
+def test_job_result_envelope_contents():
+    result = JobRunner().run(DesignFlowJob(use_cases=SPREAD10))
+    assert result.kind == "design_flow"
+    assert result.params == NoCParameters().to_dict()
+    assert result.config == MapperConfig().to_dict()
+    assert result.payload["mapped"] is True
+    assert result.payload["verification_passed"] is True
+    assert result.stats["engine"]["results"] >= 1
+    # the payload's mapping dict loads back into a full result
+    rebuilt = mapping_result_from_dict(result.payload["mapping"])
+    assert mapping_fingerprint(rebuilt) == result.payload["fingerprint"]
+
+
+def test_engine_export_results_round_trips():
+    from repro import MappingEngine
+
+    engine = MappingEngine()
+    result = engine.map(generate_benchmark("spread", 5, seed=3))
+    exported = engine.export_results()
+    assert len(exported) == 1
+    entry = exported[0]
+    assert entry["method"] == "unified"
+    assert entry["spec_hash"]
+    rebuilt = mapping_result_from_dict(json.loads(json.dumps(entry["result"])))
+    assert mapping_fingerprint(rebuilt) == mapping_fingerprint(result)
+
+
+def test_worst_case_failure_is_a_payload_not_an_exception():
+    # 40 spread use-cases on a tiny mesh: the WC baseline cannot map (the
+    # paper's headline failure mode) — the job reports it instead of raising
+    job = WorstCaseJob(
+        use_cases=UseCaseSource(generator={"kind": "spread", "use_case_count": 40, "seed": 3}),
+        config=MapperConfig(max_switches=4),
+    )
+    payload = JobRunner().run(job).payload
+    assert payload["mapped"] is False
+    assert "error" in payload
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def test_cli_run_end_to_end(tmp_path, capsys):
+    job_file = save_job(DesignFlowJob(use_cases=SPREAD10), tmp_path / "job.json")
+    out_file = tmp_path / "results.json"
+    status = cli_main(["run", str(job_file), "--workers", "2",
+                       "--cache-dir", str(tmp_path / "cache"), "--out", str(out_file)])
+    assert status == 0
+    assert out_file.exists()
+    envelopes = json.loads(out_file.read_text())
+    assert len(envelopes) == 1
+    assert envelopes[0]["payload"]["fingerprint"] == SPREAD10_FINGERPRINT
+    assert "design_flow" in capsys.readouterr().out
+
+    # second invocation is answered from the cache
+    status = cli_main(["run", str(job_file), "--cache-dir", str(tmp_path / "cache")])
+    assert status == 0
+    assert "cache: 1 hit(s), 0 executed" in capsys.readouterr().out
+
+
+def test_cli_run_resolves_design_paths_relative_to_job_file(tmp_path):
+    design = generate_benchmark("spread", 3, core_count=12, seed=1)
+    save_use_case_set(design, tmp_path / "design.json")
+    job_file = tmp_path / "job.json"
+    job_file.write_text(json.dumps(
+        {"kind": "worst_case", "use_cases": {"path": "design.json"}}
+    ))
+    assert cli_main(["run", str(job_file)]) == 0
+
+
+def test_cli_sweep_and_worst_case(tmp_path, capsys):
+    assert cli_main(["sweep", "--study", "use_case_count", "--counts", "2,5",
+                     "--core-count", "12"]) == 0
+    assert "normalized_switch_count" in capsys.readouterr().out
+
+    design = generate_benchmark("spread", 3, core_count=12, seed=1)
+    design_file = save_use_case_set(design, tmp_path / "design.json")
+    assert cli_main(["worst-case", str(design_file)]) == 0
+    assert "worst_case" in capsys.readouterr().out
+
+
+def test_cli_reports_errors_with_exit_one(tmp_path, capsys):
+    missing = tmp_path / "missing.json"
+    assert cli_main(["run", str(missing)]) == 1
+    assert "error:" in capsys.readouterr().err
