@@ -70,6 +70,7 @@ from repro.jobs import (
     DesignFlowJob,
     FrequencyJob,
     JobCache,
+    JobDirectoryService,
     JobResult,
     JobRunner,
     RefineJob,
@@ -150,6 +151,7 @@ __all__ = [
     "JobRunner",
     "JobResult",
     "JobCache",
+    "JobDirectoryService",
     "job_to_dict",
     "job_from_dict",
     "job_hash",

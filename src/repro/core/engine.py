@@ -35,7 +35,7 @@ from repro.core.result import MappingResult, UseCaseConfiguration
 from repro.core.spec import CompiledSpec, compile_spec
 from repro.core.switching import SwitchingGraph
 from repro.core.usecase import UseCaseSet
-from repro.exceptions import MappingError
+from repro.exceptions import MappingError, ReproError
 from repro.noc.topology import Topology
 from repro.params import MapperConfig, NoCParameters
 
@@ -126,6 +126,28 @@ class MappingEngine:
         self._results: "OrderedDict" = OrderedDict()
         #: spec hash -> compiled worst-case spec (see worst_case)
         self._worst_specs: "OrderedDict[str, CompiledSpec]" = OrderedDict()
+        #: exported-result documents offered to this engine (import_results);
+        #: shared by reference with with_params siblings so operating-point
+        #: probes can index the entries that match *their* params
+        self._seed_entries: List[Dict] = []
+        #: result-cache key -> raw exported document, for entries matching
+        #: this engine's operating point; deserialised lazily on a map()
+        #: miss, so a large corpus costs nothing until a job actually needs
+        #: one of its mappings
+        self._seed_index: Dict = {}
+        #: result-cache keys that were materialised from seed entries rather
+        #: than computed here; export_results skips them so a seeded engine
+        #: never re-exports (and thereby snowballs) the corpus it was fed
+        self._imported_keys: set = set()
+        #: cumulative hit/miss/import telemetry, shared with siblings so a
+        #: frequency search's probes report into the owning job's stats
+        self._counters: Dict[str, int] = {
+            "result_hits": 0,
+            "result_misses": 0,
+            "evaluation_hits": 0,
+            "evaluation_misses": 0,
+            "imported_results": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # compilation and derived-state caches
@@ -194,6 +216,10 @@ class MappingEngine:
         sibling._specs_by_id = self._specs_by_id
         sibling._bundles = self._bundles
         sibling._worst_specs = self._worst_specs
+        sibling._counters = self._counters
+        sibling._seed_entries = self._seed_entries
+        if self._seed_entries:
+            sibling._index_seeds(self._seed_entries)
         return sibling
 
     # ------------------------------------------------------------------ #
@@ -218,7 +244,13 @@ class MappingEngine:
         cached = self._results.get(key)
         if cached is not None:
             self._results.move_to_end(key)
+            self._counters["result_hits"] += 1
             return cached
+        seeded = self._materialise_seed(key)
+        if seeded is not None:
+            self._counters["result_hits"] += 1
+            return seeded
+        self._counters["result_misses"] += 1
         bundle = self.requirements_for(spec, resolved)
         result = self.mapper.map_requirements(
             spec.core_names, bundle.requirements, bundle.worklist, resolved, method_name
@@ -317,8 +349,10 @@ class MappingEngine:
             entry = evals.get(key)
             if entry is not None and entry[0] is bundle and entry[1] is topology:
                 evals.move_to_end(key)
+                self._counters["evaluation_hits"] += 1
                 outcome = entry[2]
             else:
+                self._counters["evaluation_misses"] += 1
                 outcome = self.mapper.evaluate_group_fixed(
                     topology, group_id, bundle.group_plans[group_id], placement
                 )
@@ -460,35 +494,121 @@ class MappingEngine:
     # cache export hooks (the jobs layer persists results across processes)
     # ------------------------------------------------------------------ #
     def cache_info(self) -> Dict[str, int]:
-        """Current sizes of every in-process cache, for job-level telemetry.
+        """Current cache sizes plus hit/miss counters, for job-level telemetry.
 
         The jobs layer attaches this to each :class:`~repro.jobs.JobResult`
         so a sweep farm can see how much work the engine short-circuited.
+        ``result_misses`` counts full mapping runs this engine (and its
+        :meth:`with_params` siblings — counters are shared) actually
+        performed; a job served entirely from imported results reports
+        ``result_misses == 0``, which is how the service tests prove the
+        seeding path recomputes nothing.
         """
-        return {
+        info = {
             "specs": len(self._specs),
             "bundles": len(self._bundles),
             "evaluations": len(self._group_evals),
             "results": len(self._results),
             "worst_specs": len(self._worst_specs),
         }
+        info.update(self._counters)
+        return info
+
+    def import_results(self, entries: Iterable[Dict]) -> int:
+        """Seed the full-mapping result cache from exported result entries.
+
+        The import half of :meth:`export_results` (ROADMAP follow-up (h)):
+        each entry is re-keyed under ``(spec_hash, groups, method)`` and a
+        subsequent :meth:`map` of the same specification returns the rebuilt
+        result without re-evaluating anything.  Only entries whose stored
+        ``params``/``config`` match this engine's operating point are
+        admitted to its seed index — the rest are retained and offered to
+        every :meth:`with_params` sibling, so a frequency search's probes
+        can hit too.  Indexing is cheap (no deserialisation); an entry is
+        rebuilt into a live ``MappingResult`` only when a :meth:`map` call
+        actually asks for its key, so a large corpus costs nothing per
+        engine until a job needs one of its mappings.  Entries that are
+        malformed, already cached or from a different operating point are
+        skipped silently; the count of newly indexed entries is returned.
+
+        Seeding only ever short-circuits deterministic recomputation: the
+        round trip through :func:`mapping_result_from_dict` is canonical, so
+        a seeded engine is bit-identical to a cold one.
+        """
+        fresh = [entry for entry in entries if isinstance(entry, dict)]
+        self._seed_entries.extend(fresh)
+        return self._index_seeds(fresh)
+
+    def _index_seeds(self, entries: Iterable[Dict]) -> int:
+        """Admit matching entries to the lazy seed index; returns how many."""
+        params_document = self.params.to_dict()
+        config_document = self.config.to_dict()
+        indexed = 0
+        for entry in entries:
+            try:
+                document = entry["result"]
+                key = (
+                    entry["spec_hash"],
+                    tuple(frozenset(group) for group in entry["groups"]),
+                    entry["method"],
+                )
+            except (KeyError, TypeError):
+                continue
+            if not isinstance(document, dict):
+                continue
+            if (
+                document.get("params") != params_document
+                or document.get("config") != config_document
+            ):
+                continue
+            if key in self._results or key in self._seed_index:
+                continue
+            self._seed_index[key] = document
+            indexed += 1
+        return indexed
+
+    def _materialise_seed(self, key) -> Optional[MappingResult]:
+        """Rebuild one indexed seed entry on demand (a :meth:`map` miss)."""
+        from repro.io.serialization import mapping_result_from_dict
+
+        document = self._seed_index.pop(key, None)
+        if document is None:
+            return None
+        try:
+            result = mapping_result_from_dict(document)
+        except ReproError:
+            return None  # corrupt entry: fall through to recomputation
+        self._results[key] = result
+        self._imported_keys.add(key)
+        if len(self._results) > self._RESULT_CACHE_SIZE:
+            self._results.popitem(last=False)
+        self._counters["imported_results"] += 1
+        return result
 
     def export_results(self) -> List[Dict]:
-        """Serialise every cached full-mapping result to plain dictionaries.
+        """Serialise the full-mapping results *this engine computed*.
+
+        Results that were materialised from imported seed entries are
+        excluded — the store they came from already holds them, and
+        re-exporting would snowball every downstream envelope with the
+        whole prior corpus.
 
         Each entry carries the cache key components (``spec_hash``,
         ``groups``, ``method``) plus the :func:`mapping_result_to_dict`
         payload, so an external store — a sweep farm's artifact bucket, or
-        the engine-level persistence of ROADMAP follow-up (h) — can dump
-        what this process computed and rebuild the results elsewhere with
-        ``mapping_result_from_dict``.  (The jobs layer currently persists
-        finished ``JobResult`` envelopes instead; this hook is the export
-        half of seeding engine caches from such a store.)
+        the persistent :class:`~repro.jobs.cache.JobCache` — can dump what
+        this process computed and rebuild the results elsewhere.
+        :meth:`import_results` is the matching import half: the jobs layer
+        attaches these entries to every stored ``JobResult`` envelope and
+        seeds fresh engines from them (``JobCache.seed_engine``), so a job
+        that *contains* an already-computed mapping skips recomputation.
         """
         from repro.io.serialization import mapping_result_to_dict
 
         exported: List[Dict] = []
         for (spec_hash, resolved, method_name), result in self._results.items():
+            if (spec_hash, resolved, method_name) in self._imported_keys:
+                continue
             exported.append(
                 {
                     "spec_hash": spec_hash,

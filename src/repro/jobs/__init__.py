@@ -2,7 +2,8 @@
 
 One describable, serializable unit of work (:mod:`repro.jobs.spec`), one
 executor with a worker story (:mod:`repro.jobs.runner`), one persistent
-result store (:mod:`repro.jobs.cache`) and one CLI (:mod:`repro.jobs.cli`):
+result store (:mod:`repro.jobs.cache`), one directory-watching service loop
+(:mod:`repro.jobs.service`) and one CLI (:mod:`repro.jobs.cli`):
 
 >>> from repro.jobs import DesignFlowJob, JobRunner, UseCaseSource
 >>> job = DesignFlowJob(use_cases=UseCaseSource.from_value(my_design))
@@ -16,6 +17,7 @@ what lets interactive sessions, sweep farms and CI share one vocabulary.
 
 from repro.jobs.cache import JobCache
 from repro.jobs.runner import JobResult, JobRunner, execute_job
+from repro.jobs.service import JobDirectoryService
 from repro.jobs.spec import (
     JOB_KINDS,
     SWEEP_STUDIES,
@@ -51,5 +53,6 @@ __all__ = [
     "JobRunner",
     "JobResult",
     "JobCache",
+    "JobDirectoryService",
     "execute_job",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 __all__ = ["JobCache"]
 
@@ -65,6 +65,52 @@ class JobCache:
         os.replace(scratch, target)
         self.stores += 1
         return target
+
+    def engine_exports(self, seen: Optional[set] = None) -> List[Dict]:
+        """Every engine-result entry attached to the stored envelopes.
+
+        Stored :class:`~repro.jobs.runner.JobResult` documents carry the
+        executing engine's :meth:`~repro.core.engine.MappingEngine.export_results`
+        entries; this collects them across the whole store (unreadable
+        entries are skipped, and the hit/miss counters are deliberately left
+        untouched — seeding is not a lookup).  Feed the list to
+        :meth:`~repro.core.engine.MappingEngine.import_results`, or use
+        :meth:`seed_engine` directly.
+
+        ``seen`` makes repeated collection incremental: envelope file names
+        recorded in the set are skipped and newly read names are added, so
+        a long-lived caller (the service's :class:`JobRunner`) re-parses
+        only the envelopes stored since its last call instead of the whole
+        directory on every drain.
+        """
+        exports: List[Dict] = []
+        for stored in sorted(self.directory.glob("*.json")):
+            if seen is not None and stored.name in seen:
+                continue
+            try:
+                document = json.loads(stored.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if seen is not None:
+                seen.add(stored.name)
+            if not isinstance(document, dict):
+                continue
+            entries = document.get("engine_results")
+            if isinstance(entries, list):
+                exports.extend(entry for entry in entries if isinstance(entry, dict))
+        return exports
+
+    def seed_engine(self, engine) -> int:
+        """Seed a :class:`~repro.core.engine.MappingEngine` from this store.
+
+        Closes ROADMAP follow-up (h): a fresh engine inherits every mapping
+        any cached job computed, so a job that merely *contains* one of
+        those mappings (a refine job whose initial mapping a design-flow job
+        already produced, a frequency probe at an already-solved operating
+        point) performs zero mapping re-evaluations.  Returns the number of
+        results the engine materialised.
+        """
+        return engine.import_results(self.engine_exports())
 
     def keys(self) -> Iterator[str]:
         """All keys currently stored."""

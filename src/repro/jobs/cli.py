@@ -15,11 +15,24 @@ Three subcommands cover the common workflows without writing any Python:
 ``repro worst-case design.json``
     Map a use-case-set file with the worst-case baseline.
 
-Every subcommand accepts ``--workers N`` (process-pool fan-out),
-``--cache-dir DIR`` (persistent result cache) and ``--out FILE`` (write the
-full :class:`~repro.jobs.runner.JobResult` envelopes as JSON); a short
-human-readable digest always goes to stdout.  Exit status is 0 on success
-and 1 on any error.
+``repro serve INBOX [--once] [--poll-interval S]``
+    Run the job-directory service loop
+    (:class:`~repro.jobs.service.JobDirectoryService`): watch ``INBOX`` for
+    ``*.json`` job specs, execute them, settle them into ``done/`` or
+    ``failed/`` and append to ``INBOX/manifest.jsonl``.  ``--once`` drains
+    the inbox and exits (what CI and tests drive); without it the service
+    polls until interrupted::
+
+        python -m repro serve jobs-inbox --once --workers 4 \\
+            --cache-dir .repro-cache
+
+Every subcommand accepts ``--workers N`` (process-pool fan-out) and
+``--cache-dir DIR`` (persistent result cache); all but ``serve`` also take
+``--out FILE`` (write the full :class:`~repro.jobs.runner.JobResult`
+envelopes as JSON — ``serve`` writes per-file envelopes into
+``INBOX/results/`` instead).  A short human-readable digest always goes to
+stdout.  Exit status is 0 on success and 1 on any error (for ``serve
+--once``: if any submitted file failed).
 """
 
 from __future__ import annotations
@@ -35,7 +48,9 @@ from repro.exceptions import ReproError
 __all__ = ["main", "build_parser"]
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
+def _add_common_options(
+    parser: argparse.ArgumentParser, include_out: bool = True
+) -> None:
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="process-pool workers for job execution (default: 1, serial)",
@@ -45,10 +60,11 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="directory of the persistent result cache (created if missing); "
              "already-computed jobs are returned from disk instead of re-run",
     )
-    parser.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="write the full JSON result envelopes to FILE",
-    )
+    if include_out:
+        parser.add_argument(
+            "--out", default=None, metavar="FILE",
+            help="write the full JSON result envelopes to FILE",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,6 +106,30 @@ def build_parser() -> argparse.ArgumentParser:
     worst.add_argument("design_file", metavar="DESIGN.json")
     _add_common_options(worst)
 
+    serve = commands.add_parser(
+        "serve", help="watch a job inbox directory and execute submitted specs",
+        description="Run the job-directory service: *.json specs dropped into "
+                    "INBOX are executed and settled into INBOX/done/ or "
+                    "INBOX/failed/, with result envelopes in INBOX/results/ "
+                    "and a rolling INBOX/manifest.jsonl.",
+    )
+    serve.add_argument("inbox", metavar="INBOX",
+                       help="inbox directory to watch (created if missing)")
+    serve.add_argument(
+        "--once", action="store_true",
+        help="drain the inbox once and exit instead of polling forever",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=1.0, metavar="S",
+        help="seconds to sleep between inbox polls (default: 1.0)",
+    )
+    serve.add_argument(
+        "--no-seed", action="store_true",
+        help="do not seed fresh engines from the cache's exported mapping "
+             "results",
+    )
+    _add_common_options(serve, include_out=False)
+
     return parser
 
 
@@ -124,6 +164,14 @@ def _print_result(result, index: int, total: int) -> None:
 def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
     from repro.jobs.runner import JobRunner
 
+    if args.out:
+        # Fail before executing anything: discovering a bad --out only after
+        # minutes of mapping would throw the results away.
+        out_parent = Path(args.out).absolute().parent
+        if not out_parent.is_dir():
+            print(f"error: --out directory {out_parent} does not exist",
+                  file=sys.stderr)
+            return 1
     runner = JobRunner(workers=args.workers, cache_dir=args.cache_dir, base_dir=base_dir)
     results = runner.run_many(jobs)
     for index, result in enumerate(results):
@@ -177,6 +225,41 @@ def _command_worst_case(args) -> int:
     return _run_jobs([job], args)
 
 
+def _print_service_record(record) -> None:
+    if record["status"] == "failed":
+        print(f"[failed] {record['file']}  {record.get('error', 'unknown error')}")
+        return
+    print(f"[done] {record['file']}  {record['jobs']} job(s)  "
+          f"{record['cached']} cached  {record['executed']} executed  "
+          f"({record['elapsed_s']:.2f}s)")
+
+
+def _command_serve(args) -> int:
+    from repro.jobs.service import JobDirectoryService
+
+    service = JobDirectoryService(
+        args.inbox,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        seed_engines=not args.no_seed,
+    )
+    if args.once:
+        records = service.run_once()
+        for record in records:
+            _print_service_record(record)
+        failures = sum(1 for record in records if record["status"] == "failed")
+        print(f"processed {len(records)} file(s), {failures} failed; "
+              f"manifest {service.manifest_path}")
+        return 1 if failures else 0
+    print(f"serving {service.inbox} "
+          f"(poll every {args.poll_interval:g}s; Ctrl-C to stop)")
+    try:
+        service.serve_forever(poll_interval=args.poll_interval)
+    except KeyboardInterrupt:
+        print(f"\nstopped after {service.processed_files} file(s)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -184,6 +267,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "worst-case": _command_worst_case,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

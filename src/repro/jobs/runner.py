@@ -71,6 +71,10 @@ class JobResult:
     elapsed_s: float = 0.0
     cached: bool = False
     stats: Dict = field(default_factory=dict)
+    #: the executing engine's exported full-mapping results (the seed corpus
+    #: of :meth:`~repro.core.engine.MappingEngine.import_results`); carried
+    #: outside the payload, like the other diagnostics
+    engine_results: List = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         """JSON-ready dictionary form (what the cache stores)."""
@@ -83,6 +87,7 @@ class JobResult:
             "elapsed_s": self.elapsed_s,
             "cached": self.cached,
             "stats": self.stats,
+            "engine_results": self.engine_results,
         }
 
     @classmethod
@@ -96,6 +101,7 @@ class JobResult:
             elapsed_s=float(document.get("elapsed_s", 0.0)),
             cached=bool(document.get("cached", False)),
             stats=document.get("stats", {}),
+            engine_results=document.get("engine_results", []),
         )
 
 
@@ -246,40 +252,75 @@ _EXECUTORS: Dict[str, Callable[[JobSpec, MappingEngine], Dict]] = {
 }
 
 
-def execute_job(job: JobSpec, spec_hash: Optional[str] = None) -> JobResult:
+def execute_job(
+    job: JobSpec,
+    spec_hash: Optional[str] = None,
+    engine_seed: Optional[List[Dict]] = None,
+    export_engine: bool = True,
+) -> JobResult:
     """Execute one (resolved) job in this process and envelope the outcome.
 
     Every execution gets a fresh :class:`MappingEngine`, so the payload
     depends on the job spec alone — never on what ran before it in the same
     process — which is the invariant behind serial/parallel/cached parity.
+    ``engine_seed`` optionally pre-loads the fresh engine's result cache
+    with previously exported mapping results
+    (:meth:`MappingEngine.import_results`); seeding preserves the invariant
+    because it only short-circuits deterministic recomputation — a seeded
+    payload is bit-identical to a cold one.  ``export_engine=False`` skips
+    attaching the engine's exported mappings to the envelope — the runner
+    passes it when no cache will store them, sparing ``--out`` files and
+    memory the corpus nothing consumes.
     """
     try:
         executor = _EXECUTORS[job.KIND]
     except (KeyError, AttributeError):
         raise SpecificationError(f"no executor for job {job!r}") from None
     engine = MappingEngine(params=job.params, config=job.config)
+    if engine_seed:
+        engine.import_results(engine_seed)
     started = time.perf_counter()
     payload = executor(job, engine)
     elapsed = time.perf_counter() - started
     # Canonicalise through JSON so in-process results are indistinguishable
     # from pool-transported or cache-loaded ones (tuples become lists etc.).
-    payload = json.loads(json.dumps(payload))
+    canonical = json.loads(
+        json.dumps({
+            "payload": payload,
+            "engine_results": engine.export_results() if export_engine else [],
+        })
+    )
     return JobResult(
         kind=job.KIND,
         spec_hash=spec_hash or job_hash(job),
         params=job.params.to_dict(),
         config=job.config.to_dict(),
-        payload=payload,
+        payload=canonical["payload"],
         elapsed_s=elapsed,
         stats={"engine": engine.cache_info()},
+        engine_results=canonical["engine_results"],
     )
+
+
+#: per-pool-worker seed corpus, installed once by the pool initializer so it
+#: is pickled per *worker*, not per submitted job
+_WORKER_SEED: Optional[List[Dict]] = None
+_WORKER_EXPORT = True
+
+
+def _init_worker(engine_seed: Optional[List[Dict]], export_engine: bool) -> None:
+    global _WORKER_SEED, _WORKER_EXPORT
+    _WORKER_SEED = engine_seed
+    _WORKER_EXPORT = export_engine
 
 
 def _execute_document(document: Dict, spec_hash: str) -> Dict:
     """Pool-worker entry point: job dict in, result dict out (both picklable)."""
     from repro.jobs.spec import job_from_dict
 
-    return execute_job(job_from_dict(document), spec_hash).to_dict()
+    return execute_job(
+        job_from_dict(document), spec_hash, _WORKER_SEED, _WORKER_EXPORT
+    ).to_dict()
 
 
 # --------------------------------------------------------------------------- #
@@ -301,6 +342,14 @@ class JobRunner:
     base_dir:
         Directory that relative ``path`` use-case sources resolve against
         (the CLI passes the job file's directory).
+    seed_engines:
+        When true (and a cache is configured), every execution's fresh
+        engine is pre-loaded with the mapping results previously exported
+        into the cache (:meth:`JobCache.engine_exports`), so a job that
+        merely *contains* an already-computed mapping — e.g. a refine job
+        whose initial mapping a cached design-flow job produced — performs
+        zero mapping re-evaluations.  Payloads are unaffected: seeding only
+        short-circuits deterministic recomputation.
     """
 
     def __init__(
@@ -308,12 +357,18 @@ class JobRunner:
         workers: Optional[int] = None,
         cache_dir: Union[str, Path, None] = None,
         base_dir: Union[str, Path, None] = None,
+        seed_engines: bool = False,
     ) -> None:
         self.workers = workers
         self.cache = None if cache_dir is None else JobCache(cache_dir)
         self.base_dir = base_dir
+        self.seed_engines = seed_engines
         #: number of jobs this runner actually executed (cache misses)
         self.executed_jobs = 0
+        #: incrementally collected seed corpus: envelope files already read
+        #: are skipped on later drains (the service calls run_many per file)
+        self._seed_exports: List[Dict] = []
+        self._seed_files: set = set()
 
     def run(self, job: JobSpec) -> JobResult:
         """Execute one job in-process (honouring the cache)."""
@@ -354,9 +409,17 @@ class JobRunner:
             pending[spec_hash] = index
 
         if pending:
+            engine_seed = None
+            if self.seed_engines and self.cache is not None:
+                self._seed_exports.extend(
+                    self.cache.engine_exports(seen=self._seed_files)
+                )
+                engine_seed = self._seed_exports
             fresh = self._execute_pending(
                 [(resolved[index], hashes[index]) for index in pending.values()],
                 workers,
+                engine_seed,
+                export_engine=self.cache is not None,
             )
             self.executed_jobs += len(fresh)
             for result in fresh:
@@ -375,18 +438,29 @@ class JobRunner:
 
     @staticmethod
     def _execute_pending(
-        work: List, workers: Optional[int]
+        work: List,
+        workers: Optional[int],
+        engine_seed: Optional[List[Dict]] = None,
+        export_engine: bool = True,
     ) -> List[JobResult]:
         """Run (job, hash) pairs serially or over a process pool.
 
         ``workers >= 2`` always goes through the pool — even for a single
         job — so the transport path (pickling, worker imports) is exercised
-        whenever the caller asked for it.
+        whenever the caller asked for it.  The seed corpus is shipped to
+        each pool worker once, via the pool initializer, not per job.
         """
         if not workers or workers <= 1:
-            return [execute_job(job, spec_hash) for job, spec_hash in work]
+            return [
+                execute_job(job, spec_hash, engine_seed, export_engine)
+                for job, spec_hash in work
+            ]
         documents = [(job_to_dict(job), spec_hash) for job, spec_hash in work]
-        with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(work)),
+            initializer=_init_worker,
+            initargs=(engine_seed, export_engine),
+        ) as pool:
             futures = [
                 pool.submit(_execute_document, document, spec_hash)
                 for document, spec_hash in documents

@@ -1,0 +1,292 @@
+"""Job-directory service loop: the backend of ``python -m repro serve``.
+
+The serve story of the ROADMAP in its simplest robust form: a directory is
+the queue.  Producers submit work by dropping job-spec JSON files (any shape
+:func:`repro.jobs.spec.load_jobs` accepts) into an *inbox*; a
+:class:`JobDirectoryService` tails the inbox and drives every submitted file
+through the :class:`~repro.jobs.runner.JobRunner` — with its process pool,
+its persistent :class:`~repro.jobs.cache.JobCache` and cache-seeded engines.
+
+Everything lives inside the inbox directory::
+
+    INBOX/*.json           pending spec files (drop one to submit it)
+    INBOX/running/         claimed by a service instance, execution in flight
+    INBOX/done/            spec files whose results were written
+    INBOX/failed/          spec files that could not be loaded or executed
+    INBOX/results/         one JSON file of JobResult envelopes per spec file
+    INBOX/manifest.jsonl   rolling log: one JSON line per processed file
+
+The lifecycle contract:
+
+* **claiming is atomic** — a pending file is claimed with one ``os.rename``
+  into ``running/``.  Renames within a directory tree are atomic on POSIX,
+  so two service instances sharing an inbox never execute the same file
+  (the loser's rename raises ``FileNotFoundError`` and it moves on).
+* **results before completion** — a spec file is renamed into ``done/``
+  only *after* its result envelopes were written to ``results/``; observers
+  can treat the appearance of a file in ``done/`` as "results are on disk".
+* **crash-safe resume** — a service that dies mid-execution leaves its
+  claimed files in ``running/``.  The first drain of the *next* instance
+  renames those back into the inbox and re-executes them; with a
+  persistent cache the redone work is answered from disk, so a crash costs
+  at most the files that were actually in flight.  Recovery runs once per
+  instance, at startup — never mid-operation — so it cannot steal a live
+  peer's in-flight files; the one residual race (an instance *starting*
+  while a peer is mid-execution) degrades to a duplicate execution with
+  identical results, never to lost work or a crashed peer.
+* **poison tolerance** — a file that cannot be loaded or executed is moved
+  to ``failed/`` with the error recorded in the manifest, and the service
+  keeps draining the rest of the inbox.
+
+Every processed file appends one record to ``manifest.jsonl`` (append-only,
+one JSON object per line) so external tooling can tail service history
+without scanning the result files.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.jobs.runner import JobRunner
+from repro.jobs.spec import load_jobs
+
+__all__ = ["JobDirectoryService"]
+
+
+def _unique_path(directory: Path, name: str) -> Path:
+    """A path in ``directory`` for ``name`` that does not exist yet.
+
+    Resubmitting a file name that already completed must not clobber the
+    earlier record, so collisions get a ``-2``, ``-3``, ... suffix.
+    """
+    target = directory / name
+    if not target.exists():
+        return target
+    stem, suffix = os.path.splitext(name)
+    for counter in itertools.count(2):
+        target = directory / f"{stem}-{counter}{suffix}"
+        if not target.exists():
+            return target
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class JobDirectoryService:
+    """Watches an inbox directory and executes submitted job-spec files.
+
+    Parameters
+    ----------
+    inbox:
+        The watched directory (created, along with its state subdirectories,
+        if missing).
+    workers:
+        Process-pool width handed to the :class:`JobRunner`.
+    cache_dir:
+        Directory of the persistent result cache.  Strongly recommended for
+        a service: resubmitted and resumed files are answered from disk, and
+        fresh engines are seeded from the cached engine exports.
+    seed_engines:
+        Seed every execution's engine from the cache's exported mapping
+        results (only meaningful with ``cache_dir``; default on).
+    runner:
+        Inject a pre-configured :class:`JobRunner` instead (overrides the
+        three knobs above).
+    """
+
+    def __init__(
+        self,
+        inbox: Union[str, Path],
+        workers: Optional[int] = None,
+        cache_dir: Union[str, Path, None] = None,
+        seed_engines: bool = True,
+        runner: Optional[JobRunner] = None,
+    ) -> None:
+        self.inbox = Path(inbox)
+        self.running_dir = self.inbox / "running"
+        self.done_dir = self.inbox / "done"
+        self.failed_dir = self.inbox / "failed"
+        self.results_dir = self.inbox / "results"
+        for directory in (self.inbox, self.running_dir, self.done_dir,
+                          self.failed_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.inbox / "manifest.jsonl"
+        self.runner = runner or JobRunner(
+            workers=workers,
+            cache_dir=cache_dir,
+            seed_engines=seed_engines and cache_dir is not None,
+        )
+        #: files processed (done + failed) over this service's lifetime
+        self.processed_files = 0
+        self._stop = False
+        self._recovered = False
+
+    # ------------------------------------------------------------------ #
+    # directory protocol
+    # ------------------------------------------------------------------ #
+    def pending(self) -> List[Path]:
+        """Spec files currently waiting in the inbox, in submission-name order.
+
+        Sorting by name makes one drain deterministic; producers that care
+        about ordering can prefix names with a sequence number.
+        """
+        return sorted(
+            entry for entry in self.inbox.glob("*.json") if entry.is_file()
+        )
+
+    def recover(self) -> List[Path]:
+        """Return files a crashed instance left in ``running/`` to the inbox.
+
+        The crash-safe-resume half of the contract: anything in ``running/``
+        at *startup* was claimed but not completed, so it is made pending
+        again and will be re-executed (cheaply, when the cache already
+        holds its results).  :meth:`run_once` calls this exactly once per
+        instance — recovering on every drain would steal the in-flight
+        files of a live peer sharing the inbox.  Returns the inbox paths
+        the stale files were moved to.
+        """
+        self._recovered = True
+        recovered: List[Path] = []
+        for stale in sorted(self.running_dir.glob("*.json")):
+            target = _unique_path(self.inbox, stale.name)
+            try:
+                os.replace(stale, target)
+            except FileNotFoundError:
+                continue  # a concurrently starting peer recovered it first
+            recovered.append(target)
+        return recovered
+
+    def _claim(self, path: Path) -> Optional[Path]:
+        """Atomically move a pending file into ``running/``; None if lost."""
+        target = _unique_path(self.running_dir, path.name)
+        try:
+            os.rename(path, target)
+        except FileNotFoundError:
+            return None  # another instance claimed it first
+        return target
+
+    def _append_manifest(self, record: Dict) -> None:
+        with self.manifest_path.open("a") as manifest:
+            manifest.write(json.dumps(record) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def process_file(self, claimed: Path) -> Optional[Dict]:
+        """Execute one claimed spec file and settle it into done/ or failed/.
+
+        Returns the manifest record that was appended.  Never raises for a
+        bad file: load and execution errors mark the file failed and the
+        service moves on.  Returns ``None`` when the claim was lost before
+        any work happened — a freshly started peer recovered the file while
+        it sat in ``running/`` — in which case the peer owns it now and
+        nothing is recorded.
+        """
+        started = time.perf_counter()
+        executed_before = self.runner.executed_jobs
+        try:
+            jobs = load_jobs(claimed)
+            results = self.runner.run_many(jobs)
+        except Exception as exc:  # noqa: BLE001 — poison files must not kill the loop
+            if not claimed.exists():
+                return None  # claim lost to a recovering peer before loading
+            target = _unique_path(self.failed_dir, claimed.name)
+            try:
+                os.replace(claimed, target)
+            except FileNotFoundError:
+                return None
+            record = {
+                "file": target.name,
+                "status": "failed",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        else:
+            target = _unique_path(self.done_dir, claimed.name)
+            results_path = self.results_dir / f"{target.stem}.json"
+            results_path.write_text(
+                json.dumps([result.to_dict() for result in results], indent=2)
+            )
+            # Results are on disk — only now does the spec count as done.
+            try:
+                os.replace(claimed, target)
+            except FileNotFoundError:
+                # A freshly started peer recovered our claimed file while we
+                # were executing.  The work is done and the (deterministic)
+                # results are written, so record it; whoever re-claimed the
+                # spec will settle the file itself with identical results.
+                pass
+            record = {
+                "file": target.name,
+                "status": "done",
+                "jobs": len(results),
+                "cached": sum(1 for result in results if result.cached),
+                "executed": self.runner.executed_jobs - executed_before,
+                "spec_hashes": [result.spec_hash for result in results],
+                "results": str(results_path.relative_to(self.inbox)),
+            }
+        record["elapsed_s"] = round(time.perf_counter() - started, 6)
+        record["unix_time"] = round(time.time(), 3)
+        self._append_manifest(record)
+        self.processed_files += 1
+        return record
+
+    def run_once(self) -> List[Dict]:
+        """Recover (first drain only), then drain the inbox.
+
+        Polls again after each batch so files submitted while a batch was
+        executing are picked up in the same drain; returns the manifest
+        records once the inbox is observed empty (or :meth:`stop` was
+        called).
+        """
+        if not self._recovered:
+            self.recover()
+        records: List[Dict] = []
+        while not self._stop:
+            batch = self.pending()
+            if not batch:
+                break
+            for path in batch:
+                if self._stop:
+                    break
+                claimed = self._claim(path)
+                if claimed is None:
+                    continue
+                record = self.process_file(claimed)
+                if record is not None:
+                    records.append(record)
+        return records
+
+    def serve_forever(
+        self,
+        poll_interval: float = 1.0,
+        max_polls: Optional[int] = None,
+    ) -> int:
+        """Drain the inbox repeatedly, sleeping ``poll_interval`` in between.
+
+        Runs until :meth:`stop` is called (from a signal handler or another
+        thread) or ``max_polls`` drains have happened (handy for tests);
+        returns the number of files processed during the call.
+        """
+        processed_before = self.processed_files
+        polls = 0
+        while not self._stop:
+            self.run_once()
+            polls += 1
+            if max_polls is not None and polls >= max_polls:
+                break
+            if not self._stop:
+                time.sleep(poll_interval)
+        return self.processed_files - processed_before
+
+    def stop(self) -> None:
+        """Ask the service loop to exit after the file currently in flight."""
+        self._stop = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobDirectoryService({str(self.inbox)!r}, "
+            f"processed={self.processed_files})"
+        )

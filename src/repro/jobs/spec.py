@@ -161,7 +161,15 @@ class UseCaseSource:
             ) from None
         if "flows_per_use_case" in recipe:
             recipe["flows_per_use_case"] = tuple(recipe["flows_per_use_case"])
-        return generate_benchmark(kind, **recipe)
+        try:
+            return generate_benchmark(kind, **recipe)
+        except TypeError as exc:
+            # An unknown or mistyped recipe knob is a document error, not a
+            # programming error: surface it through the CLI's one-line
+            # diagnostic contract instead of a traceback.
+            raise SerializationError(
+                f"invalid generator recipe for benchmark kind {kind!r}: {exc}"
+            ) from exc
 
 
 UseCaseSourceLike = Union[UseCaseSource, UseCaseSet, str, Path, Dict]
@@ -476,7 +484,7 @@ def job_from_dict(document: Dict) -> JobSpec:
     kind = document.get("kind")
     try:
         cls = JOB_KINDS[kind]
-    except KeyError:
+    except (KeyError, TypeError):  # TypeError: unhashable junk as the kind
         raise SerializationError(
             f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}"
         ) from None

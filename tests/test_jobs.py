@@ -371,3 +371,50 @@ def test_cli_reports_errors_with_exit_one(tmp_path, capsys):
     missing = tmp_path / "missing.json"
     assert cli_main(["run", str(missing)]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+def one_line_error(capsys) -> str:
+    """The captured stderr, asserting the one-line diagnostic contract."""
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert err.startswith("error:")
+    return err
+
+
+def test_cli_run_unknown_kind_exits_one_with_one_line_diagnostic(tmp_path, capsys):
+    job_file = tmp_path / "bad_kind.json"
+    job_file.write_text(json.dumps({"kind": "no_such_kind"}))
+    assert cli_main(["run", str(job_file)]) == 1
+    assert "unknown job kind" in one_line_error(capsys)
+
+
+def test_cli_run_non_dict_entry_exits_one(tmp_path, capsys):
+    job_file = tmp_path / "nondict.json"
+    job_file.write_text("[42]")
+    assert cli_main(["run", str(job_file)]) == 1
+    assert "must be a mapping" in one_line_error(capsys)
+
+
+def test_cli_run_bad_generator_recipe_exits_one(tmp_path, capsys):
+    # the recipe only explodes at execution time, inside the executor — it
+    # must still surface as a one-line diagnostic, not a TypeError traceback
+    job_file = tmp_path / "bad_recipe.json"
+    job_file.write_text(json.dumps({
+        "kind": "worst_case",
+        "use_cases": {"generator": {"kind": "spread", "use_case_count": 2,
+                                    "bogus_knob": 1}},
+    }))
+    assert cli_main(["run", str(job_file)]) == 1
+    assert "invalid generator recipe" in one_line_error(capsys)
+
+
+def test_cli_run_missing_out_parent_fails_before_executing(tmp_path, capsys):
+    job_file = save_job(DesignFlowJob(use_cases=SPREAD10), tmp_path / "job.json")
+    out_file = tmp_path / "no" / "such" / "dir" / "results.json"
+    cache_dir = tmp_path / "cache"
+    assert cli_main(["run", str(job_file), "--cache-dir", str(cache_dir),
+                     "--out", str(out_file)]) == 1
+    assert "--out directory" in one_line_error(capsys)
+    assert not out_file.exists()
+    # the check ran before any job did: nothing was computed or cached
+    assert not list(cache_dir.glob("*.json"))
