@@ -13,7 +13,12 @@ median is recorded for reporting):
   the spread-10 mapping, gating the refinement path: candidate evaluations
   must keep flowing through the ``MappingEngine`` requirement/evaluation
   caches instead of rebuilding ``GroupRequirement``/worklist state per
-  candidate.
+  candidate,
+* ``refine_spread10_warm`` — the same refinement on a fresh engine attached
+  to an ``EngineStateStore`` a prior run populated, gating the warm-start
+  path: every candidate evaluation must be answered from the store
+  (``evaluation_misses == 0``), which is what makes warm service traffic
+  cheap.
 
 Usage::
 
@@ -83,6 +88,50 @@ def _refinement_workload(build, iterations):
     return prepare, run
 
 
+def _warm_refinement_workload(build, iterations):
+    """The refinement workload on engines warm-started from a state store.
+
+    ``prepare`` runs the refinement once against a store-attached engine and
+    ingests its exports; each timed run then uses a *fresh* engine attached
+    to that store, so every candidate evaluation (and the initial mapping)
+    is answered from disk — the steady state of a warm sweep farm.  The
+    per-run assertions pin that nothing was recomputed.
+    """
+    import tempfile
+
+    from repro.core.engine import MappingEngine
+    from repro.jobs.store import EngineStateStore
+
+    def prepare():
+        use_cases = build()
+        scratch = tempfile.TemporaryDirectory(prefix="bench-engine-state-")
+        store = EngineStateStore(scratch.name)
+        engine = MappingEngine()
+        initial = engine.map(use_cases)
+        AnnealingRefiner(iterations=iterations, seed=0).refine(
+            initial, use_cases, engine=engine
+        )
+        store.ingest(engine.export_results(), engine.export_evaluations())
+        # keep the TemporaryDirectory object alive for the timed runs
+        return use_cases, scratch
+
+    def run(payload):
+        use_cases, scratch = payload
+        engine = MappingEngine()
+        engine.attach_store(EngineStateStore(scratch.name))
+        refiner = AnnealingRefiner(iterations=iterations, seed=0)
+        start = time.perf_counter()
+        initial = engine.map(use_cases)
+        outcome = refiner.refine(initial, use_cases, engine=engine)
+        elapsed = time.perf_counter() - start
+        info = engine.cache_info()
+        assert info["evaluation_misses"] == 0, info
+        assert info["result_misses"] == 0, info
+        return elapsed, outcome.refined
+
+    return prepare, run
+
+
 WORKLOADS = {
     "set_top_box_4uc": _mapping_workload(
         lambda: set_top_box_design(use_case_count=4).use_cases
@@ -94,6 +143,9 @@ WORKLOADS = {
         lambda: generate_benchmark("spread", 40, seed=3)
     ),
     "refine_spread10_annealing": _refinement_workload(
+        lambda: generate_benchmark("spread", 10, seed=3), iterations=60
+    ),
+    "refine_spread10_warm": _warm_refinement_workload(
         lambda: generate_benchmark("spread", 10, seed=3), iterations=60
     ),
 }

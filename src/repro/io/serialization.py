@@ -43,6 +43,9 @@ __all__ = [
     "use_case_set_from_dict",
     "save_use_case_set",
     "load_use_case_set",
+    "document_fingerprint",
+    "topology_to_dict",
+    "topology_fingerprint",
     "mapping_result_to_dict",
     "mapping_result_from_dict",
     "save_mapping_result",
@@ -133,6 +136,55 @@ def load_use_case_set(path: Union[str, Path]) -> UseCaseSet:
     return use_case_set_from_dict(document)
 
 
+def topology_to_dict(topology: Topology) -> Dict:
+    """Convert a topology to its JSON-ready dictionary form.
+
+    The canonical topology document: everything :func:`_topology_from_dict`
+    needs to rebuild an equivalent :class:`Topology` (name, kind, switch
+    count, grid dimensions, per-switch positions and the directed link
+    list).  Shared by :func:`mapping_result_to_dict` and the engine-state
+    store's evaluation keys (:func:`topology_fingerprint`).
+    """
+    return {
+        "name": topology.name,
+        "kind": topology.kind,
+        "switch_count": topology.switch_count,
+        "dimensions": None
+        if topology.dimensions is None
+        else list(topology.dimensions),
+        "positions": [
+            None if switch.position is None else list(switch.position)
+            for switch in topology.switches
+        ],
+        "links": [list(link) for link in topology.links],
+    }
+
+
+def document_fingerprint(document) -> str:
+    """Stable SHA-256 over a JSON-ready document's canonical form.
+
+    THE content-key primitive of the code base: every store key and
+    topology fingerprint is this exact ``sort_keys`` JSON + SHA-256
+    recipe, so writers and readers that derive keys independently — the
+    engine-state store, the engines' seed indexes — always agree
+    byte-for-byte.
+    """
+    blob = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Stable SHA-256 over a topology's canonical dictionary form.
+
+    Two topologies with equal fingerprints are structurally identical
+    (same switches, positions and links), so content-keyed caches — the
+    :class:`~repro.jobs.store.EngineStateStore` evaluation contexts — can
+    use the fingerprint where an object identity would not survive
+    serialisation.
+    """
+    return document_fingerprint(topology_to_dict(topology))
+
+
 def mapping_result_to_dict(result: MappingResult) -> Dict:
     """Convert a mapping result to a JSON-ready dictionary.
 
@@ -145,19 +197,7 @@ def mapping_result_to_dict(result: MappingResult) -> Dict:
     """
     return {
         "method": result.method,
-        "topology": {
-            "name": result.topology.name,
-            "kind": result.topology.kind,
-            "switch_count": result.topology.switch_count,
-            "dimensions": None
-            if result.topology.dimensions is None
-            else list(result.topology.dimensions),
-            "positions": [
-                None if switch.position is None else list(switch.position)
-                for switch in result.topology.switches
-            ],
-            "links": [list(link) for link in result.topology.links],
-        },
+        "topology": topology_to_dict(result.topology),
         "parameters": {
             "frequency_mhz": result.params.frequency_hz / 1e6,
             "link_width_bits": result.params.link_width_bits,

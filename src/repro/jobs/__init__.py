@@ -2,8 +2,10 @@
 
 One describable, serializable unit of work (:mod:`repro.jobs.spec`), one
 executor with a worker story (:mod:`repro.jobs.runner`), one persistent
-result store (:mod:`repro.jobs.cache`), one directory-watching service loop
-(:mod:`repro.jobs.service`) and one CLI (:mod:`repro.jobs.cli`):
+result store (:mod:`repro.jobs.cache`), one keyed on-disk engine-state
+store that warm-starts executions (:mod:`repro.jobs.store`), one
+directory-watching service loop (:mod:`repro.jobs.service`) and one CLI
+(:mod:`repro.jobs.cli`):
 
 >>> from repro.jobs import DesignFlowJob, JobRunner, UseCaseSource
 >>> job = DesignFlowJob(use_cases=UseCaseSource.from_value(my_design))
@@ -13,11 +15,30 @@ result store (:mod:`repro.jobs.cache`), one directory-watching service loop
 The same job serialised with :func:`save_job` runs unchanged from the shell
 (``python -m repro run job.json --workers 4 --cache-dir .cache``), which is
 what lets interactive sessions, sweep farms and CI share one vocabulary.
+
+A quick orientation to the moving parts:
+
+* **Specs** (:mod:`repro.jobs.spec`) — five frozen job kinds
+  (:class:`DesignFlowJob`, :class:`WorstCaseJob`, :class:`RefineJob`,
+  :class:`FrequencyJob`, :class:`SweepJob`), each JSON-round-tripping and
+  content-hashed (:func:`job_hash`).
+* **Runner** (:mod:`repro.jobs.runner`) — :class:`JobRunner` executes specs
+  serially or over a process pool, bit-identically, and returns
+  :class:`JobResult` envelopes.
+* **Caches** (:mod:`repro.jobs.cache` / :mod:`repro.jobs.store`) —
+  :class:`JobCache` persists whole job results keyed by ``job_hash``;
+  its :class:`EngineStateStore` persists the *engine state inside*
+  executions (full mappings and fixed-placement evaluations), so even
+  never-before-seen jobs skip work a sibling already did.
+* **Service** (:mod:`repro.jobs.service`) — :class:`JobDirectoryService`
+  turns a directory into a crash-safe job queue (``python -m repro
+  serve``); :func:`inbox_status` reads its state without touching it.
 """
 
 from repro.jobs.cache import JobCache
 from repro.jobs.runner import JobResult, JobRunner, execute_job
-from repro.jobs.service import JobDirectoryService
+from repro.jobs.service import JobDirectoryService, inbox_status
+from repro.jobs.store import EngineStateStore, StoreCorruptionWarning
 from repro.jobs.spec import (
     JOB_KINDS,
     SWEEP_STUDIES,
@@ -53,6 +74,9 @@ __all__ = [
     "JobRunner",
     "JobResult",
     "JobCache",
+    "EngineStateStore",
+    "StoreCorruptionWarning",
     "JobDirectoryService",
+    "inbox_status",
     "execute_job",
 ]

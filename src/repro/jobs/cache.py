@@ -27,15 +27,30 @@ import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.jobs.store import EngineStateStore
+
 __all__ = ["JobCache"]
 
 
 class JobCache:
-    """Directory-backed result store keyed by job content hashes."""
+    """Directory-backed result store keyed by job content hashes.
+
+    Besides the envelope files, the cache owns an
+    :class:`~repro.jobs.store.EngineStateStore` under
+    ``<directory>/engine-state/`` — the seed corpus is *delegated* to it:
+    engines attached to the store read previously exported mappings and
+    fixed-placement evaluations directly from disk, keyed, instead of the
+    whole corpus being collected from envelopes and shipped around (see
+    :meth:`sync_store` for how envelope-borne exports are folded in).
+    """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: the keyed on-disk engine-state store this cache's seed corpus
+        #: lives in (envelope files stay at the top level; the store's
+        #: subtree never collides with the ``*.json`` envelope glob)
+        self.store = EngineStateStore(self.directory / "engine-state")
         #: number of lookups answered from disk / missed since construction
         self.hits = 0
         self.misses = 0
@@ -100,16 +115,31 @@ class JobCache:
                 exports.extend(entry for entry in entries if isinstance(entry, dict))
         return exports
 
+    def sync_store(self, seen: Optional[set] = None) -> Dict[str, int]:
+        """Fold envelope-borne engine exports into the engine-state store.
+
+        Envelopes written before the store existed (or by foreign writers
+        that only drop result documents) carry their engine exports inline;
+        this reads them (incrementally, via the same ``seen`` discipline as
+        :meth:`engine_exports`) and ingests them into :attr:`store`, after
+        which store-attached engines can read them keyed.  Idempotent: the
+        store skips keys it already holds.
+        """
+        return self.store.ingest(self.engine_exports(seen=seen))
+
     def seed_engine(self, engine) -> int:
-        """Seed a :class:`~repro.core.engine.MappingEngine` from this store.
+        """Seed a :class:`~repro.core.engine.MappingEngine` from this cache.
 
         Closes ROADMAP follow-up (h): a fresh engine inherits every mapping
         any cached job computed, so a job that merely *contains* one of
         those mappings (a refine job whose initial mapping a design-flow job
         already produced, a frequency probe at an already-solved operating
-        point) performs zero mapping re-evaluations.  Returns the number of
-        results the engine materialised.
+        point) performs zero mapping re-evaluations.  Also attaches
+        :attr:`store`, so fixed-placement evaluations a sibling run
+        persisted are read on demand too.  Returns the number of result
+        entries the engine newly indexed from the envelopes.
         """
+        engine.attach_store(self.store)
         return engine.import_results(self.engine_exports())
 
     def keys(self) -> Iterator[str]:

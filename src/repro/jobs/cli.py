@@ -15,24 +15,28 @@ Three subcommands cover the common workflows without writing any Python:
 ``repro worst-case design.json``
     Map a use-case-set file with the worst-case baseline.
 
-``repro serve INBOX [--once] [--poll-interval S]``
+``repro serve INBOX [--once] [--poll-interval S] [--status]``
     Run the job-directory service loop
     (:class:`~repro.jobs.service.JobDirectoryService`): watch ``INBOX`` for
     ``*.json`` job specs, execute them, settle them into ``done/`` or
-    ``failed/`` and append to ``INBOX/manifest.jsonl``.  ``--once`` drains
-    the inbox and exits (what CI and tests drive); without it the service
-    polls until interrupted::
+    ``failed/`` and append to ``INBOX/manifest.jsonl`` (rotated at a size
+    threshold).  ``--once`` drains the inbox and exits (what CI and tests
+    drive); without it the service polls until interrupted.  ``--status``
+    prints the inbox's aggregate state (file counts plus the whole rotated
+    manifest history) read-only and exits::
 
         python -m repro serve jobs-inbox --once --workers 4 \\
             --cache-dir .repro-cache
+        python -m repro serve jobs-inbox --status
 
 Every subcommand accepts ``--workers N`` (process-pool fan-out) and
-``--cache-dir DIR`` (persistent result cache); all but ``serve`` also take
-``--out FILE`` (write the full :class:`~repro.jobs.runner.JobResult`
-envelopes as JSON — ``serve`` writes per-file envelopes into
-``INBOX/results/`` instead).  A short human-readable digest always goes to
-stdout.  Exit status is 0 on success and 1 on any error (for ``serve
---once``: if any submitted file failed).
+``--cache-dir DIR`` (persistent result cache; executions additionally
+warm-start from the cache's engine-state store unless ``--no-seed`` is
+given); all but ``serve`` also take ``--out FILE`` (write the full
+:class:`~repro.jobs.runner.JobResult` envelopes as JSON — ``serve`` writes
+per-file envelopes into ``INBOX/results/`` instead).  A short
+human-readable digest always goes to stdout.  Exit status is 0 on success
+and 1 on any error (for ``serve --once``: if any submitted file failed).
 """
 
 from __future__ import annotations
@@ -58,7 +62,14 @@ def _add_common_options(
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="directory of the persistent result cache (created if missing); "
-             "already-computed jobs are returned from disk instead of re-run",
+             "already-computed jobs are returned from disk instead of re-run, "
+             "and executions read previously computed engine state from the "
+             "cache's engine-state store",
+    )
+    parser.add_argument(
+        "--no-seed", action="store_true",
+        help="do not warm-start executions from the cache's engine-state "
+             "store (only meaningful with --cache-dir)",
     )
     if include_out:
         parser.add_argument(
@@ -124,9 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to sleep between inbox polls (default: 1.0)",
     )
     serve.add_argument(
-        "--no-seed", action="store_true",
-        help="do not seed fresh engines from the cache's exported mapping "
-             "results",
+        "--status", action="store_true",
+        help="print the inbox's aggregate state (pending/running/done/failed "
+             "counts and manifest history, rotated segments included) and "
+             "exit without touching anything",
     )
     _add_common_options(serve, include_out=False)
 
@@ -172,7 +184,12 @@ def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
             print(f"error: --out directory {out_parent} does not exist",
                   file=sys.stderr)
             return 1
-    runner = JobRunner(workers=args.workers, cache_dir=args.cache_dir, base_dir=base_dir)
+    runner = JobRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        base_dir=base_dir,
+        seed_engines=args.cache_dir is not None and not args.no_seed,
+    )
     results = runner.run_many(jobs)
     for index, result in enumerate(results):
         _print_result(result, index, len(results))
@@ -234,9 +251,27 @@ def _print_service_record(record) -> None:
           f"({record['elapsed_s']:.2f}s)")
 
 
-def _command_serve(args) -> int:
-    from repro.jobs.service import JobDirectoryService
+def _print_status(status) -> None:
+    files = status["files"]
+    manifest = status["manifest"]
+    print(f"inbox {status['inbox']}: {files['pending']} pending, "
+          f"{files['running']} running, {files['done']} done, "
+          f"{files['failed']} failed")
+    print(f"manifest: {manifest['records']} record(s) in "
+          f"{manifest['segments']} segment(s); {manifest['jobs']} job(s), "
+          f"{manifest['cached']} cached, {manifest['executed']} executed, "
+          f"{manifest['failed']} failed file(s)")
+    last = status["last_record"]
+    if last is not None:
+        _print_service_record(last)
 
+
+def _command_serve(args) -> int:
+    from repro.jobs.service import JobDirectoryService, inbox_status
+
+    if args.status:
+        _print_status(inbox_status(args.inbox))
+        return 0
     service = JobDirectoryService(
         args.inbox,
         workers=args.workers,

@@ -16,7 +16,11 @@ responsibilities and nothing else:
 * **persistence** — with a ``cache_dir``, results are stored on disk keyed
   by :func:`repro.jobs.spec.job_hash` (design content + params + config +
   kind + knobs) and later runs — in this process or any other — skip
-  execution entirely.
+  execution entirely.  With ``seed_engines=True`` the cache's
+  :class:`~repro.jobs.store.EngineStateStore` additionally warm-starts the
+  *inside* of executions: fresh engines read previously computed mappings
+  and fixed-placement evaluations straight from disk, so even a job whose
+  hash was never cached skips the work a sibling already did.
 
 Every execution returns a :class:`JobResult` envelope: the job kind, the
 spec hash, the params/config the job ran under, the deterministic
@@ -257,31 +261,49 @@ def execute_job(
     spec_hash: Optional[str] = None,
     engine_seed: Optional[List[Dict]] = None,
     export_engine: bool = True,
+    store_path: Union[str, Path, None] = None,
 ) -> JobResult:
     """Execute one (resolved) job in this process and envelope the outcome.
 
     Every execution gets a fresh :class:`MappingEngine`, so the payload
     depends on the job spec alone — never on what ran before it in the same
     process — which is the invariant behind serial/parallel/cached parity.
-    ``engine_seed`` optionally pre-loads the fresh engine's result cache
-    with previously exported mapping results
-    (:meth:`MappingEngine.import_results`); seeding preserves the invariant
-    because it only short-circuits deterministic recomputation — a seeded
-    payload is bit-identical to a cold one.  ``export_engine=False`` skips
-    attaching the engine's exported mappings to the envelope — the runner
-    passes it when no cache will store them, sparing ``--out`` files and
-    memory the corpus nothing consumes.
+
+    ``store_path`` names an on-disk
+    :class:`~repro.jobs.store.EngineStateStore`: the fresh engine reads
+    previously exported mapping results and fixed-placement evaluations
+    directly from it on cache misses (only the keys it needs — nothing is
+    shipped up front), and what the execution newly computed is ingested
+    back afterwards.  ``engine_seed`` is the in-memory alternative: a list
+    of previously exported result entries fed through
+    :meth:`MappingEngine.import_results`.  Both preserve the purity
+    invariant because seeding only short-circuits deterministic
+    recomputation — a seeded payload is bit-identical to a cold one.
+    ``export_engine=False`` skips attaching the engine's exported mappings
+    to the envelope — the runner passes it when no cache will store them,
+    sparing ``--out`` files and memory the corpus nothing consumes.
     """
     try:
         executor = _EXECUTORS[job.KIND]
     except (KeyError, AttributeError):
         raise SpecificationError(f"no executor for job {job!r}") from None
     engine = MappingEngine(params=job.params, config=job.config)
+    store = None
+    if store_path is not None:
+        from repro.jobs.store import EngineStateStore
+
+        store = EngineStateStore(store_path)
+        engine.attach_store(store)
     if engine_seed:
         engine.import_results(engine_seed)
     started = time.perf_counter()
     payload = executor(job, engine)
     elapsed = time.perf_counter() - started
+    if store is not None:
+        # Persist what this execution newly computed (exports exclude
+        # imported state, and the store skips keys it already holds, so
+        # the corpus stays proportional to distinct computations).
+        store.ingest(engine.export_results(), engine.export_evaluations())
     # Canonicalise through JSON so in-process results are indistinguishable
     # from pool-transported or cache-loaded ones (tuples become lists etc.).
     canonical = json.loads(
@@ -302,16 +324,18 @@ def execute_job(
     )
 
 
-#: per-pool-worker seed corpus, installed once by the pool initializer so it
-#: is pickled per *worker*, not per submitted job
-_WORKER_SEED: Optional[List[Dict]] = None
+#: per-pool-worker execution context, installed once by the pool initializer;
+#: the store *path* is the whole seed transport — each worker reads only the
+#: keys it misses straight from disk (ROADMAP follow-up (n): no pickled
+#: corpus travels to the pool)
 _WORKER_EXPORT = True
+_WORKER_STORE_PATH: Optional[str] = None
 
 
-def _init_worker(engine_seed: Optional[List[Dict]], export_engine: bool) -> None:
-    global _WORKER_SEED, _WORKER_EXPORT
-    _WORKER_SEED = engine_seed
+def _init_worker(export_engine: bool, store_path: Optional[str]) -> None:
+    global _WORKER_EXPORT, _WORKER_STORE_PATH
     _WORKER_EXPORT = export_engine
+    _WORKER_STORE_PATH = store_path
 
 
 def _execute_document(document: Dict, spec_hash: str) -> Dict:
@@ -319,7 +343,8 @@ def _execute_document(document: Dict, spec_hash: str) -> Dict:
     from repro.jobs.spec import job_from_dict
 
     return execute_job(
-        job_from_dict(document), spec_hash, _WORKER_SEED, _WORKER_EXPORT
+        job_from_dict(document), spec_hash,
+        export_engine=_WORKER_EXPORT, store_path=_WORKER_STORE_PATH,
     ).to_dict()
 
 
@@ -344,12 +369,15 @@ class JobRunner:
         (the CLI passes the job file's directory).
     seed_engines:
         When true (and a cache is configured), every execution's fresh
-        engine is pre-loaded with the mapping results previously exported
-        into the cache (:meth:`JobCache.engine_exports`), so a job that
-        merely *contains* an already-computed mapping — e.g. a refine job
-        whose initial mapping a cached design-flow job produced — performs
-        zero mapping re-evaluations.  Payloads are unaffected: seeding only
-        short-circuits deterministic recomputation.
+        engine is attached to the cache's on-disk
+        :class:`~repro.jobs.store.EngineStateStore`, so a job that merely
+        *contains* already-computed engine state — a refine job whose
+        initial mapping a cached design-flow job produced, a warm
+        refinement whose candidate evaluations a sibling run performed —
+        reads it from the store instead of recomputing.  Workers receive
+        the store *path* (never a pickled corpus) and fetch only the keys
+        they miss.  Payloads are unaffected: seeding only short-circuits
+        deterministic recomputation.
     """
 
     def __init__(
@@ -365,9 +393,9 @@ class JobRunner:
         self.seed_engines = seed_engines
         #: number of jobs this runner actually executed (cache misses)
         self.executed_jobs = 0
-        #: incrementally collected seed corpus: envelope files already read
-        #: are skipped on later drains (the service calls run_many per file)
-        self._seed_exports: List[Dict] = []
+        #: envelope files whose engine exports were already folded into the
+        #: store; later drains (the service calls run_many per file) only
+        #: sync what appeared since
         self._seed_files: set = set()
 
     def run(self, job: JobSpec) -> JobResult:
@@ -409,16 +437,18 @@ class JobRunner:
             pending[spec_hash] = index
 
         if pending:
-            engine_seed = None
+            store_path = None
             if self.seed_engines and self.cache is not None:
-                self._seed_exports.extend(
-                    self.cache.engine_exports(seen=self._seed_files)
-                )
-                engine_seed = self._seed_exports
+                # Fold engine exports carried by envelopes the store has not
+                # seen yet (legacy caches, foreign writers) into the store,
+                # then hand executions the store *path* — workers read only
+                # the keys they miss; nothing is pickled to the pool.
+                self.cache.sync_store(seen=self._seed_files)
+                store_path = str(self.cache.store.directory)
             fresh = self._execute_pending(
                 [(resolved[index], hashes[index]) for index in pending.values()],
                 workers,
-                engine_seed,
+                store_path,
                 export_engine=self.cache is not None,
             )
             self.executed_jobs += len(fresh)
@@ -440,26 +470,28 @@ class JobRunner:
     def _execute_pending(
         work: List,
         workers: Optional[int],
-        engine_seed: Optional[List[Dict]] = None,
+        store_path: Optional[str] = None,
         export_engine: bool = True,
     ) -> List[JobResult]:
         """Run (job, hash) pairs serially or over a process pool.
 
         ``workers >= 2`` always goes through the pool — even for a single
         job — so the transport path (pickling, worker imports) is exercised
-        whenever the caller asked for it.  The seed corpus is shipped to
-        each pool worker once, via the pool initializer, not per job.
+        whenever the caller asked for it.  Seeding travels as the store
+        *path* via the pool initializer; each worker opens the store itself
+        and reads only the keys its jobs miss.
         """
         if not workers or workers <= 1:
             return [
-                execute_job(job, spec_hash, engine_seed, export_engine)
+                execute_job(job, spec_hash,
+                            export_engine=export_engine, store_path=store_path)
                 for job, spec_hash in work
             ]
         documents = [(job_to_dict(job), spec_hash) for job, spec_hash in work]
         with ProcessPoolExecutor(
             max_workers=min(workers, len(work)),
             initializer=_init_worker,
-            initargs=(engine_seed, export_engine),
+            initargs=(export_engine, store_path),
         ) as pool:
             futures = [
                 pool.submit(_execute_document, document, spec_hash)

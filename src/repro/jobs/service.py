@@ -40,7 +40,13 @@ The lifecycle contract:
 
 Every processed file appends one record to ``manifest.jsonl`` (append-only,
 one JSON object per line) so external tooling can tail service history
-without scanning the result files.
+without scanning the result files.  The manifest **rotates**: when the live
+file exceeds ``manifest_max_bytes`` it is renamed to ``manifest-<n>.jsonl``
+(monotonically numbered) and a fresh ``manifest.jsonl`` starts — an inbox
+that sees millions of files never grows one unbounded log.
+:func:`inbox_status` (the backend of ``python -m repro serve INBOX
+--status``) reads the whole rotated history plus the state directories
+without touching — or creating — anything.
 """
 
 from __future__ import annotations
@@ -50,12 +56,13 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
+from repro.exceptions import ReproError
 from repro.jobs.runner import JobRunner
 from repro.jobs.spec import load_jobs
 
-__all__ = ["JobDirectoryService"]
+__all__ = ["JobDirectoryService", "inbox_status"]
 
 
 def _unique_path(directory: Path, name: str) -> Path:
@@ -95,7 +102,17 @@ class JobDirectoryService:
     runner:
         Inject a pre-configured :class:`JobRunner` instead (overrides the
         three knobs above).
+    manifest_max_bytes:
+        Rotation threshold for ``manifest.jsonl``: once the live file
+        reaches this size, the next record rotates it to
+        ``manifest-<n>.jsonl`` and starts fresh.  Readers
+        (:func:`inbox_status`, :meth:`manifest_records`) always see the
+        whole rotated history.
     """
+
+    #: default manifest rotation threshold (~4 MB ≈ tens of thousands of
+    #: records per segment)
+    DEFAULT_MANIFEST_MAX_BYTES = 4_000_000
 
     def __init__(
         self,
@@ -104,6 +121,7 @@ class JobDirectoryService:
         cache_dir: Union[str, Path, None] = None,
         seed_engines: bool = True,
         runner: Optional[JobRunner] = None,
+        manifest_max_bytes: int = DEFAULT_MANIFEST_MAX_BYTES,
     ) -> None:
         self.inbox = Path(inbox)
         self.running_dir = self.inbox / "running"
@@ -114,6 +132,7 @@ class JobDirectoryService:
                           self.failed_dir, self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.inbox / "manifest.jsonl"
+        self.manifest_max_bytes = manifest_max_bytes
         self.runner = runner or JobRunner(
             workers=workers,
             cache_dir=cache_dir,
@@ -169,8 +188,40 @@ class JobDirectoryService:
         return target
 
     def _append_manifest(self, record: Dict) -> None:
+        self._rotate_manifest_if_needed()
         with self.manifest_path.open("a") as manifest:
             manifest.write(json.dumps(record) + "\n")
+
+    def _rotate_manifest_if_needed(self) -> Optional[Path]:
+        """Rotate the live manifest once it reaches the size threshold.
+
+        The live file is renamed to the next free ``manifest-<n>.jsonl``
+        (monotonic, so chronological order is recoverable by number) and
+        appending continues into a fresh ``manifest.jsonl``.  Returns the
+        rotated path, or ``None`` when no rotation happened.
+        """
+        try:
+            size = self.manifest_path.stat().st_size
+        except OSError:
+            return None
+        if size < self.manifest_max_bytes:
+            return None
+        rotated = _rotated_manifests(self.inbox)
+        next_index = rotated[-1][0] + 1 if rotated else 1
+        target = self.inbox / f"manifest-{next_index}.jsonl"
+        try:
+            os.replace(self.manifest_path, target)
+        except FileNotFoundError:  # pragma: no cover - racing peer rotated it
+            return None
+        return target
+
+    def manifest_records(self) -> Iterator[Dict]:
+        """Every manifest record, oldest first, across all rotated segments."""
+        return _iter_manifest_records(self.inbox)
+
+    def status(self) -> Dict:
+        """Aggregate inbox state (see :func:`inbox_status`)."""
+        return inbox_status(self.inbox)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -290,3 +341,89 @@ class JobDirectoryService:
             f"JobDirectoryService({str(self.inbox)!r}, "
             f"processed={self.processed_files})"
         )
+
+
+# --------------------------------------------------------------------------- #
+# read-only inbox inspection (the backend of ``repro serve --status``)
+# --------------------------------------------------------------------------- #
+def _rotated_manifests(inbox: Path) -> List:
+    """(index, path) pairs of rotated manifest segments, oldest first."""
+    rotated = []
+    for path in inbox.glob("manifest-*.jsonl"):
+        suffix = path.stem[len("manifest-"):]
+        if suffix.isdigit():
+            rotated.append((int(suffix), path))
+    return sorted(rotated)
+
+
+def _iter_manifest_records(inbox: Path) -> Iterator[Dict]:
+    """All manifest records of an inbox in chronological order.
+
+    Walks the rotated segments by number, then the live file.  Unreadable
+    files and undecodable lines (a torn tail from a crashed writer) are
+    skipped — status must work on the inbox of a service that just died.
+    """
+    paths = [path for _, path in _rotated_manifests(inbox)]
+    paths.append(inbox / "manifest.jsonl")
+    for path in paths:
+        try:
+            raw = path.read_text()
+        except OSError:
+            continue
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def inbox_status(inbox: Union[str, Path]) -> Dict:
+    """Aggregate the observable state of a service inbox, read-only.
+
+    Counts the pending/running/done/failed spec files, folds the whole
+    rotated manifest history into done/failed/job/cache totals and surfaces
+    the most recent record.  Unlike constructing a
+    :class:`JobDirectoryService`, this creates nothing on disk — pointing
+    it at a directory that is not an inbox raises
+    :class:`~repro.exceptions.ReproError` instead of scaffolding one.
+    """
+    root = Path(inbox)
+    if not root.is_dir():
+        raise ReproError(f"inbox directory {root} does not exist")
+    counts = {
+        "pending": sum(1 for entry in root.glob("*.json") if entry.is_file()),
+        "running": len(list((root / "running").glob("*.json"))),
+        "done": len(list((root / "done").glob("*.json"))),
+        "failed": len(list((root / "failed").glob("*.json"))),
+    }
+    records = done = failed = jobs = cached = executed = 0
+    last: Optional[Dict] = None
+    for record in _iter_manifest_records(root):
+        records += 1
+        last = record
+        if record.get("status") == "failed":
+            failed += 1
+            continue
+        done += 1
+        jobs += int(record.get("jobs", 0))
+        cached += int(record.get("cached", 0))
+        executed += int(record.get("executed", 0))
+    return {
+        "inbox": str(root),
+        "files": counts,
+        "manifest": {
+            "segments": len(_rotated_manifests(root))
+            + (1 if (root / "manifest.jsonl").exists() else 0),
+            "records": records,
+            "done": done,
+            "failed": failed,
+            "jobs": jobs,
+            "cached": cached,
+            "executed": executed,
+        },
+        "last_record": last,
+    }

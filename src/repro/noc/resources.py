@@ -29,6 +29,7 @@ from repro.noc.slot_table import (
     SlotTable,
     lowest_set_bits,
     pipelined_free_mask,
+    rotated_start_slots,
     slots_needed_cached,
 )
 from repro.noc.topology import Link, Topology
@@ -369,25 +370,12 @@ class ResourceState:
         starts = lowest_set_bits(admissible, needed)
         if starts is None:
             return None
-        # ``starts`` is ascending, so each hop's rotated slot set stays sorted
-        # except at the wrap point: everything that wrapped (now < shift) goes
-        # before everything that did not (now >= shift).  Same tuples the
-        # historical per-hop sort produced, without sorting.
+        # ``starts`` is ascending, so each hop's rotated slot set is the
+        # shared sort-free rotation (see rotated_start_slots) — the same
+        # tuples the historical per-hop sort produced.
         assignment = {}
         for hop, link in enumerate(links):
-            shift = hop % size
-            if shift == 0:
-                assignment[link] = starts
-                continue
-            wrapped = []
-            straight = []
-            for start in starts:
-                value = start + shift
-                if value >= size:
-                    wrapped.append(value - size)
-                else:
-                    straight.append(value)
-            assignment[link] = tuple(wrapped + straight)
+            assignment[link] = rotated_start_slots(starts, hop % size, size)
         return links, assignment
 
     def _assignment_still_free(self, assignment: Dict[Link, Tuple[int, ...]]) -> bool:

@@ -38,6 +38,7 @@ __all__ = [
     "find_pipelined_slots",
     "pipelined_free_mask",
     "lowest_set_bits",
+    "rotated_start_slots",
 ]
 
 
@@ -278,6 +279,34 @@ def pipelined_free_mask(masks: Sequence[int], size: int) -> int:
         if not admissible:
             break
     return admissible
+
+
+def rotated_start_slots(starts: Tuple[int, ...], shift: int, size: int) -> Tuple[int, ...]:
+    """The hop-``shift`` slot set of an ascending starting-slot tuple.
+
+    The Æthereal pipeline advances every reservation one slot per hop, so
+    hop ``i`` carries ``(start + i) mod S`` for each starting slot.  With
+    ``starts`` ascending the rotated set stays sorted except at the wrap
+    point: everything that wrapped (now ``< shift``) goes before everything
+    that did not — the same tuples a per-hop sort would produce, without
+    sorting.  ``shift == 0`` returns ``starts`` itself.  This is the single
+    definition of the per-hop assignment shape, shared by the reservation
+    planner (:meth:`repro.noc.resources.ResourceState._plan`) and the
+    engine-state store's evaluation import
+    (:mod:`repro.core.engine`), whose bit-identity contract depends on both
+    producing identical tuples.
+    """
+    if shift == 0:
+        return starts
+    wrapped: List[int] = []
+    straight: List[int] = []
+    for start in starts:
+        value = start + shift
+        if value >= size:
+            wrapped.append(value - size)
+        else:
+            straight.append(value)
+    return tuple(wrapped + straight)
 
 
 def lowest_set_bits(mask: int, count: int) -> Optional[Tuple[int, ...]]:

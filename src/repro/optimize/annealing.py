@@ -95,23 +95,26 @@ class AnnealingRefiner:
         # candidate below re-evaluates the same compiled spec on the same
         # topology through the engine's requirement and evaluation caches.
         spec = engine.compile(use_cases)
-        current = result
+        current_placement = result.core_mapping
         current_cost = communication_cost(result)
-        best = current
+        best_placement: Optional[Dict[str, int]] = None  # None = the initial
         best_cost = current_cost
         temperature = self.initial_temperature
         accepted = 0
 
         cores = sorted(result.core_mapping)
         for _ in range(self.iterations):
-            placement = self._neighbour(current.core_mapping, cores, result, rng)
+            placement = self._neighbour(current_placement, cores, result, rng)
             if placement is None:
                 temperature *= self.cooling
                 continue
             try:
-                # Cost-only evaluation; the full result is materialised only
-                # for accepted candidates (the evaluation cache makes that
-                # second call assembly-only).
+                # Cost-only evaluation: the walk tracks placements and costs
+                # alone, and only the single best placement is materialised
+                # into a full result after the loop (the evaluation cache
+                # makes that final call assembly-only).  Results are pure
+                # functions of the placement, so this is decision-for-
+                # decision identical to materialising every accepted move.
                 candidate_cost = engine.placement_cost(
                     spec, result.topology, placement, groups=group_spec,
                 )
@@ -120,15 +123,18 @@ class AnnealingRefiner:
                 continue
             delta = (candidate_cost - current_cost) / max(current_cost, 1e-9)
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
-                candidate = engine.evaluate_placement(
-                    spec, result.topology, placement, groups=group_spec,
-                    method_name=result.method,
-                )
-                current, current_cost = candidate, candidate_cost
+                current_placement, current_cost = placement, candidate_cost
                 accepted += 1
                 if candidate_cost < best_cost:
-                    best, best_cost = candidate, candidate_cost
+                    best_placement, best_cost = placement, candidate_cost
             temperature *= self.cooling
+        if best_placement is None:
+            best = result
+        else:
+            best = engine.evaluate_placement(
+                spec, result.topology, best_placement, groups=group_spec,
+                method_name=result.method,
+            )
         return RefinementResult(
             initial=result,
             refined=best,

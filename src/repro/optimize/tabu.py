@@ -58,9 +58,10 @@ class TabuRefiner:
         spec = engine.compile(use_cases)
         cores = sorted(result.core_mapping)
 
-        current = result
+        current_placement = result.core_mapping
         current_cost = communication_cost(result)
-        best, best_cost = current, current_cost
+        best_placement: Optional[Dict[str, int]] = None  # None = the initial
+        best_cost = current_cost
         tabu: Deque[Tuple[str, str]] = deque(maxlen=self.tabu_tenure or None)
         accepted = 0
 
@@ -73,12 +74,15 @@ class TabuRefiner:
                 move = tuple(sorted((first, second)))
                 if move in tabu:
                     continue
-                placement = dict(current.core_mapping)
+                placement = dict(current_placement)
                 placement[first], placement[second] = placement[second], placement[first]
                 try:
-                    # Cost-only evaluation per sampled neighbour; only the
-                    # winning move is materialised into a full result below
-                    # (assembly-only thanks to the evaluation cache).
+                    # Cost-only evaluation per sampled neighbour; the search
+                    # walks placements and costs alone, and only the single
+                    # best placement is materialised into a full result
+                    # after the loop (assembly-only thanks to the
+                    # evaluation cache; results are pure functions of the
+                    # placement, so decisions are unchanged).
                     cost = engine.placement_cost(
                         spec, result.topology, placement, groups=group_spec,
                     )
@@ -89,15 +93,18 @@ class TabuRefiner:
                 continue
             candidates.sort(key=lambda item: item[0])
             cost, placement, move = candidates[0]
-            candidate = engine.evaluate_placement(
-                spec, result.topology, placement, groups=group_spec,
-                method_name=result.method,
-            )
-            current, current_cost = candidate, cost
+            current_placement, current_cost = placement, cost
             tabu.append(move)
             accepted += 1
             if cost < best_cost:
-                best, best_cost = candidate, cost
+                best_placement, best_cost = placement, cost
+        if best_placement is None:
+            best = result
+        else:
+            best = engine.evaluate_placement(
+                spec, result.topology, best_placement, groups=group_spec,
+                method_name=result.method,
+            )
         return RefinementResult(
             initial=result,
             refined=best,

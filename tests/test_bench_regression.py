@@ -56,6 +56,7 @@ def test_workloads_cover_the_reference_designs():
         "spread_10uc",
         "spread_40uc",
         "refine_spread10_annealing",
+        "refine_spread10_warm",
     }
 
 
