@@ -18,7 +18,12 @@ median is recorded for reporting):
   to an ``EngineStateStore`` a prior run populated, gating the warm-start
   path: every candidate evaluation must be answered from the store
   (``evaluation_misses == 0``), which is what makes warm service traffic
-  cheap.
+  cheap,
+* ``repair_single_link`` — a warm single-link-failure repair of a
+  provisioned spread-10 mapping, gating the splice path: only the affected
+  smooth-switching groups are re-evaluated (all from the store), and the
+  repair must beat a from-scratch remap of the degraded mesh by at least
+  2x wall-time.
 
 Usage::
 
@@ -132,6 +137,74 @@ def _warm_refinement_workload(build, iterations):
     return prepare, run
 
 
+def _repair_workload(build, provision, link, affected_groups):
+    """Warm single-link repair of a provisioned baseline, vs a full remap.
+
+    ``prepare`` maps the design onto a provisioned (one-step-larger) mesh,
+    repairs it once against a store-attached engine so every affected-group
+    evaluation lands in the store, and times a from-scratch remap of the
+    degraded mesh (best of three) as the comparison point.  Each timed run
+    then repairs with a *fresh* engine attached to that store — the steady
+    state of a monitoring loop that remaps around faults as they arrive.
+    The per-run assertions pin the splice contract: only the affected
+    groups are touched, nothing is recomputed, and the repair beats the
+    full remap by at least 2x.
+    """
+    import tempfile
+
+    from repro.core.engine import MappingEngine
+    from repro.core.repair import repair_mapping
+    from repro.jobs.store import EngineStateStore
+    from repro.noc import FailureSet, Topology
+
+    def prepare():
+        use_cases = build()
+        scratch = tempfile.TemporaryDirectory(prefix="bench-repair-")
+        store = EngineStateStore(scratch.name)
+        engine = MappingEngine()
+        engine.attach_store(store)
+        rows, cols = provision
+        baseline = engine.mapper.map_with_placement(
+            use_cases, Topology.mesh(rows, cols), {}, validate=False
+        )
+        failures = FailureSet().mark_link_down(*link)
+        repair_mapping(engine, use_cases, baseline, failures)  # warm the store
+        store.ingest(engine.export_results(), engine.export_evaluations())
+        degraded = baseline.topology.with_failures(failures)
+        groups = [sorted(group) for group in baseline.groups]
+        full_times = []
+        for _ in range(3):
+            remap_engine = MappingEngine()
+            start = time.perf_counter()
+            remap_engine.mapper.map_with_placement(
+                use_cases, degraded, {}, groups=groups,
+                method_name="unified-full-remap", validate=False,
+            )
+            full_times.append(time.perf_counter() - start)
+        # keep the TemporaryDirectory object alive for the timed runs
+        return use_cases, baseline, failures, scratch, min(full_times)
+
+    def run(payload):
+        use_cases, baseline, failures, scratch, full_remap_best = payload
+        engine = MappingEngine()
+        engine.attach_store(EngineStateStore(scratch.name))
+        start = time.perf_counter()
+        outcome = repair_mapping(engine, use_cases, baseline, failures)
+        elapsed = time.perf_counter() - start
+        info = engine.cache_info()
+        assert info["evaluation_misses"] == 0, info
+        assert len(outcome.affected_group_ids) == affected_groups, (
+            outcome.affected_group_ids
+        )
+        assert elapsed * 2.0 <= full_remap_best, (
+            f"repair {elapsed * 1000:.2f} ms is not 2x faster than full "
+            f"remap {full_remap_best * 1000:.2f} ms"
+        )
+        return elapsed, outcome.repaired
+
+    return prepare, run
+
+
 WORKLOADS = {
     "set_top_box_4uc": _mapping_workload(
         lambda: set_top_box_design(use_case_count=4).use_cases
@@ -147,6 +220,17 @@ WORKLOADS = {
     ),
     "refine_spread10_warm": _warm_refinement_workload(
         lambda: generate_benchmark("spread", 10, seed=3), iterations=60
+    ),
+    # The sparse spread-10 variant keeps per-group traffic light enough
+    # that a single link failure hits a strict subset of the groups (7 of
+    # 10) — the scenario splice repair exists for; the dense reference
+    # designs route every group over every congested link, which collapses
+    # repair into a full re-evaluation.
+    "repair_single_link": _repair_workload(
+        lambda: generate_benchmark(
+            "spread", 10, core_count=16, seed=3, flows_per_use_case=(6, 10)
+        ),
+        provision=(4, 4), link=(1, 5), affected_groups=7,
     ),
 }
 

@@ -6,8 +6,17 @@
   parallel-use-case study of Figure 7c).
 * :mod:`repro.analysis.sweeps` — the experiment drivers behind every figure
   of the evaluation section; the benchmark harness calls these.
+* :mod:`repro.analysis.failures` — single-failure sweeps over a baseline
+  mapping: which link/switch failures break schedulability, per operating
+  point (``python -m repro failures``).
 """
 
+from repro.analysis.failures import (
+    FailureSweepRow,
+    failure_sweep,
+    single_link_failures,
+    single_switch_failures,
+)
 from repro.analysis.metrics import MethodComparison, compare_methods
 from repro.analysis.frequency import minimum_design_frequency
 from repro.analysis.sweeps import (
@@ -23,6 +32,10 @@ from repro.analysis.sweeps import (
 )
 
 __all__ = [
+    "FailureSweepRow",
+    "failure_sweep",
+    "single_link_failures",
+    "single_switch_failures",
     "MethodComparison",
     "compare_methods",
     "minimum_design_frequency",

@@ -548,19 +548,30 @@ class MappingEngine:
         bundle: _RequirementBundle,
         topology: Topology,
         placement: Mapping[str, int],
+        only: Optional[FrozenSet[int]] = None,
     ) -> Dict[int, List]:
         """Evaluate (or recall) every group under a complete placement.
 
-        Validates the placement globally (switch indices exist, per-switch
-        core limit holds — mirroring the checks the per-state attachments
-        perform in the general path), then evaluates each group against the
-        memoised (group, endpoint-placement) cache.  Raises
-        :class:`MappingError` when the placement or any group is infeasible.
+        Validates the placement globally (switch indices exist, switches are
+        alive, per-switch core limit holds — mirroring the checks the
+        per-state attachments perform in the general path), then evaluates
+        each group against the memoised (group, endpoint-placement) cache.
+        ``only`` restricts evaluation to a subset of group ids — the repair
+        path evaluates just the failure-affected groups and splices the
+        untouched groups' baseline allocations back in.  Raises
+        :class:`MappingError` when the placement or any evaluated group is
+        infeasible.
         """
         limit = self.params.max_cores_per_switch
         occupancy: Dict[int, int] = {}
         for core, switch in placement.items():
             topology.switch(switch)
+            if topology.is_switch_down(switch):
+                raise MappingError(
+                    f"placement puts core {core!r} on failed switch {switch} "
+                    f"of {topology.name!r}",
+                    largest_topology=topology.name,
+                )
             occupancy[switch] = occupancy.get(switch, 0) + 1
             if limit is not None and occupancy[switch] > limit:
                 raise MappingError(
@@ -573,6 +584,8 @@ class MappingEngine:
         outcomes: Dict[int, _GroupOutcome] = {}
         for requirement in bundle.requirements:
             group_id = requirement.group_id
+            if only is not None and group_id not in only:
+                continue
             projection = tuple(
                 placement[core_names[index]]
                 for index in bundle.group_endpoints[group_id]

@@ -242,7 +242,12 @@ class _AttemptAccounting:
     def __init__(self, topology: Topology, worklist: _Worklist) -> None:
         self.topology = topology
         switches = topology.switches
-        self.occupancy: Dict[int, int] = {sw.index: 0 for sw in switches}
+        # Occupancy keys double as the placement-candidate universe, so a
+        # degraded topology's failed switches are excluded here: free
+        # placement never even considers them.
+        self.occupancy: Dict[int, int] = {
+            sw.index: 0 for sw in switches if not topology.is_switch_down(sw.index)
+        }
         self._positions = {sw.index: sw.position for sw in switches}
         #: per-switch distance to the nearest placed core; None until the
         #: first core is attached (the spacing term is constant then).

@@ -1,0 +1,401 @@
+"""Incremental repair of a mapping after link/switch failures.
+
+The failure-aware counterpart of a full remap: given a baseline
+:class:`~repro.core.result.MappingResult` and a
+:class:`~repro.noc.failures.FailureSet`, :func:`repair_mapping`
+
+1. derives the degraded topology (:meth:`Topology.with_failures`),
+2. identifies only the smooth-switching groups whose placements or paths
+   touch failed resources (everything else keeps its baseline allocations
+   verbatim — they used only surviving resources, so they are still valid),
+3. relocates cores displaced from failed switches with a greedy
+   least-cost search scored by the engine's memoised fixed-placement group
+   evaluations, and
+4. re-evaluates just the affected groups through the engine's cached /
+   store-backed evaluation path.
+
+Because step 4 goes through :class:`MappingEngine`'s evaluation cache, a
+repair warm-started from an :class:`~repro.jobs.store.EngineStateStore` that
+a previous (cold) repair populated performs **zero** evaluation misses — and
+the degraded topology's content hash keys that state, so warm state is never
+reused across different failure sets.
+
+Unrepairable designs degrade gracefully: the outcome lists the use cases
+whose groups cannot be mapped on the degraded topology instead of raising.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.engine import MappingEngine
+from repro.core.result import MappingResult, UseCaseConfiguration
+from repro.exceptions import MappingError
+from repro.noc.failures import FailureSet
+from repro.noc.topology import Topology
+
+__all__ = ["RepairOutcome", "repair_mapping", "total_communication_cost"]
+
+
+def total_communication_cost(result: MappingResult) -> float:
+    """Σ bandwidth × hops over every configuration of a mapping result."""
+    cached = getattr(result, "cached_communication_cost", None)
+    if cached is not None:
+        return cached
+    return sum(
+        configuration.total_bandwidth_hops()
+        for configuration in result.configurations.values()
+    )
+
+
+@dataclass
+class RepairOutcome:
+    """Everything a failure repair produced, including the failure cases.
+
+    ``repaired`` is ``None`` when the design cannot be mapped on the
+    degraded topology; ``unrepairable`` then names the use cases whose
+    groups are infeasible (graceful degradation — callers decide whether to
+    shed those use cases, fall back to a full remap at another operating
+    point, or escalate).
+    """
+
+    failures: FailureSet
+    degraded_topology: Topology
+    baseline_cost: float
+    affected_group_ids: Tuple[int, ...] = ()
+    displaced_cores: Tuple[str, ...] = ()
+    repaired: Optional[MappingResult] = None
+    repaired_cost: Optional[float] = None
+    unrepairable: Tuple[str, ...] = ()
+    groups_total: int = 0
+    evaluations: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    full_remap: Optional[MappingResult] = None
+    full_remap_cost: Optional[float] = None
+    full_remap_elapsed_s: Optional[float] = None
+
+    def metrics(self) -> Dict:
+        """JSON-ready recovery metrics (the RepairJob payload core)."""
+        delta = (
+            None if self.repaired_cost is None
+            else self.repaired_cost - self.baseline_cost
+        )
+        document = {
+            "failures": self.failures.describe(),
+            "degraded_topology": self.degraded_topology.name,
+            "repaired": self.repaired is not None,
+            "groups_total": self.groups_total,
+            "groups_remapped": len(self.affected_group_ids),
+            "affected_group_ids": list(self.affected_group_ids),
+            "displaced_cores": list(self.displaced_cores),
+            "unrepairable": list(self.unrepairable),
+            "baseline_cost": self.baseline_cost,
+            "repaired_cost": self.repaired_cost,
+            "cost_delta": delta,
+            "evaluations": dict(self.evaluations),
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+        if self.full_remap_cost is not None or self.full_remap_elapsed_s is not None:
+            document["full_remap_cost"] = self.full_remap_cost
+            document["full_remap_elapsed_s"] = (
+                None if self.full_remap_elapsed_s is None
+                else round(self.full_remap_elapsed_s, 6)
+            )
+            if self.repaired_cost is not None and self.full_remap_cost is not None:
+                document["cost_delta_vs_full_remap"] = (
+                    self.repaired_cost - self.full_remap_cost
+                )
+        return document
+
+
+def _endpoint_cores(bundle, group_id: int) -> FrozenSet[str]:
+    names = bundle.spec_core_names
+    return frozenset(names[index] for index in bundle.group_endpoints[group_id])
+
+
+def _affected_groups(bundle, baseline: MappingResult, failures: FailureSet,
+                     displaced: Set[str]) -> Set[int]:
+    """Group ids whose endpoint placement or allocation paths touch failures."""
+    affected: Set[int] = set()
+    for requirement in bundle.requirements:
+        group_id = requirement.group_id
+        if displaced & _endpoint_cores(bundle, group_id):
+            affected.add(group_id)
+            continue
+        for name in requirement.member_names:
+            configuration = baseline.configurations.get(name)
+            if configuration is None:
+                continue
+            if any(failures.affects_path(allocation.switch_path)
+                   for allocation in configuration):
+                affected.add(group_id)
+                break
+    return affected
+
+
+def _subset_configurations(bundle, outcomes, subset: FrozenSet[int]):
+    """Materialise the affected groups' configurations in global order.
+
+    Mirrors :meth:`MappingEngine._walk_outcomes` restricted to a subset of
+    groups: allocations and float cost accumulations happen in the exact
+    order the general path records them, which keeps repaired results
+    bit-identical between warm and cold engines.
+    """
+    configurations: Dict[str, UseCaseConfiguration] = {}
+    cost_sums: Dict[str, float] = {}
+    for requirement in bundle.requirements:
+        if requirement.group_id not in subset:
+            continue
+        for name in requirement.member_names:
+            cost_sums[name] = 0.0
+            configurations[name] = UseCaseConfiguration(name, requirement.group_id)
+    entry_lists = {gid: outcomes[gid].entries for gid in subset}
+    cursor: Dict[int, int] = {gid: 0 for gid in subset}
+    for pair_req in bundle.order:
+        group_id = pair_req.group_id
+        if group_id not in subset:
+            continue
+        index = cursor[group_id]
+        cursor[group_id] = index + 1
+        entry = entry_lists[group_id][index]
+        terms = entry.cost_terms
+        for position, (name, allocation) in enumerate(entry.allocations()):
+            configurations[name].add(allocation)
+            cost_sums[name] = cost_sums[name] + terms[position]
+    return configurations, cost_sums
+
+
+def _alive_candidates(degraded: Topology, placement: Dict[str, int],
+                      limit: Optional[int]) -> List[int]:
+    """Alive switches with room for one more core, sorted by index."""
+    occupancy: Dict[int, int] = {}
+    for switch in placement.values():
+        occupancy[switch] = occupancy.get(switch, 0) + 1
+    return [
+        switch.index for switch in degraded.alive_switches
+        if limit is None or occupancy.get(switch.index, 0) < limit
+    ]
+
+
+def _probe_unrepairable(engine: MappingEngine, bundle, degraded: Topology,
+                        placement: Dict[str, int],
+                        subset: FrozenSet[int]) -> Tuple[str, ...]:
+    """Which use cases belong to groups infeasible under ``placement``.
+
+    Probes each affected group independently through the mapper's
+    fixed-placement evaluator; a group that cannot route around the failures
+    contributes its member use cases.  Never raises.
+    """
+    unrepairable: List[str] = []
+    for requirement in bundle.requirements:
+        group_id = requirement.group_id
+        if group_id not in subset:
+            continue
+        try:
+            outcome = engine.mapper.evaluate_group_fixed(
+                degraded, group_id, bundle.group_plans[group_id], placement
+            )
+        except Exception:  # noqa: BLE001 - a probe must never raise
+            outcome = None
+        if outcome is None:
+            unrepairable.extend(requirement.member_names)
+    return tuple(sorted(unrepairable))
+
+
+def repair_mapping(
+    engine: MappingEngine,
+    use_cases,
+    baseline: MappingResult,
+    failures: FailureSet,
+    groups=None,
+    compare_full_remap: bool = False,
+) -> RepairOutcome:
+    """Repair a baseline mapping after a failure set, remapping only what broke.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`MappingEngine` to evaluate with.  Attach a store to
+        warm-start the repair from previously computed degraded-topology
+        evaluations.
+    use_cases:
+        The design the baseline maps (a :class:`UseCaseSet` or compiled spec).
+    baseline:
+        The pre-failure mapping (its topology is the pristine substrate).
+    failures:
+        The failure set to repair around; validated against the baseline
+        topology (unknown or overlapping ids raise
+        :class:`~repro.exceptions.TopologyError`).
+    groups:
+        Explicit smooth-switching groups; defaults to the baseline's.
+    compare_full_remap:
+        Also run a from-scratch remap on the degraded topology (free
+        placement, same fixed topology) and report its cost and wall time.
+    """
+    started = time.perf_counter()
+    failures = failures.copy()
+    failures.validate_for(baseline.topology)
+    degraded = baseline.topology.with_failures(failures)
+
+    spec = engine.compile(use_cases)
+    if groups is None:
+        groups = [sorted(group) for group in baseline.groups]
+    resolved = engine.resolve_groups(spec, groups)
+    bundle = engine.requirements_for(spec, resolved)
+    baseline_cost = total_communication_cost(baseline)
+
+    counter_keys = ("evaluation_hits", "evaluation_misses", "imported_evaluations")
+    before = {key: engine.cache_info()[key] for key in counter_keys}
+
+    def finish(outcome: RepairOutcome) -> RepairOutcome:
+        after = engine.cache_info()
+        outcome.evaluations = {key: after[key] - before[key] for key in counter_keys}
+        outcome.elapsed_s = time.perf_counter() - started
+        if compare_full_remap:
+            remap_started = time.perf_counter()
+            try:
+                full = engine.mapper.map_with_placement(
+                    spec.use_case_set, degraded, {}, groups=resolved,
+                    method_name="unified-full-remap", validate=False,
+                )
+            except MappingError:
+                full = None
+            outcome.full_remap_elapsed_s = time.perf_counter() - remap_started
+            outcome.full_remap = full
+            outcome.full_remap_cost = (
+                None if full is None else total_communication_cost(full)
+            )
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # 1. what broke: displaced cores and affected groups
+    # ------------------------------------------------------------------ #
+    displaced = sorted(
+        core for core, switch in baseline.core_mapping.items()
+        if failures.affects_switch(switch)
+    )
+    affected = frozenset(
+        sorted(_affected_groups(bundle, baseline, failures, set(displaced)))
+    )
+    outcome = RepairOutcome(
+        failures=failures,
+        degraded_topology=degraded,
+        baseline_cost=baseline_cost,
+        affected_group_ids=tuple(sorted(affected)),
+        displaced_cores=tuple(displaced),
+        groups_total=len(bundle.requirements),
+    )
+    if not affected and not displaced:
+        # Nothing the design uses failed: the baseline, re-homed onto the
+        # degraded topology, is already the repair.
+        placement = dict(baseline.core_mapping)
+        configurations = {
+            name: baseline.configurations[name]
+            for requirement in bundle.requirements
+            for name in requirement.member_names
+            if name in baseline.configurations
+        }
+        outcome.repaired = _assemble(engine, degraded, placement, resolved,
+                                     configurations, baseline_cost)
+        outcome.repaired_cost = baseline_cost
+        return finish(outcome)
+
+    # ------------------------------------------------------------------ #
+    # 2. relocate displaced cores (greedy least-cost, deterministic)
+    # ------------------------------------------------------------------ #
+    placement = dict(baseline.core_mapping)
+    limit = engine.params.max_cores_per_switch
+    stuck: List[str] = []
+    # Provisional pass: every displaced core needs *some* alive home before
+    # any candidate placement validates (a trial with another core still on
+    # a dead switch would be rejected wholesale).
+    for core in displaced:
+        candidates = _alive_candidates(degraded, placement, limit)
+        candidates = [index for index in candidates if index != placement[core]]
+        if not candidates:
+            stuck.append(core)
+            continue
+        placement[core] = candidates[0]
+    if stuck:
+        unrepairable = sorted({
+            name
+            for requirement in bundle.requirements
+            for name in requirement.member_names
+            if set(stuck) & _endpoint_cores(bundle, requirement.group_id)
+        }) or sorted(name for req in bundle.requirements for name in req.member_names)
+        outcome.unrepairable = tuple(unrepairable)
+        return finish(outcome)
+
+    def subset_cost(trial: Dict[str, int]) -> float:
+        outcomes = engine._evaluate_groups(bundle, degraded, trial, only=affected)
+        total = 0.0
+        for requirement in bundle.requirements:
+            if requirement.group_id in affected:
+                total += sum(
+                    outcomes[requirement.group_id].name_sums(requirement.member_names)
+                )
+        return total
+
+    # Improvement pass: move each displaced core to its least-cost feasible
+    # home, scored on the affected groups only (untouched groups are
+    # placement-invariant here, so their cost is a constant offset).
+    for core in displaced:
+        best: Optional[Tuple[float, int]] = None
+        for candidate in _alive_candidates(degraded, {
+            name: switch for name, switch in placement.items() if name != core
+        }, limit):
+            trial = dict(placement)
+            trial[core] = candidate
+            try:
+                cost = subset_cost(trial)
+            except MappingError:
+                continue
+            if best is None or (cost, candidate) < best:
+                best = (cost, candidate)
+        if best is not None:
+            placement[core] = best[1]
+
+    # ------------------------------------------------------------------ #
+    # 3. final evaluation of the affected groups, splice, assemble
+    # ------------------------------------------------------------------ #
+    try:
+        outcomes = engine._evaluate_groups(bundle, degraded, placement, only=affected)
+    except MappingError:
+        outcome.unrepairable = _probe_unrepairable(
+            engine, bundle, degraded, placement, affected
+        )
+        return finish(outcome)
+
+    repaired_configs, cost_sums = _subset_configurations(bundle, outcomes, affected)
+    configurations: Dict[str, UseCaseConfiguration] = {}
+    total_cost = 0.0
+    for requirement in bundle.requirements:
+        for name in requirement.member_names:
+            if requirement.group_id in affected:
+                configurations[name] = repaired_configs[name]
+                total_cost += cost_sums[name]
+            elif name in baseline.configurations:
+                configurations[name] = baseline.configurations[name]
+                total_cost += baseline.configurations[name].total_bandwidth_hops()
+
+    outcome.repaired = _assemble(engine, degraded, placement, resolved,
+                                 configurations, total_cost)
+    outcome.repaired_cost = total_cost
+    return finish(outcome)
+
+
+def _assemble(engine, degraded, placement, resolved, configurations, total_cost):
+    result = MappingResult(
+        method="unified-repair",
+        topology=degraded,
+        params=engine.params,
+        config=engine.config,
+        core_mapping=dict(placement),
+        groups=resolved,
+        configurations=configurations,
+        attempted_topologies=(degraded.name,),
+    )
+    result.cached_communication_cost = total_cost
+    return result

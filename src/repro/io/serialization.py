@@ -145,7 +145,7 @@ def topology_to_dict(topology: Topology) -> Dict:
     list).  Shared by :func:`mapping_result_to_dict` and the engine-state
     store's evaluation keys (:func:`topology_fingerprint`).
     """
-    return {
+    document = {
         "name": topology.name,
         "kind": topology.kind,
         "switch_count": topology.switch_count,
@@ -158,6 +158,12 @@ def topology_to_dict(topology: Topology) -> Dict:
         ],
         "links": [list(link) for link in topology.links],
     }
+    if topology.has_failures:
+        # Emitted only for degraded topologies so the canonical document —
+        # and every fingerprint derived from it — of a pristine topology is
+        # byte-identical to what it was before failures existed.
+        document["failures"] = topology.failures.to_dict()
+    return document
 
 
 def document_fingerprint(document) -> str:
@@ -248,12 +254,18 @@ def _topology_from_dict(document: Dict) -> Topology:
         else:
             position = None
         switches.append(Switch(index=index, position=position))
+    failures = document.get("failures")
+    if failures is not None:
+        from repro.noc.failures import FailureSet
+
+        failures = FailureSet.from_dict(failures)
     return Topology(
         name=document["name"],
         switches=switches,
         links=[tuple(link) for link in document.get("links", [])],
         kind=document.get("kind", "custom"),
         dimensions=dimensions,
+        failures=failures,
     )
 
 

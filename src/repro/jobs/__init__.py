@@ -18,10 +18,10 @@ what lets interactive sessions, sweep farms and CI share one vocabulary.
 
 A quick orientation to the moving parts:
 
-* **Specs** (:mod:`repro.jobs.spec`) — five frozen job kinds
+* **Specs** (:mod:`repro.jobs.spec`) — six frozen job kinds
   (:class:`DesignFlowJob`, :class:`WorstCaseJob`, :class:`RefineJob`,
-  :class:`FrequencyJob`, :class:`SweepJob`), each JSON-round-tripping and
-  content-hashed (:func:`job_hash`).
+  :class:`FrequencyJob`, :class:`SweepJob`, :class:`RepairJob`), each
+  JSON-round-tripping and content-hashed (:func:`job_hash`).
 * **Runner** (:mod:`repro.jobs.runner`) — :class:`JobRunner` executes specs
   serially or over a process pool, bit-identically, and returns
   :class:`JobResult` envelopes.
@@ -36,6 +36,7 @@ A quick orientation to the moving parts:
 """
 
 from repro.jobs.cache import JobCache
+from repro.jobs.faults import FaultInjector, InjectedFault
 from repro.jobs.runner import JobResult, JobRunner, execute_job
 from repro.jobs.service import JobDirectoryService, inbox_status
 from repro.jobs.store import EngineStateStore, StoreCorruptionWarning
@@ -46,6 +47,7 @@ from repro.jobs.spec import (
     FrequencyJob,
     JobSpec,
     RefineJob,
+    RepairJob,
     SweepJob,
     UseCaseSource,
     WorstCaseJob,
@@ -63,6 +65,7 @@ __all__ = [
     "RefineJob",
     "FrequencyJob",
     "SweepJob",
+    "RepairJob",
     "JobSpec",
     "JOB_KINDS",
     "SWEEP_STUDIES",
@@ -78,5 +81,7 @@ __all__ = [
     "StoreCorruptionWarning",
     "JobDirectoryService",
     "inbox_status",
+    "FaultInjector",
+    "InjectedFault",
     "execute_job",
 ]

@@ -15,15 +15,31 @@ Three subcommands cover the common workflows without writing any Python:
 ``repro worst-case design.json``
     Map a use-case-set file with the worst-case baseline.
 
+``repro failures DESIGN.json [--provision RxC] [--baseline RESULT.json]``
+    Failure-sweep analysis: enumerate every single link/switch failure of
+    the baseline mapping's topology (or just the failures named with
+    ``--fail-link A,B`` / ``--fail-switch N``) and report which break
+    schedulability, how many groups each repair had to remap, and at what
+    cost (:mod:`repro.analysis.failures`)::
+
+        python -m repro failures examples/designs/mesh_2x2_design.json \\
+            --provision 3x3
+        python -m repro failures design.json --provision 3x3 \\
+            --fail-link 0,1 --compare
+
 ``repro serve INBOX [--once] [--poll-interval S] [--status]``
     Run the job-directory service loop
     (:class:`~repro.jobs.service.JobDirectoryService`): watch ``INBOX`` for
     ``*.json`` job specs, execute them, settle them into ``done/`` or
     ``failed/`` and append to ``INBOX/manifest.jsonl`` (rotated at a size
     threshold).  ``--once`` drains the inbox and exits (what CI and tests
-    drive); without it the service polls until interrupted.  ``--status``
-    prints the inbox's aggregate state (file counts plus the whole rotated
-    manifest history) read-only and exits::
+    drive); without it the service polls until interrupted.  Transiently
+    failing files (crashes, timeouts, corrupt results) are retried with
+    backoff up to ``--max-attempts`` and then quarantined;
+    ``--job-timeout S`` runs each attempt in a terminable child process.
+    ``--status`` prints the inbox's aggregate state (file counts, the whole
+    rotated manifest history, retry/quarantine totals) read-only and
+    exits::
 
         python -m repro serve jobs-inbox --once --workers 4 \\
             --cache-dir .repro-cache
@@ -117,6 +133,52 @@ def build_parser() -> argparse.ArgumentParser:
     worst.add_argument("design_file", metavar="DESIGN.json")
     _add_common_options(worst)
 
+    failures = commands.add_parser(
+        "failures", help="failure-sweep analysis of a design's baseline mapping",
+        description="Repair the baseline mapping around single link/switch "
+                    "failures and report which failures break schedulability. "
+                    "Without --fail-link/--fail-switch, every single failure "
+                    "of the baseline topology is swept.",
+    )
+    failures.add_argument("design_file", metavar="DESIGN.json",
+                          help="use-case-set file to analyse")
+    failures.add_argument(
+        "--baseline", default=None, metavar="RESULT.json",
+        help="mapping-result file to repair (default: compute a baseline)",
+    )
+    failures.add_argument(
+        "--provision", default=None, metavar="RxC",
+        help="mesh dimensions (e.g. 3x3) to compute the baseline on; fault "
+             "tolerance needs spare capacity — on the minimal mesh most "
+             "failures are unsurvivable by construction",
+    )
+    failures.add_argument(
+        "--fail-link", action="append", default=None, metavar="A,B",
+        help="fail one specific link (both directions); repeatable",
+    )
+    failures.add_argument(
+        "--fail-switch", action="append", default=None, metavar="N",
+        help="fail one specific switch; repeatable",
+    )
+    failures.add_argument(
+        "--links-only", action="store_true",
+        help="sweep only link failures",
+    )
+    failures.add_argument(
+        "--switches-only", action="store_true",
+        help="sweep only switch failures",
+    )
+    failures.add_argument(
+        "--frequencies", default=None, metavar="MHZ,MHZ,...",
+        help="repeat the sweep at these NoC clock frequencies (MHz)",
+    )
+    failures.add_argument(
+        "--compare", action="store_true",
+        help="with --fail-link/--fail-switch: also run and report the "
+             "from-scratch remap of the degraded topology",
+    )
+    _add_common_options(failures)
+
     serve = commands.add_parser(
         "serve", help="watch a job inbox directory and execute submitted specs",
         description="Run the job-directory service: *.json specs dropped into "
@@ -139,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the inbox's aggregate state (pending/running/done/failed "
              "counts and manifest history, rotated segments included) and "
              "exit without touching anything",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="executions per file before a transiently failing job is "
+             "quarantined into failed/ (default: 3)",
+    )
+    serve.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="S",
+        help="base sleep between attempts, doubled each retry (default: 0.05)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock budget; attempts run in a terminable "
+             "child process when set (default: no timeout, in-process)",
     )
     _add_common_options(serve, include_out=False)
 
@@ -163,6 +239,18 @@ def _print_result(result, index: int, total: int) -> None:
         print(f"    refinement: cost {payload['initial_cost']:.4g} -> "
               f"{payload['refined_cost']:.4g} "
               f"({payload['accepted_moves']} accepted moves)")
+    if "repair" in payload:
+        repair = payload["repair"]
+        print(f"    repair: {repair['failures']}  "
+              f"remapped {repair['groups_remapped']}/{repair['groups_total']} group(s)  "
+              f"displaced {len(repair['displaced_cores'])} core(s)")
+        if repair.get("repaired"):
+            delta = repair.get("cost_delta")
+            print(f"    repaired on {repair['degraded_topology']}"
+                  + ("" if delta is None else f"  cost delta {delta:+.4g}"))
+        else:
+            names = ", ".join(repair.get("unrepairable", ())) or "all use cases"
+            print(f"    UNREPAIRABLE: {names}")
     if "rows" in payload:
         from repro.io.report import format_rows
 
@@ -242,9 +330,104 @@ def _command_worst_case(args) -> int:
     return _run_jobs([job], args)
 
 
+def _parse_provision(value: Optional[str]):
+    if value is None:
+        return None
+    from repro.exceptions import SpecificationError
+
+    parts = value.lower().replace("x", ",").split(",")
+    try:
+        rows, cols = (int(part) for part in parts)
+    except ValueError:
+        raise SpecificationError(
+            f"--provision expects RxC mesh dimensions (e.g. 3x3), got {value!r}"
+        ) from None
+    return (rows, cols)
+
+
+def _parse_failure_flags(args) -> Optional[dict]:
+    """The explicit ``--fail-link/--fail-switch`` flags as a FailureSet doc."""
+    if not args.fail_link and not args.fail_switch:
+        return None
+    from repro.exceptions import SpecificationError
+
+    links = []
+    for value in args.fail_link or ():
+        parts = value.split(",")
+        try:
+            source, destination = (int(part) for part in parts)
+        except ValueError:
+            raise SpecificationError(
+                f"--fail-link expects two switch indices A,B, got {value!r}"
+            ) from None
+        links.extend([[source, destination], [destination, source]])
+    try:
+        switches = [int(value) for value in args.fail_switch or ()]
+    except ValueError as exc:
+        raise SpecificationError(f"--fail-switch expects a switch index: {exc}") from None
+    return {"links": links, "switches": switches}
+
+
+def _command_failures(args) -> int:
+    explicit = _parse_failure_flags(args)
+    provision = _parse_provision(args.provision)
+    if explicit is not None:
+        # One concrete failure set: run it as a RepairJob so caching, pool
+        # workers and --out behave exactly like `repro run`.
+        from repro.jobs.spec import RepairJob, UseCaseSource
+
+        job = RepairJob(
+            use_cases=UseCaseSource(path=args.design_file),
+            failures=explicit,
+            baseline=None if args.baseline is None else {"path": args.baseline},
+            provision=provision,
+            compare_full_remap=args.compare,
+        )
+        return _run_jobs([job], args)
+
+    from repro.analysis.failures import failure_sweep
+    from repro.core.engine import MappingEngine
+    from repro.io.serialization import load_mapping_result, load_use_case_set
+
+    use_cases = load_use_case_set(args.design_file)
+    baseline = None if args.baseline is None else load_mapping_result(args.baseline)
+    engine = MappingEngine()
+    if args.cache_dir is not None and not args.no_seed:
+        from repro.jobs.cache import JobCache
+
+        engine.attach_store(JobCache(args.cache_dir).store)
+    frequencies = None
+    if args.frequencies:
+        frequencies = [float(value) for value in args.frequencies.split(",")
+                       if value.strip()]
+    rows = failure_sweep(
+        use_cases,
+        baseline=baseline,
+        engine=engine,
+        provision=provision,
+        include_links=not args.switches_only,
+        include_switches=not args.links_only,
+        frequencies_mhz=frequencies,
+    )
+    documents = [row.as_dict() for row in rows]
+    from repro.io.report import format_rows
+
+    print(format_rows(documents))
+    broken = [row for row in rows if not row.schedulable]
+    print(f"{len(rows)} failure(s) swept, {len(broken)} break schedulability")
+    if args.out:
+        Path(args.out).write_text(json.dumps(documents, indent=2))
+        print(f"wrote {len(documents)} row(s) to {args.out}")
+    return 0
+
+
 def _print_service_record(record) -> None:
     if record["status"] == "failed":
-        print(f"[failed] {record['file']}  {record.get('error', 'unknown error')}")
+        marker = "quarantined" if record.get("quarantined") else "failed"
+        attempts = record.get("attempts", 1)
+        suffix = f"  ({attempts} attempt(s))" if attempts > 1 else ""
+        print(f"[{marker}] {record['file']}  "
+              f"{record.get('error', 'unknown error')}{suffix}")
         return
     print(f"[done] {record['file']}  {record['jobs']} job(s)  "
           f"{record['cached']} cached  {record['executed']} executed  "
@@ -261,6 +444,13 @@ def _print_status(status) -> None:
           f"{manifest['segments']} segment(s); {manifest['jobs']} job(s), "
           f"{manifest['cached']} cached, {manifest['executed']} executed, "
           f"{manifest['failed']} failed file(s)")
+    retries = status.get("retries", {})
+    if retries.get("files_retried"):
+        print(f"retries: {retries['files_retried']} file(s) retried, "
+              f"{retries['extra_attempts']} extra attempt(s)")
+    for entry in status.get("quarantined", ()):
+        print(f"[quarantined] {entry['file']}  after {entry['attempts']} "
+              f"attempt(s): {entry['error']}")
     last = status["last_record"]
     if last is not None:
         _print_service_record(last)
@@ -277,6 +467,9 @@ def _command_serve(args) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         seed_engines=not args.no_seed,
+        max_attempts=args.max_attempts,
+        retry_backoff_s=args.retry_backoff,
+        job_timeout_s=args.job_timeout,
     )
     if args.once:
         records = service.run_once()
@@ -302,6 +495,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "worst-case": _command_worst_case,
+        "failures": _command_failures,
         "serve": _command_serve,
     }
     try:

@@ -1,0 +1,95 @@
+"""Deterministic fault injection for the job-directory service.
+
+A :class:`FaultInjector` decides — purely from a seed and a per-attempt
+token — whether a job execution should be killed, hung, or have its results
+file corrupted.  The draw is ``sha256(f"{seed}:{token}")`` mapped to
+``[0, 1)`` and partitioned into action bands, so
+
+* a given (seed, file, attempt) always injects the same fault — test
+  failures reproduce exactly;
+* retries of the same file draw fresh tokens (the attempt number is part of
+  the token), so a fault can be transient, which is what retry-with-backoff
+  exists to absorb; and
+* no global random state is consumed or mutated.
+
+:meth:`FaultInjector.from_env` builds one from ``REPRO_FAULT_*`` environment
+variables, which is how the CI smoke step injects crashes into a real
+``python -m repro serve --once`` process without touching its code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+class InjectedFault(Exception):
+    """Raised by an injected ``kill`` when the execution runs in-process."""
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic kill/hang/corrupt decisions for job executions.
+
+    Rates are fractions of executions in ``[0, 1]`` and partition the draw:
+    ``[0, kill)`` kills, ``[kill, kill+hang)`` hangs, ``[kill+hang,
+    kill+hang+corrupt)`` corrupts, the rest run clean.
+    """
+
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    seed: int = 0
+    #: how long an injected hang sleeps (the service's timeout must be
+    #: smaller for the hang to surface as a timeout rather than a slow job)
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        total = self.kill_rate + self.hang_rate + self.corrupt_rate
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fault rates must sum to at most 1.0, got {total}"
+            )
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultInjector"]:
+        """An injector configured from ``REPRO_FAULT_*``, or ``None``.
+
+        ``REPRO_FAULT_KILL_RATE`` / ``REPRO_FAULT_HANG_RATE`` /
+        ``REPRO_FAULT_CORRUPT_RATE`` set the rates, ``REPRO_FAULT_SEED``
+        the seed and ``REPRO_FAULT_HANG_S`` the hang duration.  All rates
+        absent or zero means no injection (returns ``None``).
+        """
+        environ = os.environ if environ is None else environ
+        kill = float(environ.get("REPRO_FAULT_KILL_RATE", 0) or 0)
+        hang = float(environ.get("REPRO_FAULT_HANG_RATE", 0) or 0)
+        corrupt = float(environ.get("REPRO_FAULT_CORRUPT_RATE", 0) or 0)
+        if not (kill or hang or corrupt):
+            return None
+        return cls(
+            kill_rate=kill,
+            hang_rate=hang,
+            corrupt_rate=corrupt,
+            seed=int(environ.get("REPRO_FAULT_SEED", 0) or 0),
+            hang_s=float(environ.get("REPRO_FAULT_HANG_S", 30.0) or 30.0),
+        )
+
+    def draw(self, token: str) -> float:
+        """The deterministic uniform draw in ``[0, 1)`` for one token."""
+        digest = hashlib.sha256(f"{self.seed}:{token}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def action(self, token: str) -> Optional[str]:
+        """``"kill"`` | ``"hang"`` | ``"corrupt"`` | ``None`` for one token."""
+        value = self.draw(token)
+        if value < self.kill_rate:
+            return "kill"
+        if value < self.kill_rate + self.hang_rate:
+            return "hang"
+        if value < self.kill_rate + self.hang_rate + self.corrupt_rate:
+            return "corrupt"
+        return None

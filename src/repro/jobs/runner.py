@@ -48,6 +48,7 @@ from repro.jobs.spec import (
     FrequencyJob,
     JobSpec,
     RefineJob,
+    RepairJob,
     SweepJob,
     WorstCaseJob,
     job_hash,
@@ -247,12 +248,64 @@ def _execute_sweep(job: SweepJob, engine: MappingEngine) -> Dict:
     return {"rows": [row.as_dict() for row in rows]}
 
 
+def _repair_baseline(job: RepairJob, use_cases, engine: MappingEngine):
+    """Materialise the baseline mapping a repair job starts from."""
+    groups = None if job.groups is None else [list(group) for group in job.groups]
+    if job.baseline is not None:
+        from repro.io.serialization import load_mapping_result, mapping_result_from_dict
+
+        if job.baseline.get("inline") is not None:
+            return mapping_result_from_dict(job.baseline["inline"])
+        return load_mapping_result(job.baseline["path"])
+    if job.provision is not None:
+        from repro.noc.topology import Topology
+
+        rows, cols = job.provision
+        return engine.mapper.map_with_placement(
+            use_cases, Topology.mesh(rows, cols), {}, groups=groups, validate=False
+        )
+    return engine.map(use_cases, groups=groups)
+
+
+def _execute_repair(job: RepairJob, engine: MappingEngine) -> Dict:
+    from repro.core.repair import repair_mapping
+    from repro.noc.failures import FailureSet
+
+    use_cases = job.use_cases.build()
+    failures = FailureSet.from_dict(job.failures)
+    groups = None if job.groups is None else [list(group) for group in job.groups]
+    try:
+        baseline = _repair_baseline(job, use_cases, engine)
+    except MappingError as exc:
+        return _failure_payload(exc)
+    outcome = repair_mapping(
+        engine, use_cases, baseline, failures,
+        groups=groups, compare_full_remap=job.compare_full_remap,
+    )
+    if outcome.repaired is None:
+        payload: Dict = {"mapped": False, "unrepairable": list(outcome.unrepairable)}
+    else:
+        payload = _mapping_payload(outcome.repaired)
+    payload["baseline_fingerprint"] = mapping_fingerprint(baseline)
+    metrics = outcome.metrics()
+    # Wall times and cache-counter deltas vary run to run (warm vs cold);
+    # payloads must stay bit-identical across serial/parallel/cached
+    # execution, so those live in the envelope's stats, not here.
+    for volatile in ("elapsed_s", "full_remap_elapsed_s", "evaluations"):
+        metrics.pop(volatile, None)
+    payload["repair"] = metrics
+    if job.compare_full_remap and outcome.full_remap is not None:
+        payload["full_remap_fingerprint"] = mapping_fingerprint(outcome.full_remap)
+    return payload
+
+
 _EXECUTORS: Dict[str, Callable[[JobSpec, MappingEngine], Dict]] = {
     DesignFlowJob.KIND: _execute_design_flow,
     WorstCaseJob.KIND: _execute_worst_case,
     RefineJob.KIND: _execute_refine,
     FrequencyJob.KIND: _execute_frequency,
     SweepJob.KIND: _execute_sweep,
+    RepairJob.KIND: _execute_repair,
 }
 
 

@@ -37,6 +37,20 @@ The lifecycle contract:
 * **poison tolerance** — a file that cannot be loaded or executed is moved
   to ``failed/`` with the error recorded in the manifest, and the service
   keeps draining the rest of the inbox.
+* **bounded retries** — *deterministic* errors (an unloadable document, a
+  :class:`~repro.exceptions.ReproError` from execution) fail immediately:
+  retrying a pure function of the spec cannot change the outcome.
+  *Unexpected* errors — a crashed or timed-out execution, a corrupt results
+  file, an injected fault — are retried with exponential backoff up to
+  ``max_attempts``; a file that keeps failing is **quarantined** into
+  ``failed/`` with every attempt's error in its manifest record
+  (``quarantined: true``), so one poison job can never wedge the loop.
+* **timeout isolation** — with ``job_timeout_s`` set, each attempt runs in
+  a forked child process; a hung execution is terminated at the deadline
+  and handled like any transient failure.  Results are written to a
+  temporary file and validated (parsed) by the parent before the atomic
+  rename that publishes them, so a crash mid-write can never publish a
+  torn results file.
 
 Every processed file appends one record to ``manifest.jsonl`` (append-only,
 one JSON object per line) so external tooling can tail service history
@@ -53,12 +67,14 @@ from __future__ import annotations
 
 import itertools
 import json
+import multiprocessing
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ReproError
+from repro.jobs.faults import FaultInjector, InjectedFault
 from repro.jobs.runner import JobRunner
 from repro.jobs.spec import load_jobs
 
@@ -108,6 +124,22 @@ class JobDirectoryService:
         ``manifest-<n>.jsonl`` and starts fresh.  Readers
         (:func:`inbox_status`, :meth:`manifest_records`) always see the
         whole rotated history.
+    max_attempts:
+        Executions per file before a transiently failing job is quarantined
+        into ``failed/``.  Deterministic errors never retry.
+    retry_backoff_s:
+        Base sleep between attempts; attempt ``n`` waits
+        ``retry_backoff_s * 2**(n-1)``.
+    job_timeout_s:
+        Per-attempt wall-clock budget.  When set, attempts run in a forked
+        child process that is terminated at the deadline (a timeout counts
+        as a transient failure); when ``None`` attempts run in-process and
+        are never preempted.
+    fault_injector:
+        A :class:`~repro.jobs.faults.FaultInjector` that deterministically
+        kills/hangs/corrupts a fraction of attempts (tests, chaos drills).
+        Defaults to :meth:`FaultInjector.from_env`, so ``REPRO_FAULT_*``
+        environment variables inject faults into a real service process.
     """
 
     #: default manifest rotation threshold (~4 MB ≈ tens of thousands of
@@ -122,6 +154,10 @@ class JobDirectoryService:
         seed_engines: bool = True,
         runner: Optional[JobRunner] = None,
         manifest_max_bytes: int = DEFAULT_MANIFEST_MAX_BYTES,
+        max_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        job_timeout_s: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.inbox = Path(inbox)
         self.running_dir = self.inbox / "running"
@@ -137,6 +173,12 @@ class JobDirectoryService:
             workers=workers,
             cache_dir=cache_dir,
             seed_engines=seed_engines and cache_dir is not None,
+        )
+        self.max_attempts = max(1, int(max_attempts))
+        self.retry_backoff_s = retry_backoff_s
+        self.job_timeout_s = job_timeout_s
+        self.fault_injector = (
+            FaultInjector.from_env() if fault_injector is None else fault_injector
         )
         #: files processed (done + failed) over this service's lifetime
         self.processed_files = 0
@@ -231,58 +273,234 @@ class JobDirectoryService:
 
         Returns the manifest record that was appended.  Never raises for a
         bad file: load and execution errors mark the file failed and the
-        service moves on.  Returns ``None`` when the claim was lost before
-        any work happened — a freshly started peer recovered the file while
-        it sat in ``running/`` — in which case the peer owns it now and
+        service moves on.  Deterministic errors (an unloadable document, a
+        :class:`ReproError` from execution) fail on the first attempt;
+        transient ones (crash, timeout, corrupt results, injected fault)
+        retry with backoff up to ``max_attempts`` before the file is
+        quarantined.  Returns ``None`` when the claim was lost before any
+        work happened — a freshly started peer recovered the file while it
+        sat in ``running/`` — in which case the peer owns it now and
         nothing is recorded.
         """
         started = time.perf_counter()
-        executed_before = self.runner.executed_jobs
         try:
             jobs = load_jobs(claimed)
-            results = self.runner.run_many(jobs)
         except Exception as exc:  # noqa: BLE001 — poison files must not kill the loop
+            # A document that does not load is deterministically broken:
+            # no retry can fix it.
             if not claimed.exists():
                 return None  # claim lost to a recovering peer before loading
-            target = _unique_path(self.failed_dir, claimed.name)
+            return self._settle_failed(claimed, f"{type(exc).__name__}: {exc}",
+                                       attempts=1, attempt_errors=[],
+                                       started=started)
+
+        attempt_errors: List[str] = []
+        for attempt in range(1, self.max_attempts + 1):
+            token = f"{claimed.name}:{attempt}"
             try:
-                os.replace(claimed, target)
-            except FileNotFoundError:
-                return None
-            record = {
-                "file": target.name,
-                "status": "failed",
-                "error": f"{type(exc).__name__}: {exc}",
-            }
-        else:
-            target = _unique_path(self.done_dir, claimed.name)
-            results_path = self.results_dir / f"{target.stem}.json"
-            results_path.write_text(
-                json.dumps([result.to_dict() for result in results], indent=2)
-            )
-            # Results are on disk — only now does the spec count as done.
-            try:
-                os.replace(claimed, target)
-            except FileNotFoundError:
-                # A freshly started peer recovered our claimed file while we
-                # were executing.  The work is done and the (deterministic)
-                # results are written, so record it; whoever re-claimed the
-                # spec will settle the file itself with identical results.
-                pass
-            record = {
-                "file": target.name,
-                "status": "done",
-                "jobs": len(results),
-                "cached": sum(1 for result in results if result.cached),
-                "executed": self.runner.executed_jobs - executed_before,
-                "spec_hashes": [result.spec_hash for result in results],
-                "results": str(results_path.relative_to(self.inbox)),
-            }
+                text, envelopes, executed = self._attempt(claimed, jobs, token)
+            except ReproError as exc:
+                # Executions are pure functions of the spec: a domain error
+                # is deterministic, so retrying cannot change it.
+                if not claimed.exists():
+                    return None
+                return self._settle_failed(claimed, f"{type(exc).__name__}: {exc}",
+                                           attempts=attempt,
+                                           attempt_errors=attempt_errors,
+                                           started=started)
+            except Exception as exc:  # noqa: BLE001 — transient: crash/timeout/corruption
+                attempt_errors.append(f"{type(exc).__name__}: {exc}")
+                if attempt < self.max_attempts:
+                    if self.retry_backoff_s:
+                        time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                    continue
+                if not claimed.exists():
+                    return None
+                return self._settle_failed(claimed, attempt_errors[-1],
+                                           attempts=attempt,
+                                           attempt_errors=attempt_errors,
+                                           started=started)
+            else:
+                break
+
+        target = _unique_path(self.done_dir, claimed.name)
+        results_path = self.results_dir / f"{target.stem}.json"
+        results_path.write_text(text)
+        # Results are on disk — only now does the spec count as done.
+        try:
+            os.replace(claimed, target)
+        except FileNotFoundError:
+            # A freshly started peer recovered our claimed file while we
+            # were executing.  The work is done and the (deterministic)
+            # results are written, so record it; whoever re-claimed the
+            # spec will settle the file itself with identical results.
+            pass
+        record = {
+            "file": target.name,
+            "status": "done",
+            "jobs": len(envelopes),
+            "cached": sum(1 for envelope in envelopes if envelope.get("cached")),
+            "executed": executed,
+            "spec_hashes": [envelope["spec_hash"] for envelope in envelopes],
+            "results": str(results_path.relative_to(self.inbox)),
+            "attempts": len(attempt_errors) + 1,
+        }
+        if attempt_errors:
+            record["attempt_errors"] = attempt_errors
         record["elapsed_s"] = round(time.perf_counter() - started, 6)
         record["unix_time"] = round(time.time(), 3)
         self._append_manifest(record)
         self.processed_files += 1
         return record
+
+    def _settle_failed(
+        self,
+        claimed: Path,
+        error: str,
+        attempts: int,
+        attempt_errors: List[str],
+        started: float,
+    ) -> Optional[Dict]:
+        """Move a claimed file into ``failed/`` and append its record.
+
+        A file whose every allowed attempt failed transiently is marked
+        ``quarantined`` — it exhausted its retry budget rather than failing
+        deterministically.
+        """
+        target = _unique_path(self.failed_dir, claimed.name)
+        try:
+            os.replace(claimed, target)
+        except FileNotFoundError:
+            return None
+        record: Dict = {
+            "file": target.name,
+            "status": "failed",
+            "error": error,
+            "attempts": attempts,
+        }
+        if attempt_errors:
+            record["attempt_errors"] = list(attempt_errors)
+        if attempts >= self.max_attempts and len(attempt_errors) == attempts:
+            record["quarantined"] = True
+        record["elapsed_s"] = round(time.perf_counter() - started, 6)
+        record["unix_time"] = round(time.time(), 3)
+        self._append_manifest(record)
+        self.processed_files += 1
+        return record
+
+    # ------------------------------------------------------------------ #
+    # one execution attempt (in-process or isolated)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _corrupt(text: str) -> str:
+        """Injected corruption: truncate mid-document and append garbage."""
+        return text[: max(1, len(text) // 2)] + "\x00<injected-corruption>"
+
+    @staticmethod
+    def _validated(text: str) -> List[Dict]:
+        """Parse a results payload, raising on anything torn or corrupt."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"results payload is corrupt: {exc}") from None
+        if not isinstance(document, list):
+            raise ValueError("results payload is not a list of envelopes")
+        return document
+
+    def _attempt(
+        self, claimed: Path, jobs: List, token: str
+    ) -> Tuple[str, List[Dict], int]:
+        """Run one execution attempt; returns (payload text, envelopes, executed).
+
+        The payload text is validated (parsed) before being returned, so a
+        corrupted write surfaces here — as a retryable error — never as a
+        published torn results file.
+        """
+        injector = self.fault_injector
+        action = injector.action(token) if injector is not None else None
+        if self.job_timeout_s is not None:
+            return self._attempt_isolated(claimed, jobs, token, action)
+        if action == "kill":
+            raise InjectedFault(f"injected kill ({token})")
+        if action == "hang":
+            # In-process there is nothing to preempt the stall; model the
+            # watchdog giving up after the hang.
+            time.sleep(injector.hang_s)
+            raise InjectedFault(f"injected hang ({token})")
+        executed_before = self.runner.executed_jobs
+        results = self.runner.run_many(jobs)
+        executed = self.runner.executed_jobs - executed_before
+        text = json.dumps([result.to_dict() for result in results], indent=2)
+        if action == "corrupt":
+            text = self._corrupt(text)
+        return text, self._validated(text), executed
+
+    def _attempt_isolated(
+        self, claimed: Path, jobs: List, token: str, action: Optional[str]
+    ) -> Tuple[str, List[Dict], int]:
+        """Run one attempt in a forked child under the wall-clock budget.
+
+        The child writes the serialised envelopes to a temporary file; the
+        parent validates them after a clean exit.  Kill faults crash the
+        child, hang faults stall it into the timeout, corrupt faults garble
+        the temporary file — all surface as retryable errors here, and the
+        real results file is only ever written from validated content.
+        """
+        tmp_path = self.results_dir / f".{claimed.name}.{token.rsplit(':', 1)[-1]}.tmp"
+        injector = self.fault_injector
+
+        def _child() -> None:
+            try:
+                if action == "kill":
+                    os._exit(23)
+                if action == "hang":
+                    time.sleep(injector.hang_s if injector is not None else 3600)
+                results = self.runner.run_many(jobs)
+                text = json.dumps([result.to_dict() for result in results], indent=2)
+                if action == "corrupt":
+                    text = self._corrupt(text)
+                tmp_path.write_text(text)
+            except ReproError as exc:
+                tmp_path.write_text(json.dumps(
+                    {"__error__": f"{type(exc).__name__}: {exc}"}
+                ))
+                os._exit(17)
+            except BaseException:  # noqa: BLE001 - child reports via exit code
+                os._exit(29)
+            os._exit(0)
+
+        process = multiprocessing.get_context("fork").Process(target=_child)
+        try:
+            process.start()
+            process.join(self.job_timeout_s)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+                raise TimeoutError(
+                    f"execution exceeded {self.job_timeout_s}s ({token})"
+                )
+            if process.exitcode == 17:
+                message = "execution failed"
+                try:
+                    message = json.loads(tmp_path.read_text())["__error__"]
+                except Exception:  # noqa: BLE001 - marker file may be torn
+                    pass
+                raise ReproError(message)
+            if process.exitcode != 0:
+                raise ChildProcessError(
+                    f"execution crashed with exit code {process.exitcode} ({token})"
+                )
+            text = tmp_path.read_text()
+            envelopes = self._validated(text)
+            executed = sum(
+                1 for envelope in envelopes if not envelope.get("cached")
+            )
+            return text, envelopes, executed
+        finally:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
 
     def run_once(self) -> List[Dict]:
         """Recover (first drain only), then drain the inbox.
@@ -401,12 +619,24 @@ def inbox_status(inbox: Union[str, Path]) -> Dict:
         "failed": len(list((root / "failed").glob("*.json"))),
     }
     records = done = failed = jobs = cached = executed = 0
+    files_retried = extra_attempts = 0
+    quarantined: List[Dict] = []
     last: Optional[Dict] = None
     for record in _iter_manifest_records(root):
         records += 1
         last = record
+        attempts = int(record.get("attempts", 1))
+        if attempts > 1:
+            files_retried += 1
+            extra_attempts += attempts - 1
         if record.get("status") == "failed":
             failed += 1
+            if record.get("quarantined"):
+                quarantined.append({
+                    "file": record.get("file"),
+                    "attempts": attempts,
+                    "error": record.get("error"),
+                })
             continue
         done += 1
         jobs += int(record.get("jobs", 0))
@@ -425,5 +655,10 @@ def inbox_status(inbox: Union[str, Path]) -> Dict:
             "cached": cached,
             "executed": executed,
         },
+        "retries": {
+            "files_retried": files_retried,
+            "extra_attempts": extra_attempts,
+        },
+        "quarantined": quarantined,
         "last_record": last,
     }

@@ -17,7 +17,7 @@ point, the mapper configuration and the job-specific knobs.  Jobs
   (``DesignFlow``, the worst-case baseline, the refiners, the frequency
   search, the analysis sweeps).
 
-The five kinds cover the paper's evaluation surface:
+The six kinds cover the paper's evaluation surface plus failure recovery:
 
 ========================  ====================================================
 kind                      computation
@@ -28,6 +28,8 @@ kind                      computation
 ``frequency``             minimum-frequency search over the grid
 ``sweep``                 one of the figure/ablation studies in
                           :mod:`repro.analysis.sweeps`
+``repair``                failure-aware incremental remap of a baseline
+                          mapping (:func:`repro.core.repair.repair_mapping`)
 ========================  ====================================================
 """
 
@@ -57,6 +59,7 @@ __all__ = [
     "RefineJob",
     "FrequencyJob",
     "SweepJob",
+    "RepairJob",
     "JobSpec",
     "JOB_KINDS",
     "SWEEP_STUDIES",
@@ -458,12 +461,82 @@ class SweepJob:
         )
 
 
-JobSpec = Union[DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob]
+@dataclass(frozen=True)
+class RepairJob:
+    """Repair a baseline mapping after link/switch failures.
+
+    ``failures`` is the :meth:`repro.noc.failures.FailureSet.to_dict` shape
+    (``{"links": [[a, b], ...], "switches": [...]}``).  The baseline comes
+    from one of three places, tried in order:
+
+    * ``baseline`` — a mapping-result document, inline
+      (``{"inline": {...}}``) or by file path (``{"path": "result.json"}``,
+      resolved relative to the job file and pulled inline before hashing);
+    * ``provision`` — ``[rows, cols]`` mesh dimensions to compute a
+      spare-capacity baseline on (fault tolerance needs headroom — the
+      minimal mesh has none, so every failure on it breaks schedulability);
+    * neither — the engine's minimal-topology mapping of the design.
+    """
+
+    KIND = "repair"
+
+    use_cases: UseCaseSource
+    failures: Dict = field(default_factory=dict)
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    baseline: Optional[Dict] = None
+    provision: Optional[Tuple[int, int]] = None
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    compare_full_remap: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.failures, dict):
+            raise SpecificationError(
+                f"repair job 'failures' must be a mapping, got "
+                f"{type(self.failures).__name__}"
+            )
+        if self.baseline is not None and not (
+            isinstance(self.baseline, dict)
+            and (set(self.baseline) & {"inline", "path"})
+        ):
+            raise SpecificationError(
+                "repair job 'baseline' must be {'inline': {...}} or {'path': ...}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "failures": self.failures,
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "baseline": self.baseline,
+            "provision": None if self.provision is None else list(self.provision),
+            "groups": None if self.groups is None else [list(g) for g in self.groups],
+            "compare_full_remap": self.compare_full_remap,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "RepairJob":
+        provision = document.get("provision")
+        return cls(
+            use_cases=_parse_source(document),
+            failures=document.get("failures", {}),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            baseline=document.get("baseline"),
+            provision=None if provision is None else (int(provision[0]), int(provision[1])),
+            groups=_parse_groups(document.get("groups")),
+            compare_full_remap=bool(document.get("compare_full_remap", False)),
+        )
+
+
+JobSpec = Union[DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob, RepairJob]
 
 #: kind string -> job class (the registry :func:`job_from_dict` dispatches on)
 JOB_KINDS: Dict[str, type] = {
     cls.KIND: cls
-    for cls in (DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob)
+    for cls in (DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob, RepairJob)
 }
 
 
@@ -498,12 +571,42 @@ def job_from_dict(document: Dict) -> JobSpec:
         ) from exc
 
 
+def _resolve_baseline(baseline: Optional[Dict], base_dir) -> Optional[Dict]:
+    """Pull a ``{"path": ...}`` repair baseline inline (content-hash it)."""
+    if baseline is None or baseline.get("path") is None:
+        return baseline
+    target = Path(baseline["path"])
+    if base_dir is not None and not target.is_absolute():
+        target = Path(base_dir) / target
+    try:
+        document = json.loads(target.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"cannot read repair baseline from {target}: {exc}"
+        ) from exc
+    return {"inline": document}
+
+
 def resolve_job(job: JobSpec, base_dir: Union[str, Path, None] = None) -> JobSpec:
-    """A copy of the job with any path use-case source pulled inline."""
+    """A copy of the job with path references pulled inline.
+
+    Covers the ``use_cases`` source of every kind and the ``baseline``
+    mapping-result reference of repair jobs; a missing or unreadable
+    baseline file surfaces as a :class:`SerializationError` (the CLI's
+    one-line diagnostic contract), not a traceback.
+    """
+    replacements: Dict[str, object] = {}
     source = getattr(job, "use_cases", None)
-    if source is None or source.path is None:
+    if source is not None and source.path is not None:
+        replacements["use_cases"] = source.resolve(base_dir)
+    baseline = getattr(job, "baseline", None)
+    if baseline is not None:
+        resolved = _resolve_baseline(baseline, base_dir)
+        if resolved is not baseline:
+            replacements["baseline"] = resolved
+    if not replacements:
         return job
-    return dataclasses.replace(job, use_cases=source.resolve(base_dir))
+    return dataclasses.replace(job, **replacements)
 
 
 def job_hash(job: JobSpec, base_dir: Union[str, Path, None] = None) -> str:

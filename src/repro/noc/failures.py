@@ -1,0 +1,213 @@
+"""Link/switch failure model: the dynamic-event input of failure-aware mapping.
+
+Production NoCs lose resources at runtime — a link goes down after a wear-out
+fault, a switch is power-gated or fails outright.  The mapping methodology is
+static, so failures enter the flow as *data*: a :class:`FailureSet` records
+which directed links and switches are currently down, and
+:meth:`repro.noc.topology.Topology.with_failures` derives the surviving
+(degraded) topology that routing, slot-table search and deadlock checks then
+operate on.  Everything downstream — path enumeration, placement, the engine
+caches and the on-disk engine-state store — only ever sees surviving
+resources, because the degraded topology simply *has no* failed links.
+
+Failure sets are mutable event recorders (``mark_link_down`` /
+``mark_link_up`` and the switch equivalents mirror the path-probing
+``mark_path_down``/``mark_path_up`` pattern of runtime monitors) but
+serialise to a canonical JSON document, so they content-hash stably:
+:attr:`FailureSet.content_hash` composes into job hashes and the degraded
+topology's fingerprint, which keeps warm engine state keyed per failure
+state — state computed under one failure set is never replayed under
+another.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.exceptions import TopologyError
+
+__all__ = ["FailureSet"]
+
+#: a directed link, as in :mod:`repro.noc.topology`
+_Link = Tuple[int, int]
+
+
+class FailureSet:
+    """The set of currently-failed directed links and switches.
+
+    A physical bidirectional channel fault downs both directed links, which
+    is the default of :meth:`mark_link_down`; single-direction faults (a
+    broken unidirectional lane) are expressible with ``bidirectional=False``.
+    A failed switch implicitly downs every link touching it — recording both
+    the switch and its links is redundant and rejected by
+    :meth:`validate_for` as an overlapping failure.
+    """
+
+    def __init__(
+        self,
+        links: Iterable[Sequence[int]] = (),
+        switches: Iterable[int] = (),
+    ) -> None:
+        self._links = {(int(a), int(b)) for a, b in links}
+        self._switches = {int(index) for index in switches}
+
+    # ------------------------------------------------------------------ #
+    # mutation events
+    # ------------------------------------------------------------------ #
+    def mark_link_down(self, source: int, destination: int,
+                       bidirectional: bool = True) -> "FailureSet":
+        """Record a link failure (both directions unless told otherwise)."""
+        self._links.add((int(source), int(destination)))
+        if bidirectional:
+            self._links.add((int(destination), int(source)))
+        return self
+
+    def mark_link_up(self, source: int, destination: int,
+                     bidirectional: bool = True) -> "FailureSet":
+        """Clear a link failure (a repaired or re-enabled channel)."""
+        self._links.discard((int(source), int(destination)))
+        if bidirectional:
+            self._links.discard((int(destination), int(source)))
+        return self
+
+    def mark_switch_down(self, index: int) -> "FailureSet":
+        """Record a switch failure (implicitly downs all its links)."""
+        self._switches.add(int(index))
+        return self
+
+    def mark_switch_up(self, index: int) -> "FailureSet":
+        """Clear a switch failure."""
+        self._switches.discard(int(index))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def links(self) -> Tuple[_Link, ...]:
+        """The failed directed links, sorted."""
+        return tuple(sorted(self._links))
+
+    @property
+    def switches(self) -> Tuple[int, ...]:
+        """The failed switch indices, sorted."""
+        return tuple(sorted(self._switches))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._links and not self._switches
+
+    def affects_switch(self, index: int) -> bool:
+        return index in self._switches
+
+    def affects_link(self, source: int, destination: int) -> bool:
+        """Whether a directed link is unusable (down, or an endpoint is down)."""
+        return (
+            (source, destination) in self._links
+            or source in self._switches
+            or destination in self._switches
+        )
+
+    def affects_path(self, path: Sequence[int]) -> bool:
+        """Whether a switch path traverses any failed resource."""
+        if any(index in self._switches for index in path):
+            return True
+        return any(
+            (here, there) in self._links for here, there in zip(path, path[1:])
+        )
+
+    def frozen(self) -> Tuple[Tuple[_Link, ...], Tuple[int, ...]]:
+        """Canonical immutable form (hashable, order-independent)."""
+        return self.links, self.switches
+
+    def copy(self) -> "FailureSet":
+        return FailureSet(links=self._links, switches=self._switches)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate_for(self, topology) -> None:
+        """Check every failure id against a topology.
+
+        Raises :class:`~repro.exceptions.TopologyError` for a switch index
+        the topology does not have, a link it does not contain, and for
+        *overlapping* failures — a downed link whose endpoint switch is also
+        downed (the switch failure already implies the link failure, so the
+        overlap is almost certainly an authoring mistake).
+        """
+        for index in sorted(self._switches):
+            topology.switch(index)  # raises TopologyError for unknown indices
+        for source, destination in sorted(self._links):
+            topology.switch(source)
+            topology.switch(destination)
+            if not topology.has_link(source, destination):
+                raise TopologyError(
+                    f"failure names link ({source}, {destination}) which does "
+                    f"not exist on {topology.name!r}"
+                )
+            if source in self._switches or destination in self._switches:
+                raise TopologyError(
+                    f"overlapping failure: link ({source}, {destination}) is "
+                    f"already implied by a failed endpoint switch"
+                )
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Canonical JSON-ready form (sorted, so it content-hashes stably)."""
+        return {
+            "links": [list(link) for link in self.links],
+            "switches": list(self.switches),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "FailureSet":
+        if not isinstance(document, dict):
+            raise TopologyError(
+                f"failure-set document must be a mapping, got {type(document).__name__}"
+            )
+        try:
+            return cls(
+                links=[(int(link[0]), int(link[1]))
+                       for link in document.get("links", ())],
+                switches=[int(index) for index in document.get("switches", ())],
+            )
+        except (TypeError, ValueError, IndexError) as exc:
+            raise TopologyError(f"malformed failure-set document: {exc}") from None
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-256 of the canonical document.
+
+        Composes into the degraded topology's name and fingerprint (and
+        through them into job hashes and engine-state store contexts), so
+        warm state is keyed per failure state.
+        """
+        from repro.io.serialization import document_fingerprint
+
+        return document_fingerprint(self.to_dict())
+
+    def describe(self) -> str:
+        """Short human-readable summary for reports and CLI tables."""
+        parts = []
+        seen = set()
+        for source, destination in self.links:
+            if (destination, source) in seen:
+                continue
+            seen.add((source, destination))
+            arrow = "<->" if (destination, source) in self._links else "->"
+            parts.append(f"link {source}{arrow}{destination}")
+        parts.extend(f"switch {index}" for index in self.switches)
+        return ", ".join(parts) if parts else "no failures"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FailureSet):
+            return NotImplemented
+        return self.frozen() == other.frozen()
+
+    def __hash__(self) -> int:
+        return hash(self.frozen())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FailureSet(links={sorted(self._links)}, switches={sorted(self._switches)})"

@@ -143,6 +143,11 @@ class ResourceState:
         attaching it elsewhere is an error (the paper requires one mapping).
         """
         self.topology.switch(switch_index)
+        if self.topology.is_switch_down(switch_index):
+            raise ResourceError(
+                f"switch {switch_index} is failed on {self.topology.name!r}; "
+                f"cannot attach core {core_name!r}"
+            )
         existing = self._core_switch.get(core_name)
         if existing is not None:
             if existing != switch_index:

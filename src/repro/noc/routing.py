@@ -151,10 +151,20 @@ def mesh_minimal_paths(
     _, cols = topology.dimensions
     steps = _relative_minimal_steps(dst.row - src.row, dst.col - src.col, limit)
     base_row, base_col = src.position
-    return [
+    paths = [
         tuple((base_row + dr) * cols + (base_col + dc) for dr, dc in path)
         for path in steps
     ]
+    if topology.has_failures:
+        # A degraded mesh keeps its grid shape but not all its links: only
+        # paths whose every hop survived are candidates.  (Endpoint switches
+        # being down is covered too — a downed switch has no links.)
+        paths = [
+            path for path in paths
+            if all(topology.has_link(here, there)
+                   for here, there in zip(path, path[1:]))
+        ]
+    return paths
 
 
 class PathSelector:
@@ -225,8 +235,19 @@ class PathSelector:
                 filtered = [
                     path for path in paths if is_west_first_path(self.topology, path)
                 ]
-                paths = filtered or [xy_path(self.topology, source, destination)]
-            return paths
+                if filtered:
+                    paths = filtered
+                else:
+                    try:
+                        paths = [xy_path(self.topology, source, destination)]
+                    except RoutingError:
+                        # On a degraded mesh even the XY path may be broken.
+                        paths = []
+            if paths or not self.topology.has_failures:
+                return paths
+            # Every minimal grid path hits a failed resource: fall through to
+            # the generic search, which sees only surviving links and may
+            # find a (non-minimal) detour around the failure.
         try:
             min_hops = nx.shortest_path_length(self._graph, source, destination)
         except nx.NetworkXNoPath:
@@ -249,8 +270,13 @@ class PathSelector:
             if len(paths) >= limit:
                 break
         if not paths and policy == RoutingPolicy.WEST_FIRST:
-            # The turn model always admits at least the XY path.
-            paths = [xy_path(self.topology, source, destination)]
+            # The turn model always admits at least the XY path — unless a
+            # failure broke it, in which case the pair is simply unroutable
+            # under west-first and candidate_paths reports no path.
+            try:
+                paths = [xy_path(self.topology, source, destination)]
+            except RoutingError:
+                paths = []
         return paths
 
     # ------------------------------------------------------------------ #

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.exceptions import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.noc.failures import FailureSet
 
 __all__ = ["Switch", "Link", "Topology", "mesh_dimensions_for", "mesh_growth_schedule"]
 
@@ -82,6 +85,7 @@ class Topology:
         links: Iterable[Link],
         kind: str = "custom",
         dimensions: Optional[Tuple[int, int]] = None,
+        failures: Optional["FailureSet"] = None,
     ) -> None:
         if not switches:
             raise TopologyError("a topology needs at least one switch")
@@ -93,6 +97,11 @@ class Topology:
         self.name = name
         self.kind = kind
         self.dimensions = dimensions
+        #: the failure set this topology was degraded with (``None`` for a
+        #: pristine topology); downed switches stay *present* — indices must
+        #: remain dense — but carry no links and reject core attachment
+        self.failures = failures
+        self._down_switches = frozenset(failures.switches) if failures is not None else frozenset()
         self._switches: Dict[int, Switch] = {switch.index: switch for switch in switches}
         self._graph = nx.DiGraph()
         self._graph.add_nodes_from(self._switches)
@@ -210,6 +219,37 @@ class Topology:
                 links.append((destination, source))
         return cls(name=name, switches=switches, links=sorted(set(links)), kind="custom")
 
+    def with_failures(self, failures: "FailureSet") -> "Topology":
+        """The degraded topology that survives a failure set.
+
+        Failed links — and every link touching a failed switch — are removed;
+        switches stay present (indices must remain dense) but a downed switch
+        is isolated and rejects core attachment.  Grid kind, dimensions and
+        positions are preserved so mesh-aware routing still applies to the
+        surviving paths.  The name carries the failure set's content hash,
+        which propagates the failure state into topology fingerprints,
+        mapping fingerprints and engine-state store contexts.
+
+        An empty failure set returns ``self`` — the pristine topology and its
+        fingerprints are untouched.
+        """
+        failures.validate_for(self)
+        if failures.is_empty:
+            return self
+        frozen = failures.copy()
+        surviving = [
+            link for link in self.links
+            if not frozen.affects_link(*link)
+        ]
+        return Topology(
+            name=f"{self.name}+f{frozen.content_hash[:8]}",
+            switches=list(self.switches),
+            links=surviving,
+            kind=self.kind,
+            dimensions=self.dimensions,
+            failures=frozen,
+        )
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
@@ -268,10 +308,37 @@ class Topology:
         """
         return self.degree(index) + 1
 
+    @property
+    def has_failures(self) -> bool:
+        """Whether this is a degraded topology (non-empty failure set)."""
+        return self.failures is not None and not self.failures.is_empty
+
+    def is_switch_down(self, index: int) -> bool:
+        """Whether a switch is failed (present but unusable)."""
+        return index in self._down_switches
+
+    @property
+    def alive_switches(self) -> Tuple[Switch, ...]:
+        """The surviving switches, ordered by index."""
+        if not self._down_switches:
+            return self.switches
+        return tuple(
+            self._switches[index] for index in sorted(self._switches)
+            if index not in self._down_switches
+        )
+
     def is_connected(self) -> bool:
-        """Whether every switch can reach every other switch."""
-        if self.switch_count == 1:
-            return True
+        """Whether every *surviving* switch can reach every other one.
+
+        A pristine topology checks all switches; a degraded one checks the
+        alive-switch subgraph (a downed switch is unreachable by definition
+        and must not render the rest of the network "disconnected").
+        """
+        alive = [sw.index for sw in self.alive_switches]
+        if len(alive) <= 1:
+            return bool(alive)
+        if self._down_switches:
+            return nx.is_strongly_connected(self._graph.subgraph(alive))
         return nx.is_strongly_connected(self._graph)
 
     def shortest_hop_count(self, source: int, destination: int) -> int:
@@ -288,12 +355,14 @@ class Topology:
             ) from None
 
     def diameter(self) -> int:
-        """Longest shortest-path hop count over all switch pairs."""
-        if self.switch_count == 1:
+        """Longest shortest-path hop count over all surviving switch pairs."""
+        alive = [sw.index for sw in self.alive_switches]
+        if len(alive) <= 1:
             return 0
         if not self.is_connected():
             raise TopologyError(f"topology {self.name!r} is not connected")
-        return nx.diameter(self._graph.to_undirected(as_view=True))
+        graph = self._graph.subgraph(alive) if self._down_switches else self._graph
+        return nx.diameter(graph.to_undirected(as_view=True))
 
     def graph(self) -> nx.DiGraph:
         """A read-only view of the underlying directed graph."""

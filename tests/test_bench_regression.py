@@ -57,6 +57,7 @@ def test_workloads_cover_the_reference_designs():
         "spread_40uc",
         "refine_spread10_annealing",
         "refine_spread10_warm",
+        "repair_single_link",
     }
 
 

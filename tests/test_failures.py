@@ -1,0 +1,350 @@
+"""Failure-aware mapping: fault model, degraded routing, RepairJob, sweeps.
+
+Pins the contracts the ISSUE demands:
+
+* :class:`FailureSet` round-trips through JSON, content-hashes stably, and
+  rejects unknown / overlapping failure ids against a topology;
+* a degraded topology keeps its identity-changing fingerprint and routing
+  finds (non-minimal) detours around failures;
+* a single-link :class:`RepairJob` remaps **only** the affected
+  smooth-switching groups (pinned count on the sparse demo design) and
+  warm-started repair performs **zero** group evaluations while staying
+  bit-identical to the cold run;
+* unrepairable use cases degrade gracefully (``mapped: False`` plus the
+  list of broken use cases — never an exception);
+* the ``python -m repro failures`` CLI sweeps failures and reports every
+  authoring mistake as a one-line diagnostic with a nonzero exit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import MappingEngine
+from repro.analysis import failure_sweep, single_link_failures, single_switch_failures
+from repro.core.repair import repair_mapping
+from repro.exceptions import RoutingError, TopologyError
+from repro.gen import generate_benchmark
+from repro.io.serialization import save_use_case_set, topology_to_dict
+from repro.jobs import RepairJob, UseCaseSource, execute_job, job_hash
+from repro.jobs.cli import main as cli_main
+from repro.noc import FailureSet, PathSelector, Topology
+
+# The sparse demo design: 8 light use cases on 16 cores map onto mesh-3x3
+# with plenty of slack, so single-link failures split the groups into
+# affected / untouched — the partial-splice scenario repair exists for.
+SPARSE8 = dict(kind="spread", use_case_count=8, core_count=16, seed=5,
+               flows_per_use_case=[6, 10])
+
+
+def _sparse_use_cases():
+    return generate_benchmark(**SPARSE8)
+
+
+def _provisioned_baseline(engine, use_cases):
+    return engine.mapper.map_with_placement(
+        use_cases, Topology.mesh(3, 3), {}, validate=False
+    )
+
+
+# --------------------------------------------------------------------- #
+# FailureSet model
+# --------------------------------------------------------------------- #
+def test_failure_set_roundtrip_and_content_hash():
+    failures = FailureSet().mark_link_down(1, 4).mark_switch_down(8)
+    assert failures.links == ((1, 4), (4, 1))  # bidirectional by default
+    assert failures.switches == (8,)
+    assert not failures.is_empty
+
+    document = failures.to_dict()
+    assert FailureSet.from_dict(json.loads(json.dumps(document))) == failures
+    assert FailureSet.from_dict(document).content_hash == failures.content_hash
+
+    # mutation events change the hash; repairing restores it
+    pristine_hash = FailureSet().content_hash
+    assert failures.content_hash != pristine_hash
+    failures.mark_link_up(1, 4).mark_switch_up(8)
+    assert failures.is_empty
+    assert failures.content_hash == pristine_hash
+
+
+def test_failure_set_queries():
+    failures = FailureSet().mark_link_down(0, 1, bidirectional=False)
+    failures.mark_switch_down(5)
+    assert failures.affects_link(0, 1)
+    assert not failures.affects_link(1, 0)  # single-direction fault
+    assert failures.affects_link(5, 2) and failures.affects_link(2, 5)
+    assert failures.affects_path((3, 0, 1))
+    assert not failures.affects_path((1, 0, 3))
+    assert failures.describe() == "link 0->1, switch 5"
+
+
+def test_failure_set_validation_rejects_bad_ids():
+    mesh = Topology.mesh(2, 2)
+    with pytest.raises(TopologyError):
+        FailureSet().mark_switch_down(9).validate_for(mesh)
+    with pytest.raises(TopologyError, match="does not exist"):
+        FailureSet().mark_link_down(0, 3).validate_for(mesh)  # diagonal
+    with pytest.raises(TopologyError, match="overlapping"):
+        FailureSet().mark_link_down(0, 1).mark_switch_down(0).validate_for(mesh)
+    with pytest.raises(TopologyError, match="malformed"):
+        FailureSet.from_dict({"links": [[0]]})
+
+
+# --------------------------------------------------------------------- #
+# degraded topologies and routing
+# --------------------------------------------------------------------- #
+def test_with_failures_filters_links_and_changes_identity():
+    mesh = Topology.mesh(3, 3)
+    degraded = mesh.with_failures(FailureSet().mark_link_down(1, 4))
+    assert mesh.has_link(1, 4) and mesh.has_link(4, 1)
+    assert not degraded.has_link(1, 4) and not degraded.has_link(4, 1)
+    assert degraded.has_failures and not mesh.has_failures
+    assert degraded.name.startswith("mesh-3x3+f")
+    # the pristine serialised document stays byte-stable: no failures key
+    assert "failures" not in topology_to_dict(mesh)
+    assert topology_to_dict(degraded)["failures"]["links"]
+
+
+def test_degraded_switch_failure_removes_all_its_links():
+    degraded = Topology.mesh(2, 2).with_failures(FailureSet().mark_switch_down(0))
+    assert degraded.is_switch_down(0)
+    assert [sw.index for sw in degraded.alive_switches] == [1, 2, 3]
+    assert not degraded.has_link(0, 1) and not degraded.has_link(2, 0)
+
+
+def test_degraded_mesh_routing_finds_detour():
+    config = MappingEngine().config
+    degraded = Topology.mesh(2, 2).with_failures(FailureSet().mark_link_down(0, 1))
+    paths = PathSelector(degraded, config).candidate_paths(0, 1)
+    # every minimal path is broken; the generic fall-through finds the
+    # two-hop detour around the failed channel
+    assert paths == ((0, 2, 3, 1),)
+    # a switch failure that disconnects the pair reports no path
+    islanded = Topology.mesh(2, 2).with_failures(
+        FailureSet().mark_switch_down(1).mark_switch_down(2)
+    )
+    with pytest.raises(RoutingError, match="no path"):
+        PathSelector(islanded, config).candidate_paths(0, 3)
+
+
+# --------------------------------------------------------------------- #
+# repair_mapping: splice semantics
+# --------------------------------------------------------------------- #
+def test_repair_remaps_only_affected_groups():
+    engine = MappingEngine()
+    use_cases = _sparse_use_cases()
+    baseline = _provisioned_baseline(engine, use_cases)
+
+    outcome = repair_mapping(
+        engine, use_cases, baseline, FailureSet().mark_link_down(1, 4)
+    )
+    assert outcome.repaired is not None and not outcome.unrepairable
+    assert outcome.groups_total == 8
+    # pinned: exactly the 4 groups routing over link 1<->4 are re-evaluated
+    assert len(outcome.affected_group_ids) == 4
+    assert outcome.evaluations["evaluation_misses"] == 4
+    # untouched groups keep their baseline configurations verbatim
+    repaired = outcome.repaired
+    assert repaired.topology.has_failures
+    assert repaired.method == "unified-repair"
+    affected = set(outcome.affected_group_ids)
+    for gid, group in enumerate(baseline.groups):
+        if gid in affected:
+            continue
+        for name in group:
+            assert repaired.configurations[name] is baseline.configurations[name]
+
+
+def test_repair_zero_affected_is_pure_splice():
+    engine = MappingEngine()
+    use_cases = _sparse_use_cases()
+    baseline = _provisioned_baseline(engine, use_cases)
+
+    outcome = repair_mapping(
+        engine, use_cases, baseline, FailureSet().mark_link_down(7, 8)
+    )
+    assert outcome.repaired is not None
+    assert outcome.affected_group_ids == ()
+    assert outcome.evaluations["evaluation_misses"] == 0
+    assert outcome.repaired_cost == pytest.approx(outcome.baseline_cost)
+    assert outcome.metrics()["cost_delta"] == pytest.approx(0.0)
+
+
+def test_repair_reports_unrepairable_gracefully():
+    engine = MappingEngine()
+    use_cases = generate_benchmark("spread", 3, core_count=12, seed=1)
+    baseline = engine.map(use_cases)
+    assert baseline.topology.name == "mesh-2x2"  # minimal mesh: zero slack
+
+    outcome = repair_mapping(
+        engine, use_cases, baseline, FailureSet().mark_link_down(0, 1),
+        compare_full_remap=True,
+    )
+    assert outcome.repaired is None
+    assert outcome.unrepairable == ("uc01",)
+    assert outcome.full_remap is None  # even a full remap cannot absorb it
+
+
+# --------------------------------------------------------------------- #
+# RepairJob: warm/cold equivalence (satellite c)
+# --------------------------------------------------------------------- #
+def test_repair_job_warm_cold_equivalence(tmp_path):
+    job = RepairJob(
+        use_cases=UseCaseSource(generator=dict(SPARSE8)),
+        failures=FailureSet().mark_link_down(1, 4).to_dict(),
+        provision=(3, 3),
+    )
+    store = tmp_path / "store"
+    cold = execute_job(job, store_path=store)
+    warm = execute_job(job, store_path=store)
+
+    assert cold.payload["mapped"] is True
+    assert cold.payload["repair"]["groups_remapped"] == 4
+    assert cold.stats["engine"]["evaluation_misses"] > 0
+    # warm repair answers every affected-group evaluation from the store
+    assert warm.stats["engine"]["evaluation_misses"] == 0
+    # and stays bit-identical to the cold run
+    assert warm.payload == cold.payload
+    assert warm.payload["fingerprint"] == cold.payload["fingerprint"]
+
+
+def test_repair_job_hash_depends_on_failures():
+    base = RepairJob(
+        use_cases=UseCaseSource(generator=dict(SPARSE8)), provision=(3, 3),
+        failures=FailureSet().mark_link_down(1, 4).to_dict(),
+    )
+    other = RepairJob(
+        use_cases=UseCaseSource(generator=dict(SPARSE8)), provision=(3, 3),
+        failures=FailureSet().mark_link_down(3, 4).to_dict(),
+    )
+    assert job_hash(base) != job_hash(other)
+    assert job_hash(base) == job_hash(RepairJob.from_dict(base.to_dict()))
+
+
+# --------------------------------------------------------------------- #
+# failure sweeps
+# --------------------------------------------------------------------- #
+def test_failure_sweep_sparse_design_all_links_repairable():
+    engine = MappingEngine()
+    use_cases = _sparse_use_cases()
+    rows = failure_sweep(
+        use_cases, engine=engine, provision=(3, 3), include_switches=False
+    )
+    assert len(rows) == len(single_link_failures(Topology.mesh(3, 3))) == 12
+    assert all(row.kind == "link" for row in rows)
+    assert all(row.schedulable and row.repaired for row in rows)
+    by_failure = {row.failure: row for row in rows}
+    assert by_failure["link 1<->4"].affected_groups == 4
+    assert by_failure["link 7<->8"].affected_groups == 0
+    document = rows[0].as_dict()
+    assert set(document) >= {"failure", "kind", "schedulable", "repaired",
+                             "affected_groups", "groups_total"}
+
+
+def test_failure_sweep_minimal_mesh_finds_the_breaking_failures():
+    engine = MappingEngine()
+    use_cases = generate_benchmark("spread", 3, core_count=12, seed=1)
+    baseline = engine.map(use_cases)
+    rows = failure_sweep(use_cases, baseline=baseline, engine=engine)
+    expected = len(single_link_failures(baseline.topology)) + len(
+        single_switch_failures(baseline.topology)
+    )
+    assert len(rows) == expected == 8
+    # the minimal mesh has little slack: the sweep pins exactly which
+    # failures break schedulability (even under a full remap) and which
+    # the spare capacity absorbs
+    broken = {row.failure for row in rows if not row.schedulable}
+    assert broken == {"link 0<->1", "link 0<->2",
+                      "switch 0", "switch 1", "switch 2"}
+    assert all(row.unrepairable for row in rows if not row.schedulable)
+    assert all(row.repaired for row in rows if row.schedulable)
+
+
+# --------------------------------------------------------------------- #
+# CLI: python -m repro failures (satellite a)
+# --------------------------------------------------------------------- #
+@pytest.fixture()
+def sparse_design_file(tmp_path):
+    path = tmp_path / "design.json"
+    save_use_case_set(_sparse_use_cases(), path)
+    return path
+
+
+def test_cli_failures_sweep(sparse_design_file, tmp_path, capsys):
+    out = tmp_path / "rows.json"
+    code = cli_main([
+        "failures", str(sparse_design_file), "--provision", "3x3",
+        "--links-only", "--out", str(out),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "12 failure(s) swept, 0 break schedulability" in captured.out
+    rows = json.loads(out.read_text())
+    assert len(rows) == 12 and all(row["repaired"] for row in rows)
+
+
+def test_cli_failures_repair_job(sparse_design_file, capsys):
+    code = cli_main([
+        "failures", str(sparse_design_file), "--provision", "3x3",
+        "--fail-link", "1,4",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "remapped 4/8 group(s)" in captured.out
+
+
+def test_cli_failures_unknown_link_is_one_line_error(sparse_design_file, capsys):
+    code = cli_main([
+        "failures", str(sparse_design_file), "--provision", "3x3",
+        "--fail-link", "0,99",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert captured.err.startswith("error:")
+    assert len(captured.err.strip().splitlines()) == 1
+
+
+def test_cli_failures_overlapping_failure_is_rejected(sparse_design_file, capsys):
+    code = cli_main([
+        "failures", str(sparse_design_file), "--provision", "3x3",
+        "--fail-link", "0,1", "--fail-switch", "0",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "overlapping failure" in captured.err
+
+
+def test_cli_failures_missing_baseline_is_one_line_error(
+        sparse_design_file, capsys, tmp_path):
+    code = cli_main([
+        "failures", str(sparse_design_file),
+        "--baseline", str(tmp_path / "nope.json"), "--fail-link", "0,1",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "cannot read repair baseline" in captured.err
+
+
+def test_cli_failures_corrupt_baseline_is_one_line_error(
+        sparse_design_file, capsys, tmp_path):
+    corrupt = tmp_path / "baseline.json"
+    corrupt.write_text("{not json")
+    code = cli_main([
+        "failures", str(sparse_design_file),
+        "--baseline", str(corrupt), "--fail-link", "0,1",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert captured.err.startswith("error:")
+
+
+def test_cli_failures_bad_provision_is_rejected(sparse_design_file, capsys):
+    code = cli_main([
+        "failures", str(sparse_design_file), "--provision", "banana",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "--provision expects" in captured.err

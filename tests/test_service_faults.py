@@ -1,0 +1,305 @@
+"""Fault-injection hardening of the job-directory service.
+
+Pins the robustness contracts of the ISSUE:
+
+* deterministic :class:`FaultInjector` draws — the same (seed, file,
+  attempt) always injects the same fault, and retries re-draw;
+* transient faults (kills, corrupted results files) are absorbed by the
+  bounded retry-with-backoff loop and the file still lands in ``done/``;
+* persistent faults exhaust ``max_attempts`` and quarantine the file in
+  ``failed/`` with the full per-attempt error history;
+* randomized crash/corrupt injection over a 20-job inbox always converges:
+  every file ends in ``done/`` or ``failed/``, with exactly one terminal
+  manifest record each and a parseable results file per success;
+* isolated mode (``job_timeout_s``) reaps hung executions in a child
+  process and otherwise reproduces in-process results; and
+* ``inbox_status`` / ``serve --status`` surface the new ``retries`` and
+  ``quarantined`` sections.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.jobs import (
+    DesignFlowJob,
+    FaultInjector,
+    JobDirectoryService,
+    UseCaseSource,
+    inbox_status,
+    save_job,
+)
+from repro.jobs.cli import main as cli_main
+
+#: cheap, deterministic workload — maps in ~10ms
+SMALL = UseCaseSource(
+    generator={"kind": "spread", "use_case_count": 3, "core_count": 12, "seed": 1}
+)
+
+
+def _submit(inbox, name="job.json", seed=1):
+    inbox.mkdir(parents=True, exist_ok=True)
+    source = UseCaseSource(generator={
+        "kind": "spread", "use_case_count": 3, "core_count": 12, "seed": seed,
+    })
+    save_job(DesignFlowJob(use_cases=source), inbox / name)
+
+
+def _find_seed(predicate, **rates):
+    """The first injector seed whose attempt-1/2 actions match a scenario."""
+    for seed in range(2000):
+        injector = FaultInjector(seed=seed, **rates)
+        if predicate(injector):
+            return injector
+    raise AssertionError("no seed matches the scenario")  # pragma: no cover
+
+
+# --------------------------------------------------------------------- #
+# the injector itself
+# --------------------------------------------------------------------- #
+def test_injector_draws_are_deterministic_and_per_attempt():
+    injector = FaultInjector(kill_rate=0.3, hang_rate=0.2, corrupt_rate=0.1, seed=9)
+    assert injector.draw("a.json:1") == injector.draw("a.json:1")
+    assert injector.draw("a.json:1") != injector.draw("a.json:2")
+    assert injector.action("a.json:1") in {"kill", "hang", "corrupt", None}
+
+    counts = {"kill": 0, "hang": 0, "corrupt": 0, None: 0}
+    for index in range(2000):
+        counts[injector.action(f"f{index}.json:1")] += 1
+    assert 450 < counts["kill"] < 750       # ~30% of 2000
+    assert 280 < counts["hang"] < 530       # ~20%
+    assert 110 < counts["corrupt"] < 310    # ~10%
+
+
+def test_injector_from_env_and_validation():
+    assert FaultInjector.from_env({}) is None
+    assert FaultInjector.from_env({"REPRO_FAULT_KILL_RATE": "0"}) is None
+    injector = FaultInjector.from_env({
+        "REPRO_FAULT_KILL_RATE": "0.25",
+        "REPRO_FAULT_CORRUPT_RATE": "0.5",
+        "REPRO_FAULT_SEED": "4",
+        "REPRO_FAULT_HANG_S": "0.1",
+    })
+    assert injector == FaultInjector(
+        kill_rate=0.25, corrupt_rate=0.5, seed=4, hang_s=0.1
+    )
+    with pytest.raises(ValueError, match="sum to at most"):
+        FaultInjector(kill_rate=0.8, corrupt_rate=0.4)
+
+
+# --------------------------------------------------------------------- #
+# retry and quarantine
+# --------------------------------------------------------------------- #
+def test_persistent_kill_quarantines_after_max_attempts(tmp_path):
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    service = JobDirectoryService(
+        inbox, max_attempts=3, retry_backoff_s=0.0,
+        fault_injector=FaultInjector(kill_rate=1.0),
+    )
+    records = service.run_once()
+
+    assert len(records) == 1
+    record = records[0]
+    assert record["status"] == "failed"
+    assert record["attempts"] == 3
+    assert record["quarantined"] is True
+    assert len(record["attempt_errors"]) == 3
+    assert all("InjectedFault" in error for error in record["attempt_errors"])
+    assert (service.failed_dir / "job.json").exists()
+    assert not list(service.results_dir.glob("*.json"))
+
+    status = inbox_status(inbox)
+    assert status["retries"] == {"files_retried": 1, "extra_attempts": 2}
+    assert [entry["file"] for entry in status["quarantined"]] == ["job.json"]
+    assert status["quarantined"][0]["attempts"] == 3
+
+
+def test_transient_corruption_is_absorbed_by_retry(tmp_path):
+    injector = _find_seed(
+        lambda inj: inj.action("job.json:1") == "corrupt"
+        and inj.action("job.json:2") is None,
+        corrupt_rate=0.5,
+    )
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    service = JobDirectoryService(
+        inbox, max_attempts=3, retry_backoff_s=0.0, fault_injector=injector
+    )
+    records = service.run_once()
+
+    assert len(records) == 1
+    record = records[0]
+    assert record["status"] == "done"
+    assert record["attempts"] == 2
+    assert len(record["attempt_errors"]) == 1
+    assert (service.done_dir / "job.json").exists()
+    envelopes = json.loads((inbox / record["results"]).read_text())
+    assert len(envelopes) == 1 and envelopes[0]["payload"]["mapped"]
+
+
+def test_transient_kill_then_success(tmp_path):
+    injector = _find_seed(
+        lambda inj: inj.action("job.json:1") == "kill"
+        and inj.action("job.json:2") is None,
+        kill_rate=0.5,
+    )
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    service = JobDirectoryService(
+        inbox, max_attempts=2, retry_backoff_s=0.0, fault_injector=injector
+    )
+    records = service.run_once()
+    assert records[0]["status"] == "done"
+    assert records[0]["attempts"] == 2
+    assert "InjectedFault" in records[0]["attempt_errors"][0]
+
+
+def test_deterministic_job_errors_never_retry(tmp_path):
+    inbox = tmp_path / "inbox"
+    inbox.mkdir(parents=True)
+    (inbox / "bad.json").write_text(json.dumps({"kind": "no-such-kind"}))
+    service = JobDirectoryService(
+        inbox, max_attempts=3, retry_backoff_s=0.0,
+        fault_injector=FaultInjector(corrupt_rate=1.0),
+    )
+    records = service.run_once()
+    record = records[0]
+    assert record["status"] == "failed"
+    assert record["attempts"] == 1            # load errors are deterministic
+    assert "quarantined" not in record
+    assert "unknown job kind" in record["error"]
+
+
+# --------------------------------------------------------------------- #
+# randomized convergence (satellite d)
+# --------------------------------------------------------------------- #
+def test_randomized_injection_over_20_jobs_always_converges(tmp_path):
+    inbox = tmp_path / "inbox"
+    names = [f"job-{index:02d}.json" for index in range(20)]
+    for index, name in enumerate(names):
+        _submit(inbox, name=name, seed=index % 5)
+
+    service = JobDirectoryService(
+        inbox, max_attempts=3, retry_backoff_s=0.0,
+        cache_dir=tmp_path / "cache",
+        fault_injector=FaultInjector(kill_rate=0.3, corrupt_rate=0.2, seed=7),
+    )
+    records = service.run_once()
+
+    # converged: nothing pending or stuck in running/
+    assert service.pending() == []
+    assert list(service.running_dir.glob("*.json")) == []
+
+    # exactly one terminal manifest record per submitted file — no
+    # duplicates, no losses
+    assert sorted(record["file"] for record in records) == names
+    manifest = [json.loads(line)
+                for line in service.manifest_path.read_text().splitlines()]
+    assert manifest == records
+
+    done = {record["file"] for record in records if record["status"] == "done"}
+    failed = {record["file"] for record in records if record["status"] == "failed"}
+    assert done | failed == set(names) and not (done & failed)
+    assert {path.name for path in service.done_dir.glob("*.json")} == done
+    assert {path.name for path in service.failed_dir.glob("*.json")} == failed
+
+    for record in records:
+        if record["status"] == "done":
+            envelopes = json.loads((inbox / record["results"]).read_text())
+            assert len(envelopes) == 1
+            assert envelopes[0]["payload"]["mapped"] is True
+        else:
+            assert record["quarantined"] is True
+            assert record["attempts"] == 3
+
+    # with kill 30% + corrupt 20% per attempt, three attempts make almost
+    # every file converge to done; assert the split is not degenerate
+    assert len(done) >= 10
+    assert len(failed) >= 1
+
+
+# --------------------------------------------------------------------- #
+# isolated mode (job_timeout_s)
+# --------------------------------------------------------------------- #
+def test_isolated_mode_reaps_hung_jobs(tmp_path):
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    service = JobDirectoryService(
+        inbox, max_attempts=2, retry_backoff_s=0.0, job_timeout_s=0.5,
+        fault_injector=FaultInjector(hang_rate=1.0, hang_s=30.0),
+    )
+    records = service.run_once()
+    record = records[0]
+    assert record["status"] == "failed"
+    assert record["attempts"] == 2
+    assert record["quarantined"] is True
+    assert all("TimeoutError" in error for error in record["attempt_errors"])
+    # no half-written results leak
+    assert list(service.results_dir.iterdir()) == []
+
+
+def test_isolated_mode_clean_run_matches_in_process(tmp_path):
+    _submit(tmp_path / "in-process")
+    _submit(tmp_path / "isolated")
+    plain = JobDirectoryService(tmp_path / "in-process")
+    boxed = JobDirectoryService(tmp_path / "isolated", job_timeout_s=60.0)
+    plain_record, = plain.run_once()
+    boxed_record, = boxed.run_once()
+    assert plain_record["status"] == boxed_record["status"] == "done"
+    assert boxed_record["attempts"] == 1
+    plain_env = json.loads((plain.inbox / plain_record["results"]).read_text())
+    boxed_env = json.loads((boxed.inbox / boxed_record["results"]).read_text())
+    assert plain_env[0]["payload"] == boxed_env[0]["payload"]
+
+
+def test_isolated_mode_injected_kill_is_retried(tmp_path):
+    injector = _find_seed(
+        lambda inj: inj.action("job.json:1") == "kill"
+        and inj.action("job.json:2") is None,
+        kill_rate=0.5,
+    )
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    service = JobDirectoryService(
+        inbox, max_attempts=2, retry_backoff_s=0.0, job_timeout_s=60.0,
+        fault_injector=injector,
+    )
+    records = service.run_once()
+    assert records[0]["status"] == "done"
+    assert records[0]["attempts"] == 2
+
+
+# --------------------------------------------------------------------- #
+# status surfaces (satellite b)
+# --------------------------------------------------------------------- #
+def test_serve_status_cli_prints_retries_and_quarantine(tmp_path, capsys):
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    JobDirectoryService(
+        inbox, max_attempts=2, retry_backoff_s=0.0,
+        fault_injector=FaultInjector(kill_rate=1.0),
+    ).run_once()
+
+    code = cli_main(["serve", str(inbox), "--status"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "retries: 1 file(s) retried, 1 extra attempt(s)" in captured.out
+    assert "[quarantined] job.json" in captured.out
+
+
+def test_serve_cli_picks_up_fault_env(tmp_path, capsys, monkeypatch):
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "1.0")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "3")
+    code = cli_main([
+        "serve", str(inbox), "--once", "--max-attempts", "2",
+        "--retry-backoff", "0",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1  # failures happened
+    assert "[quarantined] job.json" in captured.out
+    assert "(2 attempt(s))" in captured.out
