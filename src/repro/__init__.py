@@ -73,6 +73,7 @@ from repro.jobs import (
     JobDirectoryService,
     JobResult,
     JobRunner,
+    PortfolioRefineJob,
     RefineJob,
     SweepJob,
     UseCaseSource,
@@ -146,6 +147,7 @@ __all__ = [
     "DesignFlowJob",
     "WorstCaseJob",
     "RefineJob",
+    "PortfolioRefineJob",
     "FrequencyJob",
     "SweepJob",
     "JobRunner",

@@ -372,6 +372,8 @@ class MappingEngine:
             "evaluation_misses": 0,
             "imported_results": 0,
             "imported_evaluations": 0,
+            "screen_hits": 0,
+            "screen_misses": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -671,6 +673,105 @@ class MappingEngine:
             )
         return sum(values)
 
+    def screener(
+        self,
+        use_cases: SpecLike,
+        topology: Topology,
+        groups: GroupSpec = None,
+        switching_graph: Optional[SwitchingGraph] = None,
+    ):
+        """A :class:`~repro.optimize.screen.CandidateScreen` for one context.
+
+        The batch entry point of the refinement hot path: the returned
+        screen is bound to this engine plus the compiled (spec, grouping)
+        bundle and topology, answers exact candidate costs through the same
+        cache hierarchy as :meth:`placement_cost` (its kernel evaluations
+        are admitted to the evaluation cache, so exports, warm starts and
+        the final :meth:`evaluate_placement` are unchanged), and batches
+        admissibility/lower-bound screening over whole neighbour sets.
+        ``screen_hits`` / ``screen_misses`` in :meth:`cache_info` account
+        for its traffic.
+        """
+        from repro.optimize.screen import CandidateScreen
+
+        spec = self.compile(use_cases)
+        resolved = self.resolve_groups(spec, groups, switching_graph)
+        bundle = self.requirements_for(spec, resolved)
+        return CandidateScreen(self, spec, resolved, bundle, topology)
+
+    def _recall_group_outcome(
+        self,
+        bundle: _RequirementBundle,
+        topology: Topology,
+        group_id: int,
+        projection: Tuple[int, ...],
+    ) -> Tuple[bool, Optional[_GroupOutcome]]:
+        """Recall one group evaluation without computing it.
+
+        The recall half of :meth:`_evaluate_groups`'s per-requirement body,
+        for the screening layer: consult the in-memory evaluation cache,
+        then the imported-evaluation index / attached store, with exactly
+        the counter increments the unscreened path performs.  Returns
+        ``(True, outcome)`` on a hit (``outcome is None`` is a recalled
+        infeasibility) and ``(False, None)`` when the key has never been
+        evaluated — the screen's kernel computes it then.
+        """
+        key = (id(bundle), id(topology), group_id, projection)
+        evals = self._group_evals
+        entry = evals.get(key)
+        if entry is not None and entry[0] is bundle and entry[1] is topology:
+            evals.move_to_end(key)
+            self._counters["evaluation_hits"] += 1
+            return True, entry[2]
+        imported = self._imported_evaluation(bundle, topology, group_id, projection)
+        if imported is None:
+            return False, None
+        self._counters["evaluation_hits"] += 1
+        self._counters["imported_evaluations"] += 1
+        pairs = imported[0]
+        outcome = None if pairs is None else _GroupOutcome(
+            doc=pairs,
+            plan=bundle.group_plans[group_id],
+            size=self.params.slot_table_size,
+        )
+        evals[key] = (bundle, topology, outcome)
+        if len(evals) > self._EVAL_CACHE_SIZE:
+            evals.popitem(last=False)
+        return True, outcome
+
+    def _admit_screened_outcome(
+        self,
+        bundle: _RequirementBundle,
+        topology: Topology,
+        group_id: int,
+        projection: Tuple[int, ...],
+        pairs: Optional[List[Tuple[Tuple[int, ...], Tuple[int, ...]]]],
+    ) -> Optional[_GroupOutcome]:
+        """Admit one screening-kernel evaluation to the evaluation cache.
+
+        ``pairs`` is the kernel's serialised ``(path, starts)`` decision
+        list (``None`` = infeasible) — the exact shape imported documents
+        parse to, so the cached outcome materialises, exports and costs
+        bit-identically to a :meth:`_evaluate_groups` computation of the
+        same key.  A kernel evaluation *is* a computed evaluation, so it
+        counts as an ``evaluation_miss`` (and as a ``screen_miss``, its
+        screening-layer attribution).
+        """
+        self._counters["evaluation_misses"] += 1
+        self._counters["screen_misses"] += 1
+        outcome = None if pairs is None else _GroupOutcome(
+            doc=pairs,
+            plan=bundle.group_plans[group_id],
+            size=self.params.slot_table_size,
+        )
+        evals = self._group_evals
+        evals[(id(bundle), id(topology), group_id, projection)] = (
+            bundle, topology, outcome,
+        )
+        if len(evals) > self._EVAL_CACHE_SIZE:
+            evals.popitem(last=False)
+        return outcome
+
     @staticmethod
     def _walk_outcomes(
         bundle: _RequirementBundle,
@@ -788,6 +889,16 @@ class MappingEngine:
             state (:meth:`import_results` / :meth:`import_evaluations` /
             an attached :class:`~repro.jobs.store.EngineStateStore`)
             rather than computed earlier in this process.
+        ``screen_hits`` / ``screen_misses``
+            Traffic of the batched candidate screen (:meth:`screener`):
+            group projections answered from a screen's run-local memo /
+            computed by its vectorised kernel.  Every ``screen_miss`` is
+            also counted as an ``evaluation_miss`` (the kernel evaluation
+            *is* the computation, admitted to the evaluation cache);
+            projections a screen recalls from the caches above count as
+            ``evaluation_hits`` like any other recall.  A refinement run
+            that used screening at all reports ``screen_hits +
+            screen_misses > 0``.
 
         Counters are cumulative since engine construction and shared with
         :meth:`with_params` siblings, so a frequency search's probes report

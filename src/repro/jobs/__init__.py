@@ -18,10 +18,11 @@ what lets interactive sessions, sweep farms and CI share one vocabulary.
 
 A quick orientation to the moving parts:
 
-* **Specs** (:mod:`repro.jobs.spec`) — six frozen job kinds
+* **Specs** (:mod:`repro.jobs.spec`) — seven frozen job kinds
   (:class:`DesignFlowJob`, :class:`WorstCaseJob`, :class:`RefineJob`,
-  :class:`FrequencyJob`, :class:`SweepJob`, :class:`RepairJob`), each
-  JSON-round-tripping and content-hashed (:func:`job_hash`).
+  :class:`PortfolioRefineJob`, :class:`FrequencyJob`, :class:`SweepJob`,
+  :class:`RepairJob`), each JSON-round-tripping and content-hashed
+  (:func:`job_hash`).
 * **Runner** (:mod:`repro.jobs.runner`) — :class:`JobRunner` executes specs
   serially or over a process pool, bit-identically, and returns
   :class:`JobResult` envelopes.
@@ -46,6 +47,7 @@ from repro.jobs.spec import (
     DesignFlowJob,
     FrequencyJob,
     JobSpec,
+    PortfolioRefineJob,
     RefineJob,
     RepairJob,
     SweepJob,
@@ -63,6 +65,7 @@ __all__ = [
     "DesignFlowJob",
     "WorstCaseJob",
     "RefineJob",
+    "PortfolioRefineJob",
     "FrequencyJob",
     "SweepJob",
     "RepairJob",

@@ -133,6 +133,41 @@ def build_parser() -> argparse.ArgumentParser:
     worst.add_argument("design_file", metavar="DESIGN.json")
     _add_common_options(worst)
 
+    refine = commands.add_parser(
+        "refine", help="map a design and refine its placement, optionally "
+                       "with a portfolio of chains",
+        description="Unified mapping followed by annealing/tabu refinement. "
+                    "--chains N (N >= 2) runs a portfolio of N diversified "
+                    "chains sharing one engine-state store and keeps the "
+                    "deterministic best-of.",
+    )
+    refine.add_argument("design_file", nargs="?", default=None, metavar="DESIGN.json",
+                        help="use-case-set file to refine")
+    refine.add_argument(
+        "--spread", type=int, default=None, metavar="N",
+        help="generate a spread benchmark with N use cases instead of "
+             "reading a design file",
+    )
+    refine.add_argument("--design-seed", type=int, default=3, metavar="S",
+                        help="generator seed for --spread (default: 3)")
+    refine.add_argument("--method", choices=("annealing", "tabu"),
+                        default="annealing")
+    refine.add_argument("--iterations", type=int, default=200, metavar="N",
+                        help="refinement iterations per chain (default: 200)")
+    refine.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="refinement seed; chain i refines with seed+i")
+    refine.add_argument(
+        "--chains", type=int, default=1, metavar="N",
+        help="refinement chains (default: 1 = a plain refine job; the "
+             "1-chain portfolio payload is bit-identical to it)",
+    )
+    refine.add_argument(
+        "--chain-workers", type=int, default=0, metavar="N",
+        help="process-pool workers for the portfolio's chains "
+             "(default: 0, chains run serially; payloads are identical)",
+    )
+    _add_common_options(refine)
+
     failures = commands.add_parser(
         "failures", help="failure-sweep analysis of a design's baseline mapping",
         description="Repair the baseline mapping around single link/switch "
@@ -239,6 +274,14 @@ def _print_result(result, index: int, total: int) -> None:
         print(f"    refinement: cost {payload['initial_cost']:.4g} -> "
               f"{payload['refined_cost']:.4g} "
               f"({payload['accepted_moves']} accepted moves)")
+    if "portfolio" in payload:
+        portfolio = payload["portfolio"]
+        costs = ", ".join(
+            f"{entry['refined_cost']:.4g}" if entry.get("mapped") else "failed"
+            for entry in portfolio["chain_results"]
+        )
+        print(f"    portfolio: best of {portfolio['chains']} chain(s) = "
+              f"chain {portfolio['best_chain']}  [{costs}]")
     if "repair" in payload:
         repair = payload["repair"]
         print(f"    repair: {repair['failures']}  "
@@ -327,6 +370,40 @@ def _command_worst_case(args) -> int:
     from repro.jobs.spec import UseCaseSource, WorstCaseJob
 
     job = WorstCaseJob(use_cases=UseCaseSource(path=args.design_file))
+    return _run_jobs([job], args)
+
+
+def _command_refine(args) -> int:
+    from repro.jobs.spec import PortfolioRefineJob, RefineJob, UseCaseSource
+
+    if (args.design_file is None) == (args.spread is None):
+        print("error: refine needs a DESIGN.json file or --spread N (not both)",
+              file=sys.stderr)
+        return 1
+    if args.design_file is not None:
+        source = UseCaseSource(path=args.design_file)
+    else:
+        source = UseCaseSource(generator={
+            "kind": "spread",
+            "use_case_count": args.spread,
+            "seed": args.design_seed,
+        })
+    if args.chains > 1:
+        job = PortfolioRefineJob(
+            use_cases=source,
+            method=args.method,
+            iterations=args.iterations,
+            seed=args.seed,
+            chains=args.chains,
+            workers=args.chain_workers,
+        )
+    else:
+        job = RefineJob(
+            use_cases=source,
+            method=args.method,
+            iterations=args.iterations,
+            seed=args.seed,
+        )
     return _run_jobs([job], args)
 
 
@@ -495,6 +572,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "worst-case": _command_worst_case,
+        "refine": _command_refine,
         "failures": _command_failures,
         "serve": _command_serve,
     }

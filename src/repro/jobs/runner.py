@@ -47,6 +47,7 @@ from repro.jobs.spec import (
     DesignFlowJob,
     FrequencyJob,
     JobSpec,
+    PortfolioRefineJob,
     RefineJob,
     RepairJob,
     SweepJob,
@@ -169,6 +170,11 @@ def _execute_refine(job: RefineJob, engine: MappingEngine) -> Dict:
         return _failure_payload(exc)
     if job.method == "tabu":
         refiner = TabuRefiner(iterations=job.iterations, seed=job.seed)
+    elif job.initial_temperature is not None:
+        refiner = AnnealingRefiner(
+            iterations=job.iterations, seed=job.seed,
+            initial_temperature=job.initial_temperature,
+        )
     else:
         refiner = AnnealingRefiner(iterations=job.iterations, seed=job.seed)
     refinement = refiner.refine(initial, use_cases, groups=groups, engine=engine)
@@ -183,6 +189,88 @@ def _execute_refine(job: RefineJob, engine: MappingEngine) -> Dict:
             "accepted_moves": refinement.accepted_moves,
         }
     )
+    return payload
+
+
+def _execute_portfolio(job: "PortfolioRefineJob", engine: MappingEngine) -> Dict:
+    """Run a portfolio of refinement chains and reduce to the best.
+
+    The initial mapping is computed once on the enveloping engine and
+    ingested into the shared engine-state store (the runner-attached store
+    when there is one, a throwaway directory otherwise); every chain —
+    expressed as a plain :class:`RefineJob` and executed through
+    :func:`execute_job`, serially or over a process pool — reads it (and
+    each other's candidate evaluations) from there instead of recomputing.
+    Chain payloads are pure functions of their derived specs, so the
+    best-of reduction is reproducible for a fixed (seed, chains) pair no
+    matter how the chains were scheduled.  The chains' engine counters are
+    folded into the enveloping engine's, so the envelope's
+    ``stats["engine"]`` accounts for the whole portfolio's traffic.
+    """
+    import tempfile
+
+    from repro.optimize.portfolio import chain_refine_jobs, chain_summary, reduce_best
+
+    use_cases = job.use_cases.build()
+    groups = None if job.groups is None else [list(group) for group in job.groups]
+    try:
+        engine.map(use_cases, groups=groups)
+    except MappingError as exc:
+        return _failure_payload(exc)
+    chains = chain_refine_jobs(job)
+    scratch = None
+    if engine._store is not None:
+        store = engine._store
+    else:
+        from repro.jobs.store import EngineStateStore
+
+        scratch = tempfile.TemporaryDirectory(prefix="repro-portfolio-")
+        store = EngineStateStore(scratch.name)
+    try:
+        # Seed the shared store with the initial mapping (and anything else
+        # this engine already computed) before any chain starts.
+        store.ingest(engine.export_results(), engine.export_evaluations())
+        store_path = str(store.directory)
+        work = [(chain, job_hash(chain)) for chain in chains]
+        if job.workers and job.workers >= 2:
+            documents = [(job_to_dict(chain), spec_hash) for chain, spec_hash in work]
+            with ProcessPoolExecutor(
+                max_workers=min(job.workers, len(documents)),
+                initializer=_init_worker,
+                initargs=(False, store_path),
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_document, document, spec_hash)
+                    for document, spec_hash in documents
+                ]
+                chain_results = [
+                    JobResult.from_dict(future.result()) for future in futures
+                ]
+        else:
+            chain_results = [
+                execute_job(chain, spec_hash,
+                            export_engine=False, store_path=store_path)
+                for chain, spec_hash in work
+            ]
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    for result in chain_results:
+        chain_counters = result.stats.get("engine", {})
+        for counter in engine._counters:
+            engine._counters[counter] += int(chain_counters.get(counter, 0))
+    payloads = [result.payload for result in chain_results]
+    best_index = reduce_best(payloads)
+    payload = dict(payloads[best_index])
+    payload["portfolio"] = {
+        "chains": job.chains,
+        "method": job.method,
+        "best_chain": best_index,
+        "chain_results": [
+            chain_summary(chain, chain_payload)
+            for chain, chain_payload in zip(chains, payloads)
+        ],
+    }
     return payload
 
 
@@ -303,6 +391,7 @@ _EXECUTORS: Dict[str, Callable[[JobSpec, MappingEngine], Dict]] = {
     DesignFlowJob.KIND: _execute_design_flow,
     WorstCaseJob.KIND: _execute_worst_case,
     RefineJob.KIND: _execute_refine,
+    PortfolioRefineJob.KIND: _execute_portfolio,
     FrequencyJob.KIND: _execute_frequency,
     SweepJob.KIND: _execute_sweep,
     RepairJob.KIND: _execute_repair,

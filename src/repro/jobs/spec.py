@@ -17,7 +17,7 @@ point, the mapper configuration and the job-specific knobs.  Jobs
   (``DesignFlow``, the worst-case baseline, the refiners, the frequency
   search, the analysis sweeps).
 
-The six kinds cover the paper's evaluation surface plus failure recovery:
+The seven kinds cover the paper's evaluation surface plus failure recovery:
 
 ========================  ====================================================
 kind                      computation
@@ -25,6 +25,9 @@ kind                      computation
 ``design_flow``           phases 1-4 of the methodology on one design
 ``worst_case``            the WC baseline mapping of one design
 ``refine``                unified mapping + annealing/tabu refinement
+``portfolio_refine``      N diversified refinement chains sharing one
+                          engine-state store, reduced to a deterministic
+                          best-of (:mod:`repro.optimize.portfolio`)
 ``frequency``             minimum-frequency search over the grid
 ``sweep``                 one of the figure/ablation studies in
                           :mod:`repro.analysis.sweeps`
@@ -57,6 +60,7 @@ __all__ = [
     "DesignFlowJob",
     "WorstCaseJob",
     "RefineJob",
+    "PortfolioRefineJob",
     "FrequencyJob",
     "SweepJob",
     "RepairJob",
@@ -303,12 +307,96 @@ class RefineJob:
     iterations: int = 200
     seed: int = 0
     groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    #: override the annealing schedule's starting temperature (``None`` =
+    #: the refiner default); portfolio chains use this to diversify
+    initial_temperature: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("annealing", "tabu"):
             raise SpecificationError(
                 f"unknown refinement method {self.method!r}; expected 'annealing' or 'tabu'"
             )
+        if self.initial_temperature is not None:
+            if self.method != "annealing":
+                raise SpecificationError(
+                    "initial_temperature only applies to the 'annealing' method"
+                )
+            if self.initial_temperature <= 0:
+                raise SpecificationError("initial_temperature must be positive")
+
+    def to_dict(self) -> Dict:
+        document = {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "method": self.method,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "groups": None if self.groups is None else [list(g) for g in self.groups],
+        }
+        # Omitted when unset so pre-existing refine documents (and their
+        # content hashes — the persistent cache keys) are unchanged.
+        if self.initial_temperature is not None:
+            document["initial_temperature"] = self.initial_temperature
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "RefineJob":
+        temperature = document.get("initial_temperature")
+        return cls(
+            use_cases=_parse_source(document),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            method=document.get("method", "annealing"),
+            iterations=int(document.get("iterations", 200)),
+            seed=int(document.get("seed", 0)),
+            groups=_parse_groups(document.get("groups")),
+            initial_temperature=None if temperature is None else float(temperature),
+        )
+
+
+@dataclass(frozen=True)
+class PortfolioRefineJob:
+    """Unified mapping + a portfolio of diversified refinement chains.
+
+    Runs ``chains`` refinement chains over the same design — chain ``i``
+    refines with ``seed + i`` and, for annealing, a starting temperature
+    scaled by ``temperature_factor^i`` (chain 0 keeps the refiner
+    defaults) — and keeps the deterministic best-of
+    (:mod:`repro.optimize.portfolio`).  All chains share one engine-state
+    store, so the initial mapping is computed once and candidate
+    evaluations flow between chains.  ``workers >= 2`` fans the chains
+    out over a process pool; the payload is identical either way, and a
+    1-chain portfolio is bit-identical to the equivalent
+    :class:`RefineJob`.
+    """
+
+    KIND = "portfolio_refine"
+
+    use_cases: UseCaseSource
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    method: str = "annealing"
+    iterations: int = 200
+    seed: int = 0
+    chains: int = 4
+    temperature_factor: float = 1.6
+    #: process-pool workers for the chains (0/1 = run them serially)
+    workers: int = 0
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("annealing", "tabu"):
+            raise SpecificationError(
+                f"unknown refinement method {self.method!r}; expected 'annealing' or 'tabu'"
+            )
+        if self.chains < 1:
+            raise SpecificationError("a portfolio needs at least one chain")
+        if self.temperature_factor <= 0:
+            raise SpecificationError("temperature_factor must be positive")
+        if self.workers < 0:
+            raise SpecificationError("workers must be non-negative")
 
     def to_dict(self) -> Dict:
         return {
@@ -319,11 +407,14 @@ class RefineJob:
             "method": self.method,
             "iterations": self.iterations,
             "seed": self.seed,
+            "chains": self.chains,
+            "temperature_factor": self.temperature_factor,
+            "workers": self.workers,
             "groups": None if self.groups is None else [list(g) for g in self.groups],
         }
 
     @classmethod
-    def from_dict(cls, document: Dict) -> "RefineJob":
+    def from_dict(cls, document: Dict) -> "PortfolioRefineJob":
         return cls(
             use_cases=_parse_source(document),
             params=_parse_params(document),
@@ -331,6 +422,9 @@ class RefineJob:
             method=document.get("method", "annealing"),
             iterations=int(document.get("iterations", 200)),
             seed=int(document.get("seed", 0)),
+            chains=int(document.get("chains", 4)),
+            temperature_factor=float(document.get("temperature_factor", 1.6)),
+            workers=int(document.get("workers", 0)),
             groups=_parse_groups(document.get("groups")),
         )
 
@@ -531,12 +625,18 @@ class RepairJob:
         )
 
 
-JobSpec = Union[DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob, RepairJob]
+JobSpec = Union[
+    DesignFlowJob, WorstCaseJob, RefineJob, PortfolioRefineJob,
+    FrequencyJob, SweepJob, RepairJob,
+]
 
 #: kind string -> job class (the registry :func:`job_from_dict` dispatches on)
 JOB_KINDS: Dict[str, type] = {
     cls.KIND: cls
-    for cls in (DesignFlowJob, WorstCaseJob, RefineJob, FrequencyJob, SweepJob, RepairJob)
+    for cls in (
+        DesignFlowJob, WorstCaseJob, RefineJob, PortfolioRefineJob,
+        FrequencyJob, SweepJob, RepairJob,
+    )
 }
 
 

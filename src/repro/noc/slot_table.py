@@ -37,6 +37,7 @@ __all__ = [
     "slots_needed_cached",
     "find_pipelined_slots",
     "pipelined_free_mask",
+    "hop_mask_matrix",
     "lowest_set_bits",
     "rotated_start_slots",
 ]
@@ -90,7 +91,15 @@ class SlotTable:
     owner list exists only for bookkeeping and release validation.
     """
 
-    __slots__ = ("_size", "_full_mask", "_free_mask", "_owner")
+    __slots__ = (
+        "_size",
+        "_full_mask",
+        "_free_mask",
+        "_owner",
+        "_generation",
+        "_free_slots_memo",
+        "_owned_memo",
+    )
 
     def __init__(self, size: int) -> None:
         if size <= 0:
@@ -99,6 +108,12 @@ class SlotTable:
         self._full_mask = (1 << size) - 1
         self._free_mask = self._full_mask
         self._owner: List[Optional[str]] = [None] * size
+        # Mutation counter; the tuple views below memoise against it so the
+        # refiner/screening loops can call them repeatedly without
+        # re-materialising identical tuples (see free_slots/slots_owned_by).
+        self._generation = 0
+        self._free_slots_memo: Optional[Tuple[int, Tuple[int, ...]]] = None
+        self._owned_memo: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
 
     @property
     def size(self) -> int:
@@ -109,6 +124,11 @@ class SlotTable:
     def free_mask(self) -> int:
         """Bitmask of the free set: bit ``s`` is set when slot ``s`` is free."""
         return self._free_mask
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every mutation; keys the memoised tuple views."""
+        return self._generation
 
     @property
     def free_count(self) -> int:
@@ -136,12 +156,33 @@ class SlotTable:
         return self._owner[slot]
 
     def free_slots(self) -> Tuple[int, ...]:
-        """Indices of all free slots, ascending."""
-        return _mask_to_slots(self._free_mask)
+        """Indices of all free slots, ascending.
+
+        Memoised against the mutation generation: repeated calls between
+        mutations return the same tuple object instead of rebuilding it —
+        the refiner loops interrogate unchanged tables constantly.
+        """
+        memo = self._free_slots_memo
+        if memo is not None and memo[0] == self._generation:
+            return memo[1]
+        slots = _mask_to_slots(self._free_mask)
+        self._free_slots_memo = (self._generation, slots)
+        return slots
 
     def slots_owned_by(self, flow_id: str) -> Tuple[int, ...]:
-        """Indices of all slots owned by the given flow, ascending."""
-        return tuple(idx for idx, owner in enumerate(self._owner) if owner == flow_id)
+        """Indices of all slots owned by the given flow, ascending.
+
+        Memoised per flow against the mutation generation (stale entries are
+        refreshed lazily on the next lookup after a mutation).
+        """
+        memo = self._owned_memo.get(flow_id)
+        if memo is not None and memo[0] == self._generation:
+            return memo[1]
+        slots = tuple(idx for idx, owner in enumerate(self._owner) if owner == flow_id)
+        if len(self._owned_memo) >= 4 * self._size:
+            self._owned_memo.clear()
+        self._owned_memo[flow_id] = (self._generation, slots)
+        return slots
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -168,6 +209,7 @@ class SlotTable:
         self._free_mask &= ~mask
         for slot in requested:
             self._owner[slot] = flow_id
+        self._generation += 1
         return reservation
 
     def _grant(self, flow_id: str, slots: Sequence[int]) -> None:
@@ -183,6 +225,7 @@ class SlotTable:
             mask |= 1 << slot
             owner[slot] = flow_id
         self._free_mask &= ~mask
+        self._generation += 1
 
     def release(self, reservation: SlotReservation) -> None:
         """Release a previously granted reservation.
@@ -203,6 +246,7 @@ class SlotTable:
         self._free_mask |= mask
         for slot in reservation.slots:
             self._owner[slot] = None
+        self._generation += 1
 
     def release_flow(self, flow_id: str) -> int:
         """Release every slot owned by the flow; returns how many were freed."""
@@ -212,12 +256,16 @@ class SlotTable:
                 self._owner[idx] = None
                 self._free_mask |= 1 << idx
                 freed += 1
+        if freed:
+            self._generation += 1
         return freed
 
     def clear(self) -> None:
         """Release every slot."""
         self._owner = [None] * self._size
         self._free_mask = self._full_mask
+        self._generation += 1
+        self._owned_memo.clear()
 
     def copy(self) -> "SlotTable":
         """An independent deep copy of the table."""
@@ -279,6 +327,27 @@ def pipelined_free_mask(masks: Sequence[int], size: int) -> int:
         if not admissible:
             break
     return admissible
+
+
+def hop_mask_matrix(
+    free_masks: Dict[Tuple[int, int], int],
+    paths_links: Sequence[Sequence[Tuple[int, int]]],
+    full_mask: int,
+) -> List[List[int]]:
+    """Per-hop free-mask rows for a batch of candidate paths.
+
+    ``free_masks`` maps a directed link to its current free mask; links
+    absent from the mapping are untouched and default to ``full_mask``.
+    Row ``i`` of the result holds the free masks of path ``i``'s links in
+    hop order — the matrix shape consumed by the batched rotate-and-AND
+    admissibility screen (:mod:`repro.optimize.screen`), whose backends
+    reduce each row to the admissible starting-slot mask that
+    :func:`pipelined_free_mask` would compute link by link.
+    """
+    return [
+        [free_masks.get(link, full_mask) for link in links]
+        for links in paths_links
+    ]
 
 
 def rotated_start_slots(starts: Tuple[int, ...], shift: int, size: int) -> Tuple[int, ...]:

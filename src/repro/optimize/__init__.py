@@ -11,9 +11,29 @@ Both keep the topology fixed (the mapper already found the smallest feasible
 one) and minimise the total communication cost — the sum over all use-cases
 and flows of bandwidth × hop count — which is the first-order proxy for NoC
 power.
+
+Two layers scale the search up without changing any decision it makes:
+
+* :mod:`repro.optimize.screen` — batched candidate screening: both
+  refiners evaluate neighbour placements through a
+  :class:`~repro.optimize.screen.CandidateScreen` that replays the scalar
+  evaluation bit-identically on lazy per-group state, vectorising slot
+  admissibility over hop-mask matrices (numpy when importable, packed
+  ints otherwise).
+* :mod:`repro.optimize.portfolio` — a portfolio of refinement chains with
+  distinct seeds/temperatures sharing one engine-state store, reduced to
+  a deterministic best-of.
 """
 
 from repro.optimize.annealing import AnnealingRefiner, RefinementResult, refine_mapping
+from repro.optimize.screen import CandidateScreen, ScreenedCandidate
 from repro.optimize.tabu import TabuRefiner
 
-__all__ = ["AnnealingRefiner", "TabuRefiner", "RefinementResult", "refine_mapping"]
+__all__ = [
+    "AnnealingRefiner",
+    "TabuRefiner",
+    "RefinementResult",
+    "refine_mapping",
+    "CandidateScreen",
+    "ScreenedCandidate",
+]

@@ -29,7 +29,17 @@ from repro.core.result import MappingResult
 from repro.core.usecase import UseCaseSet
 from repro.exceptions import ConfigurationError, MappingError
 
-__all__ = ["RefinementResult", "AnnealingRefiner", "refine_mapping", "communication_cost"]
+__all__ = [
+    "RefinementResult",
+    "AnnealingRefiner",
+    "refine_mapping",
+    "communication_cost",
+    "DEFAULT_INITIAL_TEMPERATURE",
+]
+
+#: the annealing schedule's default starting temperature; portfolio chains
+#: scale this by a per-chain factor to diversify their acceptance behaviour
+DEFAULT_INITIAL_TEMPERATURE = 0.08
 
 
 def communication_cost(result: MappingResult) -> float:
@@ -67,9 +77,10 @@ class AnnealingRefiner:
     def __init__(
         self,
         iterations: int = 200,
-        initial_temperature: float = 0.08,
+        initial_temperature: float = DEFAULT_INITIAL_TEMPERATURE,
         cooling: float = 0.97,
         seed: int = 0,
+        screen: bool = True,
     ) -> None:
         if iterations < 0:
             raise ConfigurationError("iterations must be non-negative")
@@ -79,6 +90,10 @@ class AnnealingRefiner:
         self.initial_temperature = initial_temperature
         self.cooling = cooling
         self.seed = seed
+        #: evaluate candidates through the engine's batched candidate
+        #: screen (bit-identical to the scalar path; ``False`` keeps the
+        #: historical placement_cost walk for equivalence testing)
+        self.screen = screen
 
     def refine(
         self,
@@ -95,6 +110,20 @@ class AnnealingRefiner:
         # candidate below re-evaluates the same compiled spec on the same
         # topology through the engine's requirement and evaluation caches.
         spec = engine.compile(use_cases)
+        # Cost-only candidate evaluation: the walk tracks placements and
+        # costs alone, and only the single best placement is materialised
+        # into a full result after the loop (the evaluation cache makes
+        # that final call assembly-only).  Results are pure functions of
+        # the placement, so this is decision-for-decision identical to
+        # materialising every accepted move.  The candidate screen answers
+        # the same costs through the same cache hierarchy without copying
+        # a ResourceState per candidate, returning None exactly where
+        # placement_cost raises MappingError.
+        candidate_screen = (
+            engine.screener(spec, result.topology, groups=group_spec)
+            if self.screen
+            else None
+        )
         current_placement = result.core_mapping
         current_cost = communication_cost(result)
         best_placement: Optional[Dict[str, int]] = None  # None = the initial
@@ -108,19 +137,19 @@ class AnnealingRefiner:
             if placement is None:
                 temperature *= self.cooling
                 continue
-            try:
-                # Cost-only evaluation: the walk tracks placements and costs
-                # alone, and only the single best placement is materialised
-                # into a full result after the loop (the evaluation cache
-                # makes that final call assembly-only).  Results are pure
-                # functions of the placement, so this is decision-for-
-                # decision identical to materialising every accepted move.
-                candidate_cost = engine.placement_cost(
-                    spec, result.topology, placement, groups=group_spec,
-                )
-            except MappingError:
-                temperature *= self.cooling
-                continue
+            if candidate_screen is not None:
+                candidate_cost = candidate_screen.cost(placement)
+                if candidate_cost is None:
+                    temperature *= self.cooling
+                    continue
+            else:
+                try:
+                    candidate_cost = engine.placement_cost(
+                        spec, result.topology, placement, groups=group_spec,
+                    )
+                except MappingError:
+                    temperature *= self.cooling
+                    continue
             delta = (candidate_cost - current_cost) / max(current_cost, 1e-9)
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
                 current_placement, current_cost = placement, candidate_cost

@@ -34,6 +34,7 @@ class TabuRefiner:
         neighbours_per_iteration: int = 8,
         tabu_tenure: int = 10,
         seed: int = 0,
+        screen: bool = True,
     ) -> None:
         if iterations < 0 or neighbours_per_iteration <= 0 or tabu_tenure < 0:
             raise ConfigurationError("invalid tabu search configuration")
@@ -41,6 +42,11 @@ class TabuRefiner:
         self.neighbours_per_iteration = neighbours_per_iteration
         self.tabu_tenure = tabu_tenure
         self.seed = seed
+        #: batch-screen each iteration's neighbour sample and skip
+        #: candidates whose cost lower bound proves they cannot win the
+        #: iteration (winner selection, tabu list and payload are
+        #: bit-identical; ``False`` keeps the historical walk)
+        self.screen = screen
 
     def refine(
         self,
@@ -56,6 +62,20 @@ class TabuRefiner:
         # Compiling validates (and freezes) the specification once; candidate
         # evaluations share the engine's requirement and evaluation caches.
         spec = engine.compile(use_cases)
+        # Cost-only evaluation per sampled neighbour; the search walks
+        # placements and costs alone, and only the single best placement is
+        # materialised into a full result after the loop (assembly-only
+        # thanks to the evaluation cache; results are pure functions of the
+        # placement, so decisions are unchanged).  With screening on, each
+        # iteration's whole sample is screened at once and candidates whose
+        # cost lower bound already exceeds the iteration's running winner
+        # are skipped without an exact evaluation — the winner, the tabu
+        # list and every accepted cost are bit-identical either way.
+        candidate_screen = (
+            engine.screener(spec, result.topology, groups=group_spec)
+            if self.screen
+            else None
+        )
         cores = sorted(result.core_mapping)
 
         current_placement = result.core_mapping
@@ -68,31 +88,35 @@ class TabuRefiner:
         for _ in range(self.iterations):
             if len(cores) < 2:
                 break
-            candidates: List[Tuple[float, Dict[str, int], Tuple[str, str]]] = []
-            for _ in range(self.neighbours_per_iteration):
-                first, second = rng.sample(cores, 2)
-                move = tuple(sorted((first, second)))
-                if move in tabu:
+            if candidate_screen is not None:
+                winner = self._screened_iteration(
+                    candidate_screen, current_placement, cores, tabu, rng
+                )
+                if winner is None:
                     continue
-                placement = dict(current_placement)
-                placement[first], placement[second] = placement[second], placement[first]
-                try:
-                    # Cost-only evaluation per sampled neighbour; the search
-                    # walks placements and costs alone, and only the single
-                    # best placement is materialised into a full result
-                    # after the loop (assembly-only thanks to the
-                    # evaluation cache; results are pure functions of the
-                    # placement, so decisions are unchanged).
-                    cost = engine.placement_cost(
-                        spec, result.topology, placement, groups=group_spec,
+                cost, placement, move = winner
+            else:
+                candidates: List[Tuple[float, Dict[str, int], Tuple[str, str]]] = []
+                for _ in range(self.neighbours_per_iteration):
+                    first, second = rng.sample(cores, 2)
+                    move = tuple(sorted((first, second)))
+                    if move in tabu:
+                        continue
+                    placement = dict(current_placement)
+                    placement[first], placement[second] = (
+                        placement[second], placement[first],
                     )
-                except MappingError:
+                    try:
+                        cost = engine.placement_cost(
+                            spec, result.topology, placement, groups=group_spec,
+                        )
+                    except MappingError:
+                        continue
+                    candidates.append((cost, placement, move))
+                if not candidates:
                     continue
-                candidates.append((cost, placement, move))
-            if not candidates:
-                continue
-            candidates.sort(key=lambda item: item[0])
-            cost, placement, move = candidates[0]
+                candidates.sort(key=lambda item: item[0])
+                cost, placement, move = candidates[0]
             current_placement, current_cost = placement, cost
             tabu.append(move)
             accepted += 1
@@ -113,3 +137,60 @@ class TabuRefiner:
             iterations=self.iterations,
             accepted_moves=accepted,
         )
+
+    def _screened_iteration(
+        self,
+        candidate_screen,
+        current_placement: Dict[str, int],
+        cores: List[str],
+        tabu,
+        rng: random.Random,
+    ) -> Optional[Tuple[float, Dict[str, int], Tuple[str, str]]]:
+        """One tabu iteration through the batched candidate screen.
+
+        Samples the iteration's neighbours first (consuming the rng stream
+        exactly as the scalar walk does — the tabu check precedes any
+        evaluation there too), batch-screens them, then evaluates in sample
+        order keeping a running strict-``<`` minimum — the same winner a
+        stable sort by cost selects.  A candidate is skipped without exact
+        evaluation only when screening proves it cannot win: its projection
+        is a known infeasibility, or its cost lower bound exceeds the
+        running winner beyond any float-accumulation noise (the relative
+        ``PRUNE_MARGIN``; a feasible candidate's exact cost is never below
+        its lower bound by more than that).  Returns the winning
+        ``(cost, placement, move)``, or ``None`` when every sampled move
+        was tabu or infeasible — the scalar walk's empty-candidates case.
+        """
+        from repro.optimize.screen import PRUNE_MARGIN
+
+        sampled: List[Tuple[Dict[str, int], Tuple[str, str]]] = []
+        for _ in range(self.neighbours_per_iteration):
+            first, second = rng.sample(cores, 2)
+            move = tuple(sorted((first, second)))
+            if move in tabu:
+                continue
+            placement = dict(current_placement)
+            placement[first], placement[second] = (
+                placement[second], placement[first],
+            )
+            sampled.append((placement, move))
+        reports = candidate_screen.screen(
+            [placement for placement, _move in sampled]
+        )
+        winner: Optional[Tuple[float, Dict[str, int], Tuple[str, str]]] = None
+        for (placement, move), report in zip(sampled, reports):
+            if not report.admissible:
+                continue
+            if (
+                winner is not None
+                and report.lower_bound > winner[0] + PRUNE_MARGIN * abs(winner[0])
+            ):
+                continue  # provably cannot beat the running winner
+            cost = report.cost
+            if cost is None:
+                cost = candidate_screen.cost(placement)
+                if cost is None:
+                    continue
+            if winner is None or cost < winner[0]:
+                winner = (cost, placement, move)
+        return winner

@@ -57,6 +57,8 @@ def test_workloads_cover_the_reference_designs():
         "spread_40uc",
         "refine_spread10_annealing",
         "refine_spread10_warm",
+        "refine_spread40",
+        "spread_mesh8x8",
         "repair_single_link",
     }
 

@@ -21,6 +21,7 @@ from repro import (
     JobRunner,
     MapperConfig,
     NoCParameters,
+    PortfolioRefineJob,
     RefineJob,
     SweepJob,
     UnifiedMapper,
@@ -73,6 +74,10 @@ def every_job_kind():
         ),
         WorstCaseJob(use_cases=SPREAD10, params=params, config=config),
         RefineJob(use_cases=SPREAD10, method="tabu", iterations=13, seed=5),
+        RefineJob(use_cases=SPREAD10, iterations=9, seed=2,
+                  initial_temperature=0.25),
+        PortfolioRefineJob(use_cases=SPREAD10, method="tabu", iterations=7,
+                           seed=4, chains=3, temperature_factor=2.0, workers=2),
         FrequencyJob(
             use_cases=SPREAD10,
             max_switches=9,
