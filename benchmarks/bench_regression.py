@@ -33,7 +33,17 @@ median is recorded for reporting):
   portfolio keeps finding better placements),
 * ``spread_mesh8x8`` — mapping plus screened refinement of a 100-use-case
   design forced onto an 8x8 mesh, gating the big-mesh path the vectorized
-  screen exists for (64 switches, 112 links, thousands of minimal paths).
+  screen exists for (64 switches, 112 links, thousands of minimal paths),
+* ``campaign_mesh8x8`` — one cold end-to-end campaign
+  (:mod:`repro.campaign`) over the ``mesh8x8_bottleneck100`` recipe
+  (100 use-cases, 48 cores, forced 8x8 mesh): expansion, cell execution
+  through the job fabric, settlement and reduction into ``report.json`` /
+  ``trajectory.jsonl``, gating the campaign layer's overhead on top of the
+  underlying mapping work.
+
+Recorded baselines carry a ``__meta__`` entry (python version, platform,
+git commit) so a committed ``BENCH_mapper.json`` says where its numbers
+came from; :func:`compare` ignores it.
 
 Usage::
 
@@ -321,6 +331,57 @@ def _mesh8x8_workload(build, iterations, neighbours):
     return prepare, run
 
 
+def _campaign_workload(recipe, iterations):
+    """One cold campaign run over a recipe workload, end to end.
+
+    Each timed run executes into a fresh directory (no settled cells, cold
+    job cache), so the measurement covers the full campaign path: matrix
+    expansion, job hashing, execution, per-cell settlement and the
+    reduction into ``report.json``/``trajectory.jsonl``.  The result shim
+    carries the single cell's topology/switch-count so the baseline
+    comparison still pins the mapping outcome.
+    """
+    import tempfile
+    from types import SimpleNamespace
+
+    from repro.campaign import CampaignRunner, CampaignSpec
+
+    def prepare():
+        spec = CampaignSpec.from_dict({
+            "name": "bench-mesh8x8",
+            "workloads": [{"recipe": recipe}],
+            "methods": [{
+                "label": "tabu",
+                "kind": "refine",
+                "knobs": {"method": "tabu", "iterations": iterations},
+            }],
+        })
+        with tempfile.TemporaryDirectory(prefix="bench-campaign-") as scratch:
+            CampaignRunner(scratch).run(spec)  # warm-up (imports, process caches)
+        return spec
+
+    def run(spec):
+        with tempfile.TemporaryDirectory(prefix="bench-campaign-") as scratch:
+            start = time.perf_counter()
+            summary = CampaignRunner(scratch).run(spec)
+            elapsed = time.perf_counter() - start
+            report = json.loads(Path(summary["report"]).read_text())
+        assert summary["executed"] == summary["cells"], summary
+        outcome = report["cells"][0]["outcome"]
+        assert outcome["mapped"], outcome
+        shim = SimpleNamespace(
+            topology=SimpleNamespace(name=outcome["topology"]),
+            switch_count=outcome["switch_count"],
+        )
+        extras = {
+            "cells": summary["cells"],
+            "best_cost": report["best_known"][recipe]["cost"],
+        }
+        return elapsed, shim, extras
+
+    return prepare, run
+
+
 WORKLOADS = {
     "set_top_box_4uc": _mapping_workload(
         lambda: set_top_box_design(use_case_count=4).use_cases
@@ -358,7 +419,32 @@ WORKLOADS = {
         ),
         iterations=2, neighbours=6,
     ),
+    "campaign_mesh8x8": _campaign_workload(
+        "mesh8x8_bottleneck100", iterations=2,
+    ),
 }
+
+
+def bench_metadata() -> dict:
+    """Provenance of a recorded baseline: interpreter, platform, commit."""
+    import platform
+    import subprocess
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_commit": commit,
+    }
 
 
 def run_workloads(repeats: int) -> dict:
@@ -394,6 +480,8 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
     """List of human-readable regression messages (empty when clean)."""
     failures = []
     for name, expected in baseline.items():
+        if name == "__meta__":  # provenance, not a workload
+            continue
         measured = current.get(name)
         if measured is None:
             failures.append(f"{name}: missing from current run")
@@ -440,7 +528,8 @@ def main(argv=None) -> int:
 
     current = run_workloads(args.repeats)
     if args.output is not None:
-        args.output.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        recorded = dict(current, __meta__=bench_metadata())
+        args.output.write_text(json.dumps(recorded, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.output}")
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())

@@ -1,0 +1,54 @@
+"""Campaign subsystem: declarative study matrices over the job fabric.
+
+A campaign declares a benchmark study — workloads x methods x parameter
+sets (x seeds) — as frozen, JSON-round-tripping data
+(:class:`~repro.campaign.spec.CampaignSpec`), expands it deterministically
+into ordinary :mod:`repro.jobs` specs, executes the cells resumably
+through the existing runner/cache/engine-state machinery
+(:class:`~repro.campaign.runner.CampaignRunner`), and reduces the settled
+cells into a ranked, byte-deterministic ``report.json`` plus a markdown
+digest and an append-only ``trajectory.jsonl``
+(:mod:`~repro.campaign.report`).
+
+The CLI front door is ``python -m repro campaign run|report|status``.
+"""
+
+from repro.campaign.report import (
+    append_trajectory,
+    build_report,
+    cell_outcome,
+    dump_report,
+    mapping_cost,
+    render_digest,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import (
+    METHOD_KINDS,
+    CampaignCell,
+    CampaignMethod,
+    CampaignSpec,
+    CampaignWorkload,
+    ParameterSet,
+    campaign_hash,
+    load_campaign,
+    save_campaign,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignWorkload",
+    "CampaignMethod",
+    "ParameterSet",
+    "CampaignCell",
+    "CampaignRunner",
+    "METHOD_KINDS",
+    "campaign_hash",
+    "save_campaign",
+    "load_campaign",
+    "build_report",
+    "dump_report",
+    "render_digest",
+    "append_trajectory",
+    "cell_outcome",
+    "mapping_cost",
+]

@@ -1,0 +1,465 @@
+"""Declarative study matrices: the :class:`CampaignSpec` and its expansion.
+
+A *campaign* declares a benchmark study as the cross product of three axes —
+
+* **workloads** — what gets mapped: a named recipe from
+  :mod:`repro.gen.recipes` or an explicit generator document, optionally
+  forced onto a ``(rows, cols)`` mesh, optionally replicated over a list of
+  generator ``seeds``;
+* **methods** — how it gets mapped: the default design flow, the
+  worst-case baseline, annealing/tabu refinement, a portfolio of
+  diversified chains, or repair-under-failures;
+* **parameter sets** — the operating point and mapper configuration
+  overrides each cell runs under.
+
+A campaign is *frozen data*: it round-trips losslessly through JSON
+(:meth:`CampaignSpec.to_dict` / :meth:`CampaignSpec.from_dict` /
+:func:`load_campaign`), hashes stably over its content
+(:func:`campaign_hash` — the key the trajectory history is tracked under),
+and :meth:`CampaignSpec.expand` turns it deterministically into concrete
+:class:`CampaignCell`\\ s, each wrapping one ordinary :mod:`repro.jobs`
+spec.  Because cells are plain jobs, everything the jobs layer already
+guarantees — content-hashed caching, bit-identical parallel execution,
+engine-state warm starts, ``repro serve`` inbox submission — applies to
+campaign cells with no new machinery: the campaign's resumability *is* the
+per-cell :func:`repro.jobs.spec.job_hash`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import (
+    ConfigurationError,
+    SerializationError,
+    SpecificationError,
+)
+from repro.io.serialization import document_fingerprint
+from repro.jobs.spec import (
+    DesignFlowJob,
+    JobSpec,
+    PortfolioRefineJob,
+    RefineJob,
+    RepairJob,
+    UseCaseSource,
+    WorstCaseJob,
+)
+from repro.params import MapperConfig, NoCParameters
+
+__all__ = [
+    "CampaignWorkload",
+    "CampaignMethod",
+    "ParameterSet",
+    "CampaignSpec",
+    "CampaignCell",
+    "METHOD_KINDS",
+    "campaign_hash",
+    "save_campaign",
+    "load_campaign",
+]
+
+
+#: method kinds a campaign cell may use (the mapping-producing job kinds;
+#: analysis sweeps have their own front door and no per-cell cost to rank)
+METHOD_KINDS = ("design_flow", "worst_case", "refine", "portfolio_refine", "repair")
+
+#: method knobs forwarded verbatim to the underlying job constructors
+_METHOD_KNOBS = {
+    "design_flow": ("verify",),
+    "worst_case": (),
+    "refine": ("method", "iterations", "seed", "initial_temperature"),
+    "portfolio_refine": (
+        "method", "iterations", "seed", "chains", "temperature_factor", "workers",
+    ),
+    "repair": ("failures", "compare_full_remap"),
+}
+
+
+def _require(document: Dict, key: str, context: str):
+    try:
+        return document[key]
+    except (KeyError, TypeError):
+        raise SerializationError(
+            f"{context} document is missing its {key!r} field"
+        ) from None
+
+
+def _label_of(document: Dict, context: str) -> str:
+    label = _require(document, "label", context)
+    if not isinstance(label, str) or not label or any(c in label for c in "|/\n"):
+        raise SerializationError(
+            f"{context} label must be a non-empty string without '|', '/' or "
+            f"newlines, got {label!r}"
+        )
+    return label
+
+
+# --------------------------------------------------------------------------- #
+# the three axes
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignWorkload:
+    """One workload axis entry: a generator recipe plus its target mesh.
+
+    Built either from an explicit ``generator`` document (the
+    :func:`repro.gen.synthetic.generate_benchmark` recipe shape) or from a
+    named recipe (``{"recipe": "mesh8x8_spread120"}``), which is resolved
+    at construction so the spec — and its content hash — never depends on
+    registry drift.
+    """
+
+    label: str
+    generator: Dict
+    mesh: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.generator, dict) or "kind" not in self.generator:
+            raise SpecificationError(
+                f"workload {self.label!r} needs a generator document with a "
+                f"'kind' (e.g. 'spread'), got {self.generator!r}"
+            )
+        if self.mesh is not None:
+            rows, cols = self.mesh
+            if rows < 1 or cols < 1:
+                raise SpecificationError(
+                    f"workload {self.label!r} mesh sides must be positive, "
+                    f"got {self.mesh}"
+                )
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "generator": self.generator,
+            "mesh": None if self.mesh is None else list(self.mesh),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "CampaignWorkload":
+        if not isinstance(document, dict):
+            raise SerializationError(
+                f"workload entry must be a mapping, got {type(document).__name__}"
+            )
+        recipe_name = document.get("recipe")
+        if recipe_name is not None:
+            from repro.gen.recipes import workload_recipe
+
+            generator, mesh = workload_recipe(recipe_name)
+            generator.update(document.get("generator", {}))
+            if document.get("mesh") is not None:
+                mesh = tuple(int(side) for side in document["mesh"])
+            return cls(
+                label=document.get("label", recipe_name),
+                generator=generator,
+                mesh=mesh,
+            )
+        mesh = document.get("mesh")
+        return cls(
+            label=_label_of(document, "workload"),
+            generator=_require(document, "generator", "workload"),
+            mesh=None if mesh is None else tuple(int(side) for side in mesh),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignMethod:
+    """One method axis entry: a job kind plus its kind-specific knobs."""
+
+    label: str
+    kind: str = "refine"
+    knobs: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in METHOD_KINDS:
+            raise SpecificationError(
+                f"method {self.label!r}: unknown kind {self.kind!r}; expected "
+                f"one of {list(METHOD_KINDS)}"
+            )
+        allowed = set(_METHOD_KNOBS[self.kind])
+        unknown = set(self.knobs) - allowed
+        if unknown:
+            raise SpecificationError(
+                f"method {self.label!r}: unknown knob(s) {sorted(unknown)} for "
+                f"kind {self.kind!r}; allowed: {sorted(allowed)}"
+            )
+        if self.kind == "repair" and "failures" not in self.knobs:
+            raise SpecificationError(
+                f"method {self.label!r}: repair methods need a 'failures' knob "
+                "(the FailureSet document shape)"
+            )
+
+    def to_dict(self) -> Dict:
+        return {"label": self.label, "kind": self.kind, "knobs": self.knobs}
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "CampaignMethod":
+        if not isinstance(document, dict):
+            raise SerializationError(
+                f"method entry must be a mapping, got {type(document).__name__}"
+            )
+        knobs = document.get("knobs", {})
+        if not isinstance(knobs, dict):
+            raise SerializationError(
+                f"method knobs must be a mapping, got {type(knobs).__name__}"
+            )
+        return cls(
+            label=_label_of(document, "method"),
+            kind=document.get("kind", "refine"),
+            knobs=knobs,
+        )
+
+
+@dataclass(frozen=True)
+class ParameterSet:
+    """One parameter axis entry: operating-point and config overrides.
+
+    ``params``/``config`` are override documents in the
+    :meth:`NoCParameters.to_dict` / :meth:`MapperConfig.to_dict` shapes;
+    they are validated eagerly (a typo should fail at load time, not after
+    an hour of mapping).
+    """
+
+    label: str = "base"
+    params: Dict = field(default_factory=dict)
+    config: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.build_params()
+        self.build_config()
+
+    def build_params(self) -> NoCParameters:
+        try:
+            return NoCParameters.from_dict(self.params)
+        except (TypeError, ValueError, KeyError, ConfigurationError) as exc:
+            raise SpecificationError(
+                f"parameter set {self.label!r}: invalid params: {exc}"
+            ) from exc
+
+    def build_config(self) -> MapperConfig:
+        try:
+            return MapperConfig.from_dict(self.config)
+        except (TypeError, ValueError, KeyError, ConfigurationError) as exc:
+            raise SpecificationError(
+                f"parameter set {self.label!r}: invalid config: {exc}"
+            ) from exc
+
+    def to_dict(self) -> Dict:
+        return {"label": self.label, "params": self.params, "config": self.config}
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "ParameterSet":
+        if not isinstance(document, dict):
+            raise SerializationError(
+                f"parameter-set entry must be a mapping, got {type(document).__name__}"
+            )
+        return cls(
+            label=_label_of(document, "parameter set"),
+            params=document.get("params", {}),
+            config=document.get("config", {}),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# cells
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignCell:
+    """One expanded cell: axis coordinates plus the concrete job to run."""
+
+    workload: str
+    method: str
+    parameter_set: str
+    job: JobSpec
+    #: generator seed override from the campaign's ``seeds`` axis (``None``
+    #: when the campaign runs each workload at its recipe's own seed)
+    seed: Optional[int] = None
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable coordinate: ``workload[@sN]|method|pset``."""
+        workload = self.workload
+        if self.seed is not None:
+            workload = f"{workload}@s{self.seed}"
+        return f"{workload}|{self.method}|{self.parameter_set}"
+
+
+# --------------------------------------------------------------------------- #
+# the campaign
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative study matrix: workloads × methods × parameter sets.
+
+    ``seeds`` optionally replicates every workload once per listed seed
+    (overriding the generator's own): a 2-workload, 3-method, 2-seed
+    campaign expands into 12 cells.  Expansion order is the document order
+    of the axes (workloads outermost, parameter sets innermost), so cell
+    lists — and everything derived from them — are deterministic.
+    """
+
+    name: str
+    workloads: Tuple[CampaignWorkload, ...]
+    methods: Tuple[CampaignMethod, ...]
+    parameter_sets: Tuple[ParameterSet, ...] = (ParameterSet(),)
+    seeds: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecificationError("a campaign needs a non-empty name")
+        for axis, entries in (
+            ("workloads", self.workloads),
+            ("methods", self.methods),
+            ("parameter_sets", self.parameter_sets),
+        ):
+            if not entries:
+                raise SpecificationError(f"campaign {self.name!r}: empty {axis} axis")
+            labels = [entry.label for entry in entries]
+            if len(set(labels)) != len(labels):
+                raise SpecificationError(
+                    f"campaign {self.name!r}: duplicate labels on the {axis} "
+                    f"axis: {labels}"
+                )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise SpecificationError(
+                f"campaign {self.name!r}: duplicate seeds {list(self.seeds)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "workloads": [workload.to_dict() for workload in self.workloads],
+            "methods": [method.to_dict() for method in self.methods],
+            "parameter_sets": [pset.to_dict() for pset in self.parameter_sets],
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "CampaignSpec":
+        if not isinstance(document, dict):
+            raise SerializationError(
+                f"campaign document must be a mapping, got {type(document).__name__}"
+            )
+        try:
+            psets = document.get("parameter_sets")
+            return cls(
+                name=_require(document, "name", "campaign"),
+                workloads=tuple(
+                    CampaignWorkload.from_dict(entry)
+                    for entry in _require(document, "workloads", "campaign")
+                ),
+                methods=tuple(
+                    CampaignMethod.from_dict(entry)
+                    for entry in _require(document, "methods", "campaign")
+                ),
+                parameter_sets=(ParameterSet(),) if not psets else tuple(
+                    ParameterSet.from_dict(entry) for entry in psets
+                ),
+                seeds=tuple(int(seed) for seed in document.get("seeds", ())),
+            )
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed campaign document: {exc!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # expansion
+    # ------------------------------------------------------------------ #
+    def cell_count(self) -> int:
+        seeds = max(1, len(self.seeds))
+        return len(self.workloads) * seeds * len(self.methods) * len(self.parameter_sets)
+
+    def expand(self) -> List[CampaignCell]:
+        """The campaign's concrete cells, in deterministic axis order."""
+        cells: List[CampaignCell] = []
+        seeds: Tuple[Optional[int], ...] = self.seeds or (None,)
+        for workload in self.workloads:
+            for seed in seeds:
+                for method in self.methods:
+                    for pset in self.parameter_sets:
+                        cells.append(CampaignCell(
+                            workload=workload.label,
+                            method=method.label,
+                            parameter_set=pset.label,
+                            seed=seed,
+                            job=_build_job(workload, method, pset, seed),
+                        ))
+        return cells
+
+
+def _build_job(
+    workload: CampaignWorkload,
+    method: CampaignMethod,
+    pset: ParameterSet,
+    seed: Optional[int],
+) -> JobSpec:
+    """The concrete :mod:`repro.jobs` spec of one cell."""
+    recipe = dict(workload.generator)
+    if seed is not None:
+        recipe["seed"] = seed
+    source = UseCaseSource(generator=recipe)
+    params = pset.build_params()
+    config = pset.build_config()
+    knobs = method.knobs
+    if method.kind == "design_flow":
+        return DesignFlowJob(
+            use_cases=source, params=params, config=config,
+            verify=bool(knobs.get("verify", True)),
+        )
+    if method.kind == "worst_case":
+        return WorstCaseJob(use_cases=source, params=params, config=config)
+    if method.kind == "refine":
+        temperature = knobs.get("initial_temperature")
+        return RefineJob(
+            use_cases=source, params=params, config=config,
+            method=knobs.get("method", "annealing"),
+            iterations=int(knobs.get("iterations", 200)),
+            seed=int(knobs.get("seed", 0)),
+            initial_temperature=None if temperature is None else float(temperature),
+            mesh=workload.mesh,
+        )
+    if method.kind == "portfolio_refine":
+        return PortfolioRefineJob(
+            use_cases=source, params=params, config=config,
+            method=knobs.get("method", "annealing"),
+            iterations=int(knobs.get("iterations", 200)),
+            seed=int(knobs.get("seed", 0)),
+            chains=int(knobs.get("chains", 4)),
+            temperature_factor=float(knobs.get("temperature_factor", 1.6)),
+            workers=int(knobs.get("workers", 0)),
+            mesh=workload.mesh,
+        )
+    # repair — CampaignMethod validated the kind, so this is the last one
+    return RepairJob(
+        use_cases=source, params=params, config=config,
+        failures=knobs["failures"],
+        provision=workload.mesh,
+        compare_full_remap=bool(knobs.get("compare_full_remap", False)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# registry-level helpers
+# --------------------------------------------------------------------------- #
+def campaign_hash(spec: CampaignSpec) -> str:
+    """Content hash of a campaign: the key its trajectory is tracked under."""
+    return document_fingerprint(spec.to_dict())
+
+
+def save_campaign(spec: CampaignSpec, path: Union[str, Path]) -> Path:
+    """Write one campaign spec to a JSON file; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(spec.to_dict(), indent=2) + "\n")
+    return target
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignSpec:
+    """Load a campaign spec from a JSON file (one-line diagnostics on junk)."""
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read campaign from {source}: {exc}") from exc
+    return CampaignSpec.from_dict(document)

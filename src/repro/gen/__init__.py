@@ -28,8 +28,12 @@ from repro.gen.soc import (
     tv_processor_design,
     standard_designs,
 )
+from repro.gen.recipes import WORKLOAD_RECIPES, recipe_names, workload_recipe
 
 __all__ = [
+    "WORKLOAD_RECIPES",
+    "recipe_names",
+    "workload_recipe",
     "TrafficCluster",
     "default_video_clusters",
     "SyntheticBenchmark",

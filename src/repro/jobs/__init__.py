@@ -39,7 +39,7 @@ A quick orientation to the moving parts:
 from repro.jobs.cache import JobCache
 from repro.jobs.faults import FaultInjector, InjectedFault
 from repro.jobs.runner import JobResult, JobRunner, execute_job
-from repro.jobs.service import JobDirectoryService, inbox_status
+from repro.jobs.service import JobDirectoryService, fleet_status, inbox_status
 from repro.jobs.store import EngineStateStore, StoreCorruptionWarning
 from repro.jobs.spec import (
     JOB_KINDS,
@@ -84,6 +84,7 @@ __all__ = [
     "StoreCorruptionWarning",
     "JobDirectoryService",
     "inbox_status",
+    "fleet_status",
     "FaultInjector",
     "InjectedFault",
     "execute_job",

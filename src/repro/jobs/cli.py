@@ -27,6 +27,20 @@ Three subcommands cover the common workflows without writing any Python:
         python -m repro failures design.json --provision 3x3 \\
             --fail-link 0,1 --compare
 
+``repro campaign run|report|status CAMPAIGN.json [--out-dir DIR]``
+    Drive a declarative study matrix (:mod:`repro.campaign`): ``run``
+    executes the campaign's expanded cells resumably (settled cells under
+    ``OUT/cells/`` are never re-executed) and reduces them into a ranked,
+    byte-deterministic ``report.json``, a markdown digest and an appended
+    ``trajectory.jsonl`` line; ``report`` re-reduces from whatever cells
+    are settled; ``status`` prints progress read-only.  ``--submit INBOX``
+    fans the pending cells out to a ``repro serve`` inbox instead of
+    executing locally, and ``--collect INBOX`` folds the farm's result
+    envelopes back in before executing the remainder::
+
+        python -m repro campaign run study.json --workers 4
+        python -m repro campaign status study.json
+
 ``repro serve INBOX [--once] [--poll-interval S] [--status]``
     Run the job-directory service loop
     (:class:`~repro.jobs.service.JobDirectoryService`): watch ``INBOX`` for
@@ -39,7 +53,9 @@ Three subcommands cover the common workflows without writing any Python:
     ``--job-timeout S`` runs each attempt in a terminable child process.
     ``--status`` prints the inbox's aggregate state (file counts, the whole
     rotated manifest history, retry/quarantine totals) read-only and
-    exits::
+    exits; given several inboxes it adds a fleet summary across all of
+    them, and with ``--cache-dir`` the engine-state store's footprint
+    (without creating it)::
 
         python -m repro serve jobs-inbox --once --workers 4 \\
             --cache-dir .repro-cache
@@ -66,6 +82,18 @@ from typing import List, Optional, Sequence
 from repro.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _fail(message: str) -> int:
+    """The one-line CLI diagnostic contract: ``error: ...`` on stderr, 1.
+
+    Every subcommand funnels its own early validation through this helper
+    (and :func:`main` routes raised :class:`ReproError`/:class:`OSError`
+    through the same shape), so a malformed spec — campaign, job file,
+    design — always dies with a single diagnostic line, never a traceback.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return 1
 
 
 def _add_common_options(
@@ -214,6 +242,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(failures)
 
+    campaign = commands.add_parser(
+        "campaign", help="run, reduce or inspect a declarative study matrix",
+        description="Campaigns declare workloads x methods x parameter sets "
+                    "as one JSON file (repro.campaign.CampaignSpec) and run "
+                    "the expanded cells resumably through the job fabric: "
+                    "completed cells are settled under OUT/cells/ keyed by "
+                    "job hash, so re-running after a crash executes zero of "
+                    "them again.  'run' executes and reduces into "
+                    "OUT/report.json + OUT/report.md + OUT/trajectory.jsonl; "
+                    "'report' re-reduces from the settled cells (tolerating "
+                    "missing ones); 'status' prints progress read-only.",
+    )
+    campaign.add_argument("action", choices=("run", "report", "status"),
+                          metavar="ACTION",
+                          help="run | report | status")
+    campaign.add_argument("campaign_file", metavar="CAMPAIGN.json",
+                          help="campaign spec file")
+    campaign.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="campaign directory for cells/cache/report artifacts "
+             "(default: CAMPAIGN.json's name next to it, e.g. study.campaign/)",
+    )
+    campaign.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="execute at most N pending cells this run (settled cells are "
+             "free); the report is only written once every cell is settled",
+    )
+    campaign.add_argument(
+        "--trajectory", default=None, metavar="FILE",
+        help="append the run's history line to FILE instead of "
+             "OUT/trajectory.jsonl (e.g. a single tracked trajectory file)",
+    )
+    campaign.add_argument(
+        "--submit", default=None, metavar="INBOX",
+        help="with ACTION=run: drop the pending cells' job specs into a "
+             "'repro serve' INBOX and exit instead of executing locally",
+    )
+    campaign.add_argument(
+        "--collect", default=None, metavar="INBOX",
+        help="with ACTION=run: first fold the INBOX's result envelopes into "
+             "settled cells, then execute whatever is still pending",
+    )
+    _add_common_options(campaign, include_out=False)
+
     serve = commands.add_parser(
         "serve", help="watch a job inbox directory and execute submitted specs",
         description="Run the job-directory service: *.json specs dropped into "
@@ -221,8 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "INBOX/failed/, with result envelopes in INBOX/results/ "
                     "and a rolling INBOX/manifest.jsonl.",
     )
-    serve.add_argument("inbox", metavar="INBOX",
-                       help="inbox directory to watch (created if missing)")
+    serve.add_argument("inbox", nargs="+", metavar="INBOX",
+                       help="inbox directory to watch (created if missing); "
+                            "--status accepts several and prints a fleet "
+                            "summary across all of them")
     serve.add_argument(
         "--once", action="store_true",
         help="drain the inbox once and exit instead of polling forever",
@@ -312,9 +386,7 @@ def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
         # minutes of mapping would throw the results away.
         out_parent = Path(args.out).absolute().parent
         if not out_parent.is_dir():
-            print(f"error: --out directory {out_parent} does not exist",
-                  file=sys.stderr)
-            return 1
+            return _fail(f"--out directory {out_parent} does not exist")
     runner = JobRunner(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -342,8 +414,7 @@ def _command_run(args) -> int:
     for job_file in args.job_files:
         jobs.extend(load_jobs(job_file))
     if not jobs:
-        print("no jobs found in the given file(s)", file=sys.stderr)
-        return 1
+        return _fail("no jobs found in the given file(s)")
     return _run_jobs(jobs, args)
 
 
@@ -377,9 +448,7 @@ def _command_refine(args) -> int:
     from repro.jobs.spec import PortfolioRefineJob, RefineJob, UseCaseSource
 
     if (args.design_file is None) == (args.spread is None):
-        print("error: refine needs a DESIGN.json file or --spread N (not both)",
-              file=sys.stderr)
-        return 1
+        return _fail("refine needs a DESIGN.json file or --spread N (not both)")
     if args.design_file is not None:
         source = UseCaseSource(path=args.design_file)
     else:
@@ -498,6 +567,77 @@ def _command_failures(args) -> int:
     return 0
 
 
+def _command_campaign(args) -> int:
+    from repro.campaign import CampaignRunner, campaign_hash, load_campaign
+
+    spec = load_campaign(args.campaign_file)
+    source = Path(args.campaign_file)
+    out_dir = (
+        Path(args.out_dir) if args.out_dir
+        else source.with_suffix(".campaign")
+    )
+    runner = CampaignRunner(
+        out_dir,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        seed_engines=not args.no_seed,
+        trajectory_path=args.trajectory,
+    )
+    print(f"campaign {spec.name}  hash {campaign_hash(spec)[:16]}  "
+          f"{spec.cell_count()} cell(s)  dir {out_dir}")
+
+    if args.action == "status":
+        status = runner.status(spec)
+        print(f"{status['done']}/{status['cells']} cell(s) settled, "
+              f"{status['pending']} pending"
+              + ("; report written" if status["report_written"] else ""))
+        for method, counts in sorted(status["by_method"].items()):
+            print(f"  {method}: {counts['done']} done, "
+                  f"{counts['pending']} pending")
+        for cell_id in status["pending_cells"][:10]:
+            print(f"  pending: {cell_id}")
+        if len(status["pending_cells"]) > 10:
+            print(f"  ... and {len(status['pending_cells']) - 10} more")
+        return 0
+
+    if args.action == "report":
+        outcome = runner.reduce(spec, write_trajectory=False)
+        print(f"report {outcome['report']}  digest {outcome['digest']}"
+              + (f"  ({outcome['missing']} cell(s) missing)"
+                 if outcome["missing"] else ""))
+        return 0
+
+    # action == "run"
+    if args.submit and args.collect:
+        return _fail("--submit and --collect are mutually exclusive")
+    if args.submit:
+        submitted = runner.submit(spec, args.submit)
+        print(f"submitted {len(submitted)} pending cell(s) to {args.submit}")
+        return 0
+    if args.collect:
+        folded = runner.collect(spec, args.collect)
+        print(f"collected {folded['collected']} cell(s) from {args.collect}; "
+              f"{folded['pending']} still pending")
+    summary = runner.run(spec, max_cells=args.max_cells)
+    print(f"executed {summary['executed']} cell(s), resumed "
+          f"{summary['resumed']} from {runner.cells_dir}"
+          + (f", {summary['pending']} still pending" if summary["pending"] else ""))
+    if summary["pending"]:
+        print("report deferred until every cell is settled "
+              "(re-run without --max-cells, or collect the farm results)")
+        return 0
+    print(f"report {summary['report']}  digest {summary['digest']}")
+    entry = summary.get("trajectory_entry")
+    if entry is not None:
+        best = ", ".join(
+            f"{workload}={details['cost']:g}"
+            for workload, details in sorted(entry["best_known"].items())
+        )
+        print(f"trajectory +1 line -> {summary['trajectory']}"
+              + (f"  best known: {best}" if best else ""))
+    return 0
+
+
 def _print_service_record(record) -> None:
     if record["status"] == "failed":
         marker = "quarantined" if record.get("quarantined") else "failed"
@@ -533,14 +673,40 @@ def _print_status(status) -> None:
         _print_service_record(last)
 
 
+def _print_fleet_status(fleet) -> None:
+    for status in fleet["inboxes"]:
+        _print_status(status)
+    totals = fleet["totals"]
+    if totals["inboxes"] > 1:
+        files = totals["files"]
+        manifest = totals["manifest"]
+        print(f"fleet: {totals['inboxes']} inboxes, {files['pending']} pending, "
+              f"{files['running']} running, {files['done']} done, "
+              f"{files['failed']} failed"
+              + (f", {totals['quarantined']} quarantined"
+                 if totals["quarantined"] else ""))
+        print(f"fleet manifest: {manifest['records']} record(s), "
+              f"{manifest['jobs']} job(s), {manifest['cached']} cached, "
+              f"{manifest['executed']} executed")
+    store = fleet["store"]
+    if store is not None:
+        print(f"engine-state store {store['directory']}: "
+              f"{store['results']} result(s), {store['evaluations']} "
+              f"evaluation(s) in {store['evaluation_contexts']} context(s), "
+              f"{store['bytes']} bytes")
+
+
 def _command_serve(args) -> int:
-    from repro.jobs.service import JobDirectoryService, inbox_status
+    from repro.jobs.service import JobDirectoryService, fleet_status
 
     if args.status:
-        _print_status(inbox_status(args.inbox))
+        _print_fleet_status(fleet_status(args.inbox, cache_dir=args.cache_dir))
         return 0
+    if len(args.inbox) > 1:
+        return _fail("serve executes one INBOX at a time "
+                     "(several are only meaningful with --status)")
     service = JobDirectoryService(
-        args.inbox,
+        args.inbox[0],
         workers=args.workers,
         cache_dir=args.cache_dir,
         seed_engines=not args.no_seed,
@@ -574,6 +740,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "worst-case": _command_worst_case,
         "refine": _command_refine,
         "failures": _command_failures,
+        "campaign": _command_campaign,
         "serve": _command_serve,
     }
     try:

@@ -159,13 +159,32 @@ def _execute_worst_case(job: WorstCaseJob, engine: MappingEngine) -> Dict:
     return _mapping_payload(result)
 
 
+def _initial_mapping(job, use_cases, groups, engine: MappingEngine):
+    """The mapping a refinement starts from: minimal or a forced mesh.
+
+    With ``mesh`` set the design is placed onto that exact mesh (the
+    big-mesh campaign regime — the unified flow would otherwise select the
+    smallest feasible topology, which for the paper-scale designs is a
+    2x2); without it, the engine's cached minimal-topology mapping.
+    """
+    mesh = getattr(job, "mesh", None)
+    if mesh is None:
+        return engine.map(use_cases, groups=groups)
+    from repro.noc.topology import Topology
+
+    rows, cols = mesh
+    return engine.mapper.map_with_placement(
+        use_cases, Topology.mesh(rows, cols), {}, groups=groups, validate=False
+    )
+
+
 def _execute_refine(job: RefineJob, engine: MappingEngine) -> Dict:
     from repro.optimize import AnnealingRefiner, TabuRefiner
 
     use_cases = job.use_cases.build()
     groups = None if job.groups is None else [list(group) for group in job.groups]
     try:
-        initial = engine.map(use_cases, groups=groups)
+        initial = _initial_mapping(job, use_cases, groups, engine)
     except MappingError as exc:
         return _failure_payload(exc)
     if job.method == "tabu":
@@ -214,7 +233,7 @@ def _execute_portfolio(job: "PortfolioRefineJob", engine: MappingEngine) -> Dict
     use_cases = job.use_cases.build()
     groups = None if job.groups is None else [list(group) for group in job.groups]
     try:
-        engine.map(use_cases, groups=groups)
+        _initial_mapping(job, use_cases, groups, engine)
     except MappingError as exc:
         return _failure_payload(exc)
     chains = chain_refine_jobs(job)

@@ -71,14 +71,14 @@ import multiprocessing
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ReproError
 from repro.jobs.faults import FaultInjector, InjectedFault
 from repro.jobs.runner import JobRunner
 from repro.jobs.spec import load_jobs
 
-__all__ = ["JobDirectoryService", "inbox_status"]
+__all__ = ["JobDirectoryService", "inbox_status", "fleet_status"]
 
 
 def _unique_path(directory: Path, name: str) -> Path:
@@ -662,3 +662,43 @@ def inbox_status(inbox: Union[str, Path]) -> Dict:
         "quarantined": quarantined,
         "last_record": last,
     }
+
+
+def fleet_status(
+    inboxes: Sequence[Union[str, Path]],
+    cache_dir: Union[str, Path, None] = None,
+) -> Dict:
+    """One summary over many inboxes: the fleet view of ``serve --status``.
+
+    Runs :func:`inbox_status` on every inbox (same read-only contract — an
+    inbox that does not exist raises rather than being scaffolded) and sums
+    the file and manifest counters into a ``totals`` block.  With
+    ``cache_dir``, the cache's engine-state store footprint is reported
+    too — guarded by an existence check first, because the store's
+    constructor creates its directory tree and a *status* query must not.
+    """
+    statuses = [inbox_status(inbox) for inbox in inboxes]
+    totals = {
+        "inboxes": len(statuses),
+        "files": {key: 0 for key in ("pending", "running", "done", "failed")},
+        "manifest": {
+            key: 0
+            for key in ("segments", "records", "done", "failed",
+                        "jobs", "cached", "executed")
+        },
+        "quarantined": sum(len(status["quarantined"]) for status in statuses),
+    }
+    for status in statuses:
+        for key in totals["files"]:
+            totals["files"][key] += status["files"][key]
+        for key in totals["manifest"]:
+            totals["manifest"][key] += status["manifest"][key]
+    store_stats: Optional[Dict] = None
+    if cache_dir is not None:
+        store_dir = Path(cache_dir) / "engine-state"
+        if store_dir.is_dir():
+            from repro.jobs.store import EngineStateStore
+
+            store_stats = dict(EngineStateStore(store_dir).stats())
+            store_stats["directory"] = str(store_dir)
+    return {"inboxes": statuses, "totals": totals, "store": store_stats}

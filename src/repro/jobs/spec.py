@@ -224,6 +224,30 @@ def _modes_to_dicts(modes: Tuple[CompoundModeSpec, ...]) -> List[Dict]:
     return [{"members": list(mode.members), "name": mode.name} for mode in modes]
 
 
+def _validate_mesh(mesh: Optional[Tuple[int, int]]) -> None:
+    if mesh is None:
+        return
+    if (
+        len(mesh) != 2
+        or not all(isinstance(side, int) and side >= 1 for side in mesh)
+    ):
+        raise SpecificationError(
+            f"mesh must be (rows, cols) with positive sides, got {mesh!r}"
+        )
+
+
+def _parse_mesh(value) -> Optional[Tuple[int, int]]:
+    if value is None:
+        return None
+    try:
+        rows, cols = value
+        return (int(rows), int(cols))
+    except (TypeError, ValueError):
+        raise SerializationError(
+            f"mesh must be a [rows, cols] pair, got {value!r}"
+        ) from None
+
+
 # --------------------------------------------------------------------------- #
 # the job kinds
 # --------------------------------------------------------------------------- #
@@ -310,6 +334,9 @@ class RefineJob:
     #: override the annealing schedule's starting temperature (``None`` =
     #: the refiner default); portfolio chains use this to diversify
     initial_temperature: Optional[float] = None
+    #: force the initial mapping onto a ``(rows, cols)`` mesh instead of the
+    #: smallest feasible topology — the big-mesh campaign regime
+    mesh: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("annealing", "tabu"):
@@ -323,6 +350,7 @@ class RefineJob:
                 )
             if self.initial_temperature <= 0:
                 raise SpecificationError("initial_temperature must be positive")
+        _validate_mesh(self.mesh)
 
     def to_dict(self) -> Dict:
         document = {
@@ -339,6 +367,8 @@ class RefineJob:
         # content hashes — the persistent cache keys) are unchanged.
         if self.initial_temperature is not None:
             document["initial_temperature"] = self.initial_temperature
+        if self.mesh is not None:
+            document["mesh"] = list(self.mesh)
         return document
 
     @classmethod
@@ -353,6 +383,7 @@ class RefineJob:
             seed=int(document.get("seed", 0)),
             groups=_parse_groups(document.get("groups")),
             initial_temperature=None if temperature is None else float(temperature),
+            mesh=_parse_mesh(document.get("mesh")),
         )
 
 
@@ -385,6 +416,8 @@ class PortfolioRefineJob:
     #: process-pool workers for the chains (0/1 = run them serially)
     workers: int = 0
     groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    #: force the shared initial mapping onto a ``(rows, cols)`` mesh
+    mesh: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("annealing", "tabu"):
@@ -397,9 +430,10 @@ class PortfolioRefineJob:
             raise SpecificationError("temperature_factor must be positive")
         if self.workers < 0:
             raise SpecificationError("workers must be non-negative")
+        _validate_mesh(self.mesh)
 
     def to_dict(self) -> Dict:
-        return {
+        document = {
             "kind": self.KIND,
             "use_cases": self.use_cases.to_dict(),
             "params": self.params.to_dict(),
@@ -412,6 +446,11 @@ class PortfolioRefineJob:
             "workers": self.workers,
             "groups": None if self.groups is None else [list(g) for g in self.groups],
         }
+        # Omitted when unset so pre-existing portfolio documents (and their
+        # content hashes — the persistent cache keys) are unchanged.
+        if self.mesh is not None:
+            document["mesh"] = list(self.mesh)
+        return document
 
     @classmethod
     def from_dict(cls, document: Dict) -> "PortfolioRefineJob":
@@ -426,6 +465,7 @@ class PortfolioRefineJob:
             temperature_factor=float(document.get("temperature_factor", 1.6)),
             workers=int(document.get("workers", 0)),
             groups=_parse_groups(document.get("groups")),
+            mesh=_parse_mesh(document.get("mesh")),
         )
 
 

@@ -79,6 +79,7 @@ def chain_refine_jobs(job) -> List:
             seed=job.seed + index,
             groups=job.groups,
             initial_temperature=chain_initial_temperature(job.method, index),
+            mesh=getattr(job, "mesh", None),
         )
         for index in range(job.chains)
     ]

@@ -60,9 +60,24 @@ def test_workloads_cover_the_reference_designs():
         "refine_spread40",
         "spread_mesh8x8",
         "repair_single_link",
+        "campaign_mesh8x8",
     }
 
 
 def test_workloads_are_prepare_run_pairs():
     for prepare, run in bench_regression.WORKLOADS.values():
         assert callable(prepare) and callable(run)
+
+
+def test_compare_skips_provenance_metadata():
+    baseline = {"__meta__": {"python": "3.10.0"}, "w": _entry(0.010)}
+    current = {"w": _entry(0.010)}
+    assert bench_regression.compare(baseline, current, tolerance=0.35) == []
+
+
+def test_bench_metadata_records_provenance():
+    meta = bench_regression.bench_metadata()
+    assert meta["python"].count(".") == 2
+    assert meta["platform"]
+    # this repo is a git checkout, so the commit resolves to a 40-char sha
+    assert meta["git_commit"] is None or len(meta["git_commit"]) == 40

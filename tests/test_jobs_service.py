@@ -18,6 +18,8 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro import MappingEngine
 from repro.gen import generate_benchmark
 from repro.jobs import (
@@ -379,3 +381,68 @@ def test_cli_serve_once_warm_inbox_reports_cache_hits(tmp_path, capsys):
         assert cli_main(["serve", str(inbox), "--once",
                         "--cache-dir", str(cache)]) == 0
     assert "1 cached  0 executed" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# the fleet view: serve --status over several inboxes
+# --------------------------------------------------------------------------- #
+def test_fleet_status_aggregates_inboxes_read_only(tmp_path):
+    from repro.jobs import fleet_status
+
+    cache = tmp_path / "cache"
+    busy = tmp_path / "busy"
+    busy.mkdir()
+    save_job(WorstCaseJob(use_cases=SPREAD3), busy / "job.json")
+    JobDirectoryService(busy, cache_dir=cache).run_once()
+    idle = tmp_path / "idle"
+    idle.mkdir()
+    save_job(WorstCaseJob(use_cases=SPREAD3), idle / "waiting.json")
+
+    fleet = fleet_status([busy, idle], cache_dir=cache)
+    assert fleet["totals"]["inboxes"] == 2
+    assert fleet["totals"]["files"]["done"] == 1
+    assert fleet["totals"]["files"]["pending"] == 1
+    assert fleet["totals"]["manifest"]["jobs"] == 1
+    assert [status["inbox"] for status in fleet["inboxes"]] == [
+        str(busy), str(idle),
+    ]
+    # the cache's engine-state store is reported without being created...
+    assert fleet["store"]["directory"] == str(cache / "engine-state")
+    assert fleet["store"]["results"] >= 1
+    # ...and a cache that does not exist yet stays uncreated (read-only)
+    absent = tmp_path / "no-cache"
+    assert fleet_status([busy], cache_dir=absent)["store"] is None
+    assert not absent.exists()
+
+
+def test_fleet_status_rejects_missing_inboxes(tmp_path):
+    from repro.exceptions import ReproError
+    from repro.jobs import fleet_status
+
+    inbox = tmp_path / "inbox"
+    inbox.mkdir()
+    with pytest.raises(ReproError):
+        fleet_status([inbox, tmp_path / "missing"])
+    assert not (tmp_path / "missing").exists()
+
+
+def test_cli_serve_status_fleet_view(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    inboxes = []
+    for name in ("north", "south"):
+        inbox = tmp_path / name
+        inbox.mkdir()
+        save_job(WorstCaseJob(use_cases=SPREAD3), inbox / "job.json")
+        inboxes.append(str(inbox))
+    assert cli_main(["serve", inboxes[0], "--once", "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+
+    assert cli_main(["serve", *inboxes, "--status", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 inboxes, 1 pending" in out
+    assert "1 done" in out
+    assert "engine-state store" in out
+
+    # several inboxes are only meaningful with --status
+    assert cli_main(["serve", *inboxes, "--once"]) == 1
+    assert capsys.readouterr().err.startswith("error:")
