@@ -41,8 +41,10 @@ from repro.core import (
     group_use_cases,
     map_use_cases,
 )
+from repro.core.validate import ValidationIssue, ValidationReport, validate_mapping
 from repro.exceptions import (
     ConfigurationError,
+    ExactBackendUnavailable,
     MappingError,
     ReproError,
     ResourceError,
@@ -69,6 +71,7 @@ from repro.io import export_design, load_use_case_set, save_use_case_set
 from repro.jobs import (
     DesignFlowJob,
     FrequencyJob,
+    GapJob,
     JobCache,
     JobDirectoryService,
     JobResult,
@@ -84,7 +87,7 @@ from repro.jobs import (
     load_jobs,
     save_job,
 )
-from repro.optimize import AnnealingRefiner, TabuRefiner, refine_mapping
+from repro.optimize import AnnealingRefiner, TabuRefiner, exact_mapping, refine_mapping
 
 __version__ = "1.0.0"
 
@@ -124,6 +127,9 @@ __all__ = [
     "Topology",
     "TdmaSimulator",
     "verify_mapping",
+    "validate_mapping",
+    "ValidationIssue",
+    "ValidationReport",
     "compare_methods",
     # workload generators
     "SpreadBenchmark",
@@ -150,6 +156,7 @@ __all__ = [
     "PortfolioRefineJob",
     "FrequencyJob",
     "SweepJob",
+    "GapJob",
     "JobRunner",
     "JobResult",
     "JobCache",
@@ -159,10 +166,11 @@ __all__ = [
     "job_hash",
     "save_job",
     "load_jobs",
-    # refinement
+    # refinement / exact backend
     "AnnealingRefiner",
     "TabuRefiner",
     "refine_mapping",
+    "exact_mapping",
     # exceptions
     "ReproError",
     "SpecificationError",
@@ -171,6 +179,7 @@ __all__ = [
     "ResourceError",
     "MappingError",
     "ConfigurationError",
+    "ExactBackendUnavailable",
     "VerificationError",
     "SerializationError",
 ]

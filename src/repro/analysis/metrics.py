@@ -34,6 +34,9 @@ class MethodComparison:
     worst_case: Optional[MappingResult]
     unified_area_mm2: float = float("nan")
     worst_case_area_mm2: float = float("nan")
+    #: optimal mapping from the exact backend; only populated when
+    #: :func:`compare_methods` is called with ``exact=True``
+    exact: Optional[MappingResult] = None
 
     @property
     def unified_switches(self) -> Optional[int]:
@@ -65,9 +68,33 @@ class MethodComparison:
             return None
         return 1.0 - self.unified_area_mm2 / self.worst_case_area_mm2
 
+    @property
+    def exact_switches(self) -> Optional[int]:
+        """Switch count of the exact backend (None when not run / failed)."""
+        return None if self.exact is None else self.exact.switch_count
+
+    @property
+    def optimality_gap(self) -> Optional[float]:
+        """Relative communication-cost gap of the proposed method vs. exact.
+
+        ``(unified_cost - exact_cost) / exact_cost``; 0.0 when the heuristic
+        matched the optimum (or both costs are zero).  ``None`` unless
+        :func:`compare_methods` ran with ``exact=True`` and both mapped.
+        """
+        if self.unified is None or self.exact is None:
+            return None
+        exact_cost = _communication_cost(self.exact)
+        if exact_cost == 0:
+            return 0.0 if _communication_cost(self.unified) == 0 else None
+        return (_communication_cost(self.unified) - exact_cost) / exact_cost
+
     def as_row(self) -> dict:
-        """Plain-dict row for reports and the benchmark harness."""
-        return {
+        """Plain-dict row for reports and the benchmark harness.
+
+        The exact-backend columns appear only when the comparison was run
+        with ``exact=True``, so rows from ordinary comparisons are unchanged.
+        """
+        row = {
             "design": self.design,
             "unified_switches": self.unified_switches,
             "worst_case_switches": self.worst_case_switches,
@@ -80,6 +107,22 @@ class MethodComparison:
             else None,
             "area_reduction": self.area_reduction,
         }
+        if self.exact is not None:
+            gap = self.optimality_gap
+            row["exact_switches"] = self.exact_switches
+            row["optimality_gap"] = None if gap is None else round(gap, 6)
+        return row
+
+
+def _communication_cost(result: MappingResult) -> float:
+    """Bandwidth-weighted hop count of a mapping (the exact objective)."""
+    cached = getattr(result, "cached_communication_cost", None)
+    if cached is not None:
+        return cached
+    return sum(
+        configuration.total_bandwidth_hops()
+        for configuration in result.configurations.values()
+    )
 
 
 def compare_methods(
@@ -90,12 +133,19 @@ def compare_methods(
     area_model: AreaModel | None = None,
     design_name: Optional[str] = None,
     engine: MappingEngine | None = None,
+    exact: bool = False,
+    exact_solver: str = "auto",
 ) -> MethodComparison:
     """Run both mapping methods on one design and compare them.
 
     A method that cannot produce a valid mapping within the configured
     topology limit is recorded as ``None`` (this happens to the WC baseline
     on the large synthetic benchmarks, as in the paper).
+
+    With ``exact=True`` the exact backend (:mod:`repro.optimize.ilp`) also
+    runs, populating :attr:`MethodComparison.exact` and the derived
+    :attr:`~MethodComparison.optimality_gap`.  Exact search is exponential
+    in the core count — reserve it for small/medium designs.
 
     Both methods run on one :class:`MappingEngine` session, so the design is
     compiled once and shared; pass a long-lived ``engine`` (its
@@ -120,4 +170,14 @@ def compare_methods(
         comparison.unified_area_mm2 = model.mapping_area(unified)
     if worst_case is not None:
         comparison.worst_case_area_mm2 = model.mapping_area(worst_case)
+    if exact:
+        from repro.optimize.ilp import exact_mapping
+
+        try:
+            comparison.exact = exact_mapping(
+                use_cases, engine=engine, switching_graph=switching_graph,
+                solver=exact_solver,
+            )
+        except MappingError:
+            comparison.exact = None
     return comparison

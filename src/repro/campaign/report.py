@@ -89,6 +89,15 @@ def cell_outcome(kind: str, payload: Dict) -> Dict:
         repair = payload["repair"]
         outcome["groups_remapped"] = repair.get("groups_remapped")
         outcome["repaired"] = repair.get("repaired")
+    if "gap" in payload:
+        # ilp cells: the ranked mapping/cost above are the exact optimum;
+        # surface how far the heuristic (and optional refinement) fell short.
+        gap = payload["gap"]
+        outcome["solver"] = gap.get("solver")
+        for label in ("heuristic", "refined"):
+            entry = gap.get(label) or {}
+            if "gap_relative" in entry:
+                outcome[f"{label}_gap"] = entry["gap_relative"]
     return outcome
 
 

@@ -43,6 +43,7 @@ from repro.jobs.spec import (
     JobSpec,
     PortfolioRefineJob,
     RefineJob,
+    GapJob,
     RepairJob,
     UseCaseSource,
     WorstCaseJob,
@@ -64,7 +65,9 @@ __all__ = [
 
 #: method kinds a campaign cell may use (the mapping-producing job kinds;
 #: analysis sweeps have their own front door and no per-cell cost to rank)
-METHOD_KINDS = ("design_flow", "worst_case", "refine", "portfolio_refine", "repair")
+METHOD_KINDS = (
+    "design_flow", "worst_case", "refine", "portfolio_refine", "repair", "ilp",
+)
 
 #: method knobs forwarded verbatim to the underlying job constructors
 _METHOD_KNOBS = {
@@ -75,6 +78,7 @@ _METHOD_KNOBS = {
         "method", "iterations", "seed", "chains", "temperature_factor", "workers",
     ),
     "repair": ("failures", "compare_full_remap"),
+    "ilp": ("solver", "refine_iterations", "seed", "node_limit"),
 }
 
 
@@ -430,6 +434,15 @@ def _build_job(
             temperature_factor=float(knobs.get("temperature_factor", 1.6)),
             workers=int(knobs.get("workers", 0)),
             mesh=workload.mesh,
+        )
+    if method.kind == "ilp":
+        limit = knobs.get("node_limit")
+        return GapJob(
+            use_cases=source, params=params, config=config,
+            solver=knobs.get("solver", "auto"),
+            refine_iterations=int(knobs.get("refine_iterations", 0)),
+            seed=int(knobs.get("seed", 0)),
+            node_limit=None if limit is None else int(limit),
         )
     # repair — CampaignMethod validated the kind, so this is the last one
     return RepairJob(

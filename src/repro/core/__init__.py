@@ -29,6 +29,7 @@ from repro.core.spec import (
 from repro.core.mapping import UnifiedMapper, map_use_cases
 from repro.core.engine import MappingEngine
 from repro.core.repair import RepairOutcome, repair_mapping
+from repro.core.validate import ValidationIssue, ValidationReport, validate_mapping
 from repro.core.worstcase import build_worst_case_use_case, WorstCaseMapper
 from repro.core.design_flow import DesignFlow, DesignFlowResult
 
@@ -55,6 +56,9 @@ __all__ = [
     "MappingEngine",
     "RepairOutcome",
     "repair_mapping",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_mapping",
     "map_use_cases",
     "build_worst_case_use_case",
     "WorstCaseMapper",

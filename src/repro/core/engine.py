@@ -485,10 +485,19 @@ class MappingEngine:
             self._counters["result_hits"] += 1
             return seeded
         self._counters["result_misses"] += 1
-        bundle = self.requirements_for(spec, resolved)
-        result = self.mapper.map_requirements(
-            spec.core_names, bundle.requirements, bundle.worklist, resolved, method_name
-        )
+        if self.config.backend == "ilp":
+            # The exact backend uses this engine's fixed-placement evaluator
+            # (never map()), so there is no recursion; its result lands in
+            # the same per-engine cache slot a heuristic run would.
+            from repro.optimize.ilp import exact_mapping
+
+            result = exact_mapping(spec, groups=resolved, engine=self)
+        else:
+            bundle = self.requirements_for(spec, resolved)
+            result = self.mapper.map_requirements(
+                spec.core_names, bundle.requirements, bundle.worklist, resolved,
+                method_name,
+            )
         self._results[key] = result
         if len(self._results) > self._RESULT_CACHE_SIZE:
             self._results.popitem(last=False)

@@ -18,11 +18,11 @@ what lets interactive sessions, sweep farms and CI share one vocabulary.
 
 A quick orientation to the moving parts:
 
-* **Specs** (:mod:`repro.jobs.spec`) — seven frozen job kinds
+* **Specs** (:mod:`repro.jobs.spec`) — eight frozen job kinds
   (:class:`DesignFlowJob`, :class:`WorstCaseJob`, :class:`RefineJob`,
   :class:`PortfolioRefineJob`, :class:`FrequencyJob`, :class:`SweepJob`,
-  :class:`RepairJob`), each JSON-round-tripping and content-hashed
-  (:func:`job_hash`).
+  :class:`RepairJob`, :class:`GapJob`), each JSON-round-tripping and
+  content-hashed (:func:`job_hash`).
 * **Runner** (:mod:`repro.jobs.runner`) — :class:`JobRunner` executes specs
   serially or over a process pool, bit-identically, and returns
   :class:`JobResult` envelopes.
@@ -46,6 +46,7 @@ from repro.jobs.spec import (
     SWEEP_STUDIES,
     DesignFlowJob,
     FrequencyJob,
+    GapJob,
     JobSpec,
     PortfolioRefineJob,
     RefineJob,
@@ -69,6 +70,7 @@ __all__ = [
     "FrequencyJob",
     "SweepJob",
     "RepairJob",
+    "GapJob",
     "JobSpec",
     "JOB_KINDS",
     "SWEEP_STUDIES",

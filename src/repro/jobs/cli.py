@@ -27,6 +27,19 @@ Three subcommands cover the common workflows without writing any Python:
         python -m repro failures design.json --provision 3x3 \\
             --fail-link 0,1 --compare
 
+``repro gap DESIGN.json [--solver auto|pulp|native] [--report-dir DIR]``
+    Optimality-gap measurement: run the exact backend
+    (:mod:`repro.optimize.ilp`) next to the ordinary heuristic mapping of
+    the same design (and, with ``--refine-iterations N``, an annealing
+    refinement of it) and report heuristic-vs-optimal cost gaps.
+    ``--report-dir DIR`` writes a byte-deterministic ``gap_report.json``
+    plus a ``gap_report.md`` digest; ``--spread N`` generates a synthetic
+    design instead of reading a file.  Exact search is exponential — meant
+    for small/medium specs (``--node-limit`` bounds it)::
+
+        python -m repro gap examples/designs/mesh_2x2_design.json \\
+            --solver native --report-dir gap-out
+
 ``repro campaign run|report|status CAMPAIGN.json [--out-dir DIR]``
     Drive a declarative study matrix (:mod:`repro.campaign`): ``run``
     executes the campaign's expanded cells resumably (settled cells under
@@ -195,6 +208,57 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 0, chains run serially; payloads are identical)",
     )
     _add_common_options(refine)
+
+    gap = commands.add_parser(
+        "gap", help="measure the heuristic-vs-optimal mapping cost gap",
+        description="Run the exact backend (repro.optimize.ilp) next to the "
+                    "ordinary heuristic mapping of the same design and report "
+                    "optimality gaps.  Exact search is exponential: meant for "
+                    "small/medium specs.",
+    )
+    gap.add_argument("design_file", nargs="?", default=None, metavar="DESIGN.json",
+                     help="use-case-set file to measure")
+    gap.add_argument(
+        "--spread", type=int, default=None, metavar="N",
+        help="generate a spread benchmark with N use cases instead of "
+             "reading a design file",
+    )
+    gap.add_argument("--design-seed", type=int, default=3, metavar="S",
+                     help="generator seed for --spread (default: 3)")
+    gap.add_argument(
+        "--core-count", type=int, default=None, metavar="N",
+        help="core count for --spread (default: the generator's default; "
+             "exact search is exponential in this)",
+    )
+    gap.add_argument(
+        "--flows", default=None, metavar="MIN,MAX",
+        help="flows-per-use-case range for --spread (default: the "
+             "generator's default, which needs >= 11 cores)",
+    )
+    gap.add_argument(
+        "--solver", choices=("auto", "pulp", "native"), default="auto",
+        help="exact solver: 'pulp' (CBC MILP, needs the optional 'pulp' "
+             "dependency), 'native' (pure-Python branch-and-bound), or "
+             "'auto' = pulp if importable else native (default)",
+    )
+    gap.add_argument(
+        "--refine-iterations", type=int, default=0, metavar="N",
+        help="also refine the heuristic result for N annealing iterations "
+             "and report its gap (default: 0 = skip)",
+    )
+    gap.add_argument("--seed", type=int, default=0, metavar="S",
+                     help="refinement seed (default: 0)")
+    gap.add_argument(
+        "--node-limit", type=int, default=None, metavar="N",
+        help="abort the exact search after expanding N nodes (native "
+             "solver) / N lazy cuts (pulp); unbounded by default",
+    )
+    gap.add_argument(
+        "--report-dir", default=None, metavar="DIR",
+        help="write a byte-deterministic gap_report.json plus a "
+             "gap_report.md digest into DIR",
+    )
+    _add_common_options(gap)
 
     failures = commands.add_parser(
         "failures", help="failure-sweep analysis of a design's baseline mapping",
@@ -368,6 +432,22 @@ def _print_result(result, index: int, total: int) -> None:
         else:
             names = ", ".join(repair.get("unrepairable", ())) or "all use cases"
             print(f"    UNREPAIRABLE: {names}")
+    if "gap" in payload:
+        gap = payload["gap"]
+        exact = gap["exact"]
+        validated = "validated" if gap.get("validated") else "VALIDATION FAILED"
+        print(f"    exact ({gap['solver']}): cost {exact['cost']:.6g} on "
+              f"{exact['topology']}  [{validated}]")
+        for label, key in (("heuristic", "heuristic"), ("refined", "refined")):
+            entry = gap.get(key)
+            if entry is None:
+                continue
+            if entry.get("mapped") is False:
+                print(f"    {label}: MAPPING FAILED: {entry.get('error', 'unknown')}")
+                continue
+            print(f"    {label}: cost {entry['cost']:.6g}  "
+                  f"gap {entry['gap_absolute']:+.6g} "
+                  f"({entry['gap_relative'] * 100:.2f}%)")
     if "rows" in payload:
         from repro.io.report import format_rows
 
@@ -379,6 +459,16 @@ def _print_result(result, index: int, total: int) -> None:
 
 
 def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
+    code, _results = _execute_jobs(jobs, args, base_dir)
+    return code
+
+
+def _execute_jobs(jobs, args, base_dir: Optional[Path] = None):
+    """Run ``jobs``, print/persist them, and return ``(exit_code, results)``.
+
+    Commands that post-process payloads (``gap`` writes report files) use
+    this directly; plain commands go through :func:`_run_jobs`.
+    """
     from repro.jobs.runner import JobRunner
 
     if args.out:
@@ -386,7 +476,7 @@ def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
         # minutes of mapping would throw the results away.
         out_parent = Path(args.out).absolute().parent
         if not out_parent.is_dir():
-            return _fail(f"--out directory {out_parent} does not exist")
+            return _fail(f"--out directory {out_parent} does not exist"), []
     runner = JobRunner(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -404,7 +494,7 @@ def _run_jobs(jobs, args, base_dir: Optional[Path] = None) -> int:
         cached = sum(1 for result in results if result.cached)
         print(f"cache: {cached} hit(s), {runner.executed_jobs} executed, "
               f"dir {args.cache_dir}")
-    return 0
+    return 0, results
 
 
 def _command_run(args) -> int:
@@ -474,6 +564,133 @@ def _command_refine(args) -> int:
             seed=args.seed,
         )
     return _run_jobs([job], args)
+
+
+def _design_label(job) -> str:
+    source = job.use_cases
+    if source.path is not None:
+        return source.path
+    if source.generator is not None:
+        recipe = source.generator
+        label = f"{recipe.get('kind', '?')}-{recipe.get('use_case_count', '?')}"
+        if "core_count" in recipe:
+            label += f"-c{recipe['core_count']}"
+        if "seed" in recipe:
+            label += f"-s{recipe['seed']}"
+        return label
+    return "inline"
+
+
+def _gap_cell(entry, exact_cost: bool = False):
+    if entry is None:
+        return "-", "-"
+    if entry.get("mapped") is False:
+        return "failed", "-"
+    cost = f"{entry['cost']:.6g}"
+    if exact_cost:
+        return cost, "-"
+    return cost, f"{entry['gap_relative'] * 100:.2f}%"
+
+
+def _gap_report_document(jobs, results):
+    """Byte-deterministic report document + markdown digest for ``gap``.
+
+    Built purely from job payloads (which are canonical JSON) and spec
+    hashes; volatile per-run data (timings, cache provenance) lives only
+    in the result envelopes, never here.
+    """
+    cells = []
+    for job, result in zip(jobs, results):
+        payload = result.payload
+        cells.append({
+            "design": _design_label(job),
+            "job_hash": result.spec_hash,
+            "summary": payload.get("summary"),
+            "gap": payload.get("gap"),
+        })
+    document = {"schema": "repro/gap-report@1", "cells": cells}
+
+    lines = [
+        "# Optimality gap report",
+        "",
+        "| design | solver | exact cost | heuristic cost | gap | "
+        "refined cost | refined gap |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for cell in cells:
+        gap = cell["gap"] or {}
+        exact_cost, _ = _gap_cell(gap.get("exact"), exact_cost=True)
+        heuristic_cost, heuristic_gap = _gap_cell(gap.get("heuristic"))
+        refined_cost, refined_gap = _gap_cell(gap.get("refined"))
+        lines.append(
+            f"| {cell['design']} | {gap.get('solver', '-')} | {exact_cost} "
+            f"| {heuristic_cost} | {heuristic_gap} "
+            f"| {refined_cost} | {refined_gap} |"
+        )
+    lines += [
+        "",
+        "Gaps are (cost - exact cost) / exact cost; 0.00% means the "
+        "heuristic found an optimal mapping.",
+    ]
+    return document, "\n".join(lines) + "\n"
+
+
+def _command_gap(args) -> int:
+    from repro.jobs.spec import GapJob, UseCaseSource
+
+    if (args.design_file is None) == (args.spread is None):
+        return _fail("gap needs a DESIGN.json file or --spread N (not both)")
+    if args.solver == "pulp":
+        from repro.optimize.ilp import available_solvers
+
+        if "pulp" not in available_solvers():
+            return _fail("the 'pulp' solver needs the optional dependency "
+                         "'pulp' (pip install 'repro-noc[ilp]') — or use "
+                         "--solver native")
+    if args.design_file is not None:
+        source = UseCaseSource(path=args.design_file)
+    else:
+        recipe = {
+            "kind": "spread",
+            "use_case_count": args.spread,
+            "seed": args.design_seed,
+        }
+        if args.core_count is not None:
+            recipe["core_count"] = args.core_count
+        if args.flows is not None:
+            parts = args.flows.split(",")
+            if len(parts) != 2:
+                return _fail("--flows expects MIN,MAX (e.g. 12,24)")
+            try:
+                recipe["flows_per_use_case"] = [int(part) for part in parts]
+            except ValueError:
+                return _fail("--flows expects MIN,MAX (e.g. 12,24)")
+        source = UseCaseSource(generator=recipe)
+    job = GapJob(
+        use_cases=source,
+        solver=args.solver,
+        refine_iterations=args.refine_iterations,
+        seed=args.seed,
+        node_limit=args.node_limit,
+    )
+    code, results = _execute_jobs([job], args)
+    if code != 0:
+        return code
+    failed = [r for r in results if r.payload.get("mapped") is False]
+    if failed:
+        return _fail("design cannot be mapped exactly: "
+                     f"{failed[0].payload.get('error', 'unknown error')}")
+    if args.report_dir is not None:
+        report_dir = Path(args.report_dir)
+        report_dir.mkdir(parents=True, exist_ok=True)
+        document, digest = _gap_report_document([job], results)
+        report_path = report_dir / "gap_report.json"
+        report_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        digest_path = report_dir / "gap_report.md"
+        digest_path.write_text(digest)
+        print(f"report {report_path}  digest {digest_path}")
+    return 0
 
 
 def _parse_provision(value: Optional[str]):
@@ -739,6 +956,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _command_sweep,
         "worst-case": _command_worst_case,
         "refine": _command_refine,
+        "gap": _command_gap,
         "failures": _command_failures,
         "campaign": _command_campaign,
         "serve": _command_serve,

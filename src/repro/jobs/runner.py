@@ -46,6 +46,7 @@ from repro.jobs.cache import JobCache
 from repro.jobs.spec import (
     DesignFlowJob,
     FrequencyJob,
+    GapJob,
     JobSpec,
     PortfolioRefineJob,
     RefineJob,
@@ -406,6 +407,86 @@ def _execute_repair(job: RepairJob, engine: MappingEngine) -> Dict:
     return payload
 
 
+def _result_cost(result) -> float:
+    """Communication cost (Σ bandwidth × hops) of any mapping result."""
+    cost = result.cached_communication_cost
+    if cost is None:
+        cost = sum(
+            configuration.total_bandwidth_hops()
+            for configuration in result.configurations.values()
+        )
+    return cost
+
+
+def _gap_entry(result) -> Dict:
+    """One method's row in a gap payload: cost, size and identity."""
+    return {
+        "cost": round(_result_cost(result), 6),
+        "switch_count": result.switch_count,
+        "topology": result.topology.name,
+        "fingerprint": mapping_fingerprint(result),
+    }
+
+
+def _gap_metrics(cost: float, exact_cost: float) -> Dict:
+    absolute = round(cost - exact_cost, 6)
+    relative = 0.0 if exact_cost == 0 else round((cost - exact_cost) / exact_cost, 6)
+    return {"gap_absolute": absolute, "gap_relative": relative}
+
+
+def _execute_gap(job: GapJob, engine: MappingEngine) -> Dict:
+    """Exact + heuristic (+ optionally refined) mapping, reduced to gaps.
+
+    The exact result is the payload's primary mapping; every method row
+    carries its cost, topology and fingerprint plus its gap against the
+    optimum.  ``validate_mapping`` — the referee shared with the heuristics
+    and the test suite — re-judges the exact result, and its verdict rides
+    in the payload.  Solver wall time lives in the envelope stats like all
+    volatile diagnostics, so the payload is byte-deterministic.
+    """
+    from repro.core.validate import validate_mapping
+    from repro.optimize.ilp import exact_mapping
+
+    use_cases = job.use_cases.build()
+    groups = None if job.groups is None else [list(group) for group in job.groups]
+    try:
+        exact = exact_mapping(
+            use_cases, groups=groups, engine=engine,
+            solver=job.solver, node_limit=job.node_limit,
+        )
+    except MappingError as exc:
+        return _failure_payload(exc)
+    validation = validate_mapping(exact, use_cases)
+    exact_entry = _gap_entry(exact)
+    gap: Dict = {
+        "solver": job.solver,
+        "exact": exact_entry,
+        "validated": validation.ok,
+    }
+    if not validation.ok:  # pragma: no cover - the exact backend is validated
+        gap["validation_issues"] = [str(issue) for issue in validation.issues]
+    try:
+        heuristic = engine.map(use_cases, groups=groups)
+    except MappingError as exc:
+        gap["heuristic"] = {"mapped": False, "error": str(exc)}
+    else:
+        entry = _gap_entry(heuristic)
+        entry.update(_gap_metrics(entry["cost"], exact_entry["cost"]))
+        gap["heuristic"] = entry
+        if job.refine_iterations:
+            from repro.optimize import AnnealingRefiner
+
+            refinement = AnnealingRefiner(
+                iterations=job.refine_iterations, seed=job.seed
+            ).refine(heuristic, use_cases, groups=groups, engine=engine)
+            entry = _gap_entry(refinement.refined)
+            entry.update(_gap_metrics(entry["cost"], exact_entry["cost"]))
+            gap["refined"] = entry
+    payload = _mapping_payload(exact)
+    payload["gap"] = gap
+    return payload
+
+
 _EXECUTORS: Dict[str, Callable[[JobSpec, MappingEngine], Dict]] = {
     DesignFlowJob.KIND: _execute_design_flow,
     WorstCaseJob.KIND: _execute_worst_case,
@@ -414,6 +495,7 @@ _EXECUTORS: Dict[str, Callable[[JobSpec, MappingEngine], Dict]] = {
     FrequencyJob.KIND: _execute_frequency,
     SweepJob.KIND: _execute_sweep,
     RepairJob.KIND: _execute_repair,
+    GapJob.KIND: _execute_gap,
 }
 
 

@@ -17,7 +17,8 @@ point, the mapper configuration and the job-specific knobs.  Jobs
   (``DesignFlow``, the worst-case baseline, the refiners, the frequency
   search, the analysis sweeps).
 
-The seven kinds cover the paper's evaluation surface plus failure recovery:
+The eight kinds cover the paper's evaluation surface plus failure recovery
+and the optimality-gap oracle:
 
 ========================  ====================================================
 kind                      computation
@@ -33,6 +34,9 @@ kind                      computation
                           :mod:`repro.analysis.sweeps`
 ``repair``                failure-aware incremental remap of a baseline
                           mapping (:func:`repro.core.repair.repair_mapping`)
+``gap``                   exact mapping (:mod:`repro.optimize.ilp`) plus the
+                          heuristic (and optionally refined) mapping of the
+                          same design, reduced to optimality-gap metrics
 ========================  ====================================================
 """
 
@@ -64,6 +68,7 @@ __all__ = [
     "FrequencyJob",
     "SweepJob",
     "RepairJob",
+    "GapJob",
     "JobSpec",
     "JOB_KINDS",
     "SWEEP_STUDIES",
@@ -665,9 +670,72 @@ class RepairJob:
         )
 
 
+@dataclass(frozen=True)
+class GapJob:
+    """Measure the heuristic-vs-optimal cost gap on one design.
+
+    Runs the exact backend (:func:`repro.optimize.ilp.exact_mapping`) and
+    the engine's ordinary mapping of the same design, and reduces them to
+    optimality-gap metrics; ``refine_iterations > 0`` additionally runs an
+    annealing refinement of the heuristic result so the payload ranks all
+    three.  ``solver`` is ``"auto"`` (pulp when importable, else the
+    dependency-free native branch-and-bound), ``"pulp"`` or ``"native"``;
+    ``node_limit`` bounds the exact search (``None`` = unlimited).
+    """
+
+    KIND = "gap"
+
+    use_cases: UseCaseSource
+    params: NoCParameters = field(default_factory=NoCParameters)
+    config: MapperConfig = field(default_factory=MapperConfig)
+    solver: str = "auto"
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    refine_iterations: int = 0
+    seed: int = 0
+    node_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("auto", "pulp", "native"):
+            raise SpecificationError(
+                f"unknown exact solver {self.solver!r}; expected 'auto', "
+                "'pulp' or 'native'"
+            )
+        if self.refine_iterations < 0:
+            raise SpecificationError("refine_iterations must be non-negative")
+        if self.node_limit is not None and self.node_limit <= 0:
+            raise SpecificationError("node_limit must be positive or None")
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.KIND,
+            "use_cases": self.use_cases.to_dict(),
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "solver": self.solver,
+            "groups": None if self.groups is None else [list(g) for g in self.groups],
+            "refine_iterations": self.refine_iterations,
+            "seed": self.seed,
+            "node_limit": self.node_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "GapJob":
+        node_limit = document.get("node_limit")
+        return cls(
+            use_cases=_parse_source(document),
+            params=_parse_params(document),
+            config=_parse_config(document),
+            solver=document.get("solver", "auto"),
+            groups=_parse_groups(document.get("groups")),
+            refine_iterations=int(document.get("refine_iterations", 0)),
+            seed=int(document.get("seed", 0)),
+            node_limit=None if node_limit is None else int(node_limit),
+        )
+
+
 JobSpec = Union[
     DesignFlowJob, WorstCaseJob, RefineJob, PortfolioRefineJob,
-    FrequencyJob, SweepJob, RepairJob,
+    FrequencyJob, SweepJob, RepairJob, GapJob,
 ]
 
 #: kind string -> job class (the registry :func:`job_from_dict` dispatches on)
@@ -675,7 +743,7 @@ JOB_KINDS: Dict[str, type] = {
     cls.KIND: cls
     for cls in (
         DesignFlowJob, WorstCaseJob, RefineJob, PortfolioRefineJob,
-        FrequencyJob, SweepJob, RepairJob,
+        FrequencyJob, SweepJob, RepairJob, GapJob,
     )
 }
 

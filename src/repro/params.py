@@ -187,6 +187,10 @@ class MapperConfig:
         bound proves no topology of this family can ever satisfy the
         constraints (used to reproduce the paper's "WC fails even on a 20x20
         mesh" data points quickly).
+    backend:
+        Mapping backend: ``"heuristic"`` (the paper's unified mapper, the
+        default) or ``"ilp"`` (the exact solver in
+        :mod:`repro.optimize.ilp`, for small/medium specs).
     refinement:
         Optional post-mapping refinement: ``None``, ``"annealing"`` or
         ``"tabu"``.
@@ -208,6 +212,7 @@ class MapperConfig:
     slot_weight: float = 0.5
     check_latency: bool = True
     enable_quick_infeasibility_check: bool = True
+    backend: str = "heuristic"
     refinement: Optional[str] = None
     refinement_iterations: int = 200
     seed: int = 0
@@ -242,6 +247,10 @@ class MapperConfig:
         for name in ("bandwidth_weight", "hop_weight", "slot_weight"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
+        if self.backend not in ("heuristic", "ilp"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected 'heuristic' or 'ilp'"
+            )
         if self.refinement not in (None, "annealing", "tabu"):
             raise ConfigurationError(
                 f"unknown refinement {self.refinement!r}; expected None, 'annealing' or 'tabu'"
@@ -252,8 +261,16 @@ class MapperConfig:
             )
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready dictionary form (round trips via :meth:`from_dict`)."""
-        return {field.name: getattr(self, field.name) for field in fields(self)}
+        """JSON-ready dictionary form (round trips via :meth:`from_dict`).
+
+        ``backend`` is omitted at its ``"heuristic"`` default so pre-existing
+        config documents — and their content hashes, which key persistent job
+        and store caches — are unchanged.
+        """
+        document = {field.name: getattr(self, field.name) for field in fields(self)}
+        if self.backend == "heuristic":
+            del document["backend"]
+        return document
 
     @classmethod
     def from_dict(cls, document: Dict) -> "MapperConfig":

@@ -363,12 +363,13 @@ def test_cli_campaign_malformed_spec_is_one_line_error(tmp_path, capsys):
 
 
 def test_cli_error_paths_are_consistent(tmp_path, capsys):
-    """campaign / refine / failures share the one-line diagnostic shape."""
+    """campaign / refine / gap / failures share the one-line diagnostic shape."""
     bad = tmp_path / "bad_design.json"
     bad.write_text("{torn")
     for argv in (
         ["campaign", "run", str(bad)],
         ["refine", str(bad)],
+        ["gap", str(bad)],
         ["failures", str(bad)],
         ["worst-case", str(bad)],
     ):

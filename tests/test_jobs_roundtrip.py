@@ -29,6 +29,7 @@ from repro.io.serialization import save_use_case_set, use_case_set_to_dict
 from repro.jobs import (
     DesignFlowJob,
     FrequencyJob,
+    GapJob,
     RefineJob,
     SweepJob,
     UseCaseSource,
@@ -41,7 +42,7 @@ from repro.jobs.spec import resolve_job
 from repro.params import MapperConfig, NoCParameters
 
 SEED = 20260728
-PER_KIND = 40  # x 5 kinds = 200 random specs
+PER_KIND = 40  # x 6 kinds = 240 random specs
 
 #: golden content hash of one canonical job — fails if the hashing scheme
 #: (canonical JSON over the resolved document) ever drifts, which would
@@ -205,8 +206,21 @@ def random_sweep(rng, design_file):
     )
 
 
+def random_gap(rng, design_file):
+    return GapJob(
+        use_cases=random_source(rng, design_file),
+        params=random_params(rng),
+        config=random_config(rng),
+        solver=rng.choice(["auto", "pulp", "native"]),
+        groups=random_groups(rng),
+        refine_iterations=rng.choice([0, 0, 50, 200]),
+        seed=rng.randint(0, 999),
+        node_limit=rng.choice([None, 1000, 100000]),
+    )
+
+
 BUILDERS = (random_design_flow, random_worst_case, random_refine,
-            random_frequency, random_sweep)
+            random_frequency, random_sweep, random_gap)
 
 
 # --------------------------------------------------------------------------- #
@@ -242,7 +256,7 @@ def test_random_specs_round_trip_and_hash_stably(design_file):
                     "two specs with different resolved content share a hash"
                 )
             seen[first] = resolved
-    assert total == 5 * PER_KIND
+    assert total == 6 * PER_KIND
     # the sweep actually exercised distinct content, not 200 copies
     assert len(seen) > total // 2
 
@@ -301,6 +315,16 @@ MALFORMED = [
                  "exactly one of", id="over-populated-source"),
     pytest.param({"kind": "worst_case", "use_cases": {"bogus": 1}},
                  "cannot interpret use-case source", id="unrecognised-source"),
+    pytest.param({"kind": "gap"}, "missing its 'use_cases'",
+                 id="gap-missing-source"),
+    pytest.param({"kind": "gap", "use_cases": GENERATOR_SOURCE,
+                  "solver": "simplex"}, "unknown exact solver",
+                 id="gap-unknown-solver"),
+    pytest.param({"kind": "gap", "use_cases": GENERATOR_SOURCE,
+                  "refine_iterations": "lots"}, "malformed 'gap'",
+                 id="gap-wrong-type-int"),
+    pytest.param({"kind": "gap", "use_cases": GENERATOR_SOURCE,
+                  "node_limit": -5}, "node_limit", id="gap-negative-node-limit"),
 ]
 
 
@@ -325,6 +349,8 @@ def test_malformed_documents_never_leak_builtin_exceptions():
         job_to_dict(SweepJob(study="headline")),
         job_to_dict(FrequencyJob(use_cases=UseCaseSource(generator=dict(
             kind="bottleneck", use_case_count=2)), frequencies_mhz=(100.0,))),
+        job_to_dict(GapJob(use_cases=UseCaseSource(generator=dict(
+            kind="spread", use_case_count=3)), solver="native")),
     ]
     junk = [None, 5, "x", [], [1], {"oops": 1}, True, 3.5]
     for _ in range(120):
