@@ -8,14 +8,17 @@
   of the evaluation section; the benchmark harness calls these.
 * :mod:`repro.analysis.failures` — single-failure sweeps over a baseline
   mapping: which link/switch failures break schedulability, per operating
-  point (``python -m repro failures``).
+  point (``python -m repro failures``) — plus the traffic-headroom sweep
+  (how much uniform bandwidth growth the splice-repair path absorbs).
 """
 
 from repro.analysis.failures import (
     FailureSweepRow,
+    TrafficSweepRow,
     failure_sweep,
     single_link_failures,
     single_switch_failures,
+    traffic_sweep,
 )
 from repro.analysis.metrics import MethodComparison, compare_methods
 from repro.analysis.frequency import minimum_design_frequency
@@ -33,9 +36,11 @@ from repro.analysis.sweeps import (
 
 __all__ = [
     "FailureSweepRow",
+    "TrafficSweepRow",
     "failure_sweep",
     "single_link_failures",
     "single_switch_failures",
+    "traffic_sweep",
     "MethodComparison",
     "compare_methods",
     "minimum_design_frequency",

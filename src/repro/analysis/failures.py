@@ -24,9 +24,11 @@ from repro.noc.topology import Topology
 
 __all__ = [
     "FailureSweepRow",
+    "TrafficSweepRow",
     "single_link_failures",
     "single_switch_failures",
     "failure_sweep",
+    "traffic_sweep",
 ]
 
 
@@ -177,6 +179,100 @@ def failure_sweep(
         rows.extend(
             _sweep_one_engine(
                 sibling, use_cases, baseline, candidates, groups_arg, frequency
+            )
+        )
+    return rows
+
+
+@dataclass
+class TrafficSweepRow:
+    """Outcome of splice-repairing the baseline at one traffic scale."""
+
+    scale: float
+    schedulable: bool
+    repaired: bool
+    changed_use_cases: int
+    affected_groups: int
+    groups_total: int
+    cost_delta: Optional[float]
+    unrepairable: Tuple[str, ...]
+
+    def as_dict(self) -> Dict:
+        return {
+            "scale": self.scale,
+            "schedulable": self.schedulable,
+            "repaired": self.repaired,
+            "changed_use_cases": self.changed_use_cases,
+            "affected_groups": self.affected_groups,
+            "groups_total": self.groups_total,
+            "cost_delta": self.cost_delta,
+            "unrepairable": list(self.unrepairable),
+        }
+
+
+def traffic_sweep(
+    use_cases,
+    scales: Sequence[float] = (1.0, 1.25, 1.5, 2.0),
+    baseline: Optional[MappingResult] = None,
+    engine: Optional[MappingEngine] = None,
+    provision: Optional[Tuple[int, int]] = None,
+    groups=None,
+) -> List[TrafficSweepRow]:
+    """Bandwidth-headroom analysis: how much traffic growth a mapping absorbs.
+
+    For each scale factor, every flow's bandwidth is re-characterised to
+    ``scale ×`` its design value (:func:`repro.ops.events.apply_traffic`)
+    and the baseline is splice-repaired around the change — only groups
+    containing a re-characterised use case are re-evaluated, exactly the
+    path a live :class:`~repro.ops.monitor.Monitor` traffic event takes.
+    A row is schedulable when either the splice or a from-scratch remap of
+    the (unchanged) topology still fits; the first unschedulable scale is
+    the deployment's traffic headroom limit.  Scale ``1.0`` is the no-op
+    control row: zero changed use cases, zero affected groups.
+    """
+    from repro.ops.events import apply_traffic
+
+    engine = engine or MappingEngine()
+    groups_arg = None if groups is None else [list(group) for group in groups]
+    if baseline is None:
+        if provision is not None:
+            rows_, cols_ = provision
+            baseline = engine.mapper.map_with_placement(
+                use_cases, Topology.mesh(rows_, cols_), {},
+                groups=groups_arg, validate=False,
+            )
+        else:
+            baseline = engine.map(use_cases, groups=groups_arg)
+
+    rows: List[TrafficSweepRow] = []
+    for scale in scales:
+        overrides = {
+            (use_case.name, flow.source, flow.destination):
+                flow.bandwidth * float(scale)
+            for use_case in use_cases
+            for flow in use_case.flows
+        }
+        recharacterised, changed = apply_traffic(use_cases, overrides)
+        outcome = repair_mapping(
+            engine, recharacterised, baseline, FailureSet(),
+            groups=groups_arg, compare_full_remap=True,
+            changed_use_cases=changed,
+        )
+        repaired = outcome.repaired is not None
+        delta = (
+            None if outcome.repaired_cost is None
+            else outcome.repaired_cost - outcome.baseline_cost
+        )
+        rows.append(
+            TrafficSweepRow(
+                scale=float(scale),
+                schedulable=repaired or outcome.full_remap is not None,
+                repaired=repaired,
+                changed_use_cases=len(outcome.changed_use_cases),
+                affected_groups=len(outcome.affected_group_ids),
+                groups_total=outcome.groups_total,
+                cost_delta=delta,
+                unrepairable=outcome.unrepairable,
             )
         )
     return rows

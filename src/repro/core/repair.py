@@ -32,7 +32,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import MappingEngine
 from repro.core.result import MappingResult, UseCaseConfiguration
-from repro.exceptions import MappingError
+from repro.exceptions import MappingError, RoutingError
+
+#: evaluation failures that mean "infeasible on this degraded topology",
+#: not "bug" — a failure set that partitions the mesh surfaces as
+#: RoutingError (no path between switches), not MappingError
+_INFEASIBLE = (MappingError, RoutingError)
 from repro.noc.failures import FailureSet
 from repro.noc.topology import Topology
 
@@ -65,6 +70,7 @@ class RepairOutcome:
     degraded_topology: Topology
     baseline_cost: float
     affected_group_ids: Tuple[int, ...] = ()
+    changed_use_cases: Tuple[str, ...] = ()
     displaced_cores: Tuple[str, ...] = ()
     repaired: Optional[MappingResult] = None
     repaired_cost: Optional[float] = None
@@ -97,6 +103,10 @@ class RepairOutcome:
             "evaluations": dict(self.evaluations),
             "elapsed_s": round(self.elapsed_s, 6),
         }
+        # Omitted when empty so pure-failure repair payloads (and their
+        # content hashes — the persistent cache keys) are unchanged.
+        if self.changed_use_cases:
+            document["changed_use_cases"] = list(self.changed_use_cases)
         if self.full_remap_cost is not None or self.full_remap_elapsed_s is not None:
             document["full_remap_cost"] = self.full_remap_cost
             document["full_remap_elapsed_s"] = (
@@ -116,12 +126,22 @@ def _endpoint_cores(bundle, group_id: int) -> FrozenSet[str]:
 
 
 def _affected_groups(bundle, baseline: MappingResult, failures: FailureSet,
-                     displaced: Set[str]) -> Set[int]:
-    """Group ids whose endpoint placement or allocation paths touch failures."""
+                     displaced: Set[str],
+                     changed_use_cases: FrozenSet[str] = frozenset()) -> Set[int]:
+    """Group ids whose endpoint placement or allocation paths touch failures.
+
+    ``changed_use_cases`` extends the failure criterion with traffic deltas:
+    a group containing a re-characterised use case carries baseline
+    allocations computed for the *old* bandwidths, so it must be re-evaluated
+    against the new spec even if none of its paths touch a failed resource.
+    """
     affected: Set[int] = set()
     for requirement in bundle.requirements:
         group_id = requirement.group_id
         if displaced & _endpoint_cores(bundle, group_id):
+            affected.add(group_id)
+            continue
+        if changed_use_cases & set(requirement.member_names):
             affected.add(group_id)
             continue
         for name in requirement.member_names:
@@ -211,6 +231,7 @@ def repair_mapping(
     failures: FailureSet,
     groups=None,
     compare_full_remap: bool = False,
+    changed_use_cases: Sequence[str] = (),
 ) -> RepairOutcome:
     """Repair a baseline mapping after a failure set, remapping only what broke.
 
@@ -233,6 +254,13 @@ def repair_mapping(
     compare_full_remap:
         Also run a from-scratch remap on the degraded topology (free
         placement, same fixed topology) and report its cost and wall time.
+    changed_use_cases:
+        Names of use cases whose traffic was re-characterised since the
+        baseline was computed.  ``use_cases`` must already carry the *new*
+        bandwidths; every group containing one of these use cases joins the
+        affected set and is re-evaluated (the traffic-delta splice path of
+        :class:`repro.ops.monitor.Monitor`), while untouched groups keep
+        their baseline allocations verbatim as usual.
     """
     started = time.perf_counter()
     failures = failures.copy()
@@ -260,7 +288,7 @@ def repair_mapping(
                     spec.use_case_set, degraded, {}, groups=resolved,
                     method_name="unified-full-remap", validate=False,
                 )
-            except MappingError:
+            except _INFEASIBLE:
                 full = None
             outcome.full_remap_elapsed_s = time.perf_counter() - remap_started
             outcome.full_remap = full
@@ -276,14 +304,16 @@ def repair_mapping(
         core for core, switch in baseline.core_mapping.items()
         if failures.affects_switch(switch)
     )
+    changed = frozenset(changed_use_cases)
     affected = frozenset(
-        sorted(_affected_groups(bundle, baseline, failures, set(displaced)))
+        sorted(_affected_groups(bundle, baseline, failures, set(displaced), changed))
     )
     outcome = RepairOutcome(
         failures=failures,
         degraded_topology=degraded,
         baseline_cost=baseline_cost,
         affected_group_ids=tuple(sorted(affected)),
+        changed_use_cases=tuple(sorted(changed)),
         displaced_cores=tuple(displaced),
         groups_total=len(bundle.requirements),
     )
@@ -350,7 +380,7 @@ def repair_mapping(
             trial[core] = candidate
             try:
                 cost = subset_cost(trial)
-            except MappingError:
+            except _INFEASIBLE:
                 continue
             if best is None or (cost, candidate) < best:
                 best = (cost, candidate)
@@ -362,7 +392,7 @@ def repair_mapping(
     # ------------------------------------------------------------------ #
     try:
         outcomes = engine._evaluate_groups(bundle, degraded, placement, only=affected)
-    except MappingError:
+    except _INFEASIBLE:
         outcome.unrepairable = _probe_unrepairable(
             engine, bundle, degraded, placement, affected
         )

@@ -74,6 +74,21 @@ Three subcommands cover the common workflows without writing any Python:
             --cache-dir .repro-cache
         python -m repro serve jobs-inbox --status
 
+``repro monitor INBOX --probe-script F [--period S] [--once] [--replay]``
+    Run the live-operations loop (:class:`repro.ops.Monitor`): poll the
+    probe source every ``--period`` seconds, append observed link/switch
+    failures, heals and traffic re-characterisations to the crash-
+    replayable ``INBOX/monitor/events.jsonl``, and enqueue a warm
+    :class:`~repro.jobs.spec.RepairJob` into ``INBOX`` for every change
+    (escalated to a full remap when the splice repair reports
+    unrepairable use cases).  ``--replay`` reconstructs monitor state
+    purely from the event log (``--replay-out FILE`` writes bytes
+    identical to the live ``state.json``)::
+
+        python -m repro monitor jobs-inbox --probe-script probe.json \\
+            --spread 8 --provision 3x3 --once --cache-dir .repro-cache
+        python -m repro monitor jobs-inbox --replay
+
 Every subcommand accepts ``--workers N`` (process-pool fan-out) and
 ``--cache-dir DIR`` (persistent result cache; executions additionally
 warm-start from the cache's engine-state store unless ``--no-seed`` is
@@ -390,6 +405,67 @@ def build_parser() -> argparse.ArgumentParser:
              "child process when set (default: no timeout, in-process)",
     )
     _add_common_options(serve, include_out=False)
+
+    monitor = commands.add_parser(
+        "monitor", help="probe the network periodically and enqueue warm "
+                        "repair jobs into a serve inbox",
+        description="Run the live-operations loop (repro.ops.Monitor): poll a "
+                    "probe source for link/switch failures and per-flow "
+                    "traffic readings, append the deltas to the crash-"
+                    "replayable INBOX/monitor/events.jsonl, and enqueue a "
+                    "warm RepairJob into INBOX for every observed change "
+                    "(escalated to a full remap when the splice repair "
+                    "reports unrepairable use cases).  --replay reconstructs "
+                    "the monitor state purely from the event log and prints "
+                    "it, probing nothing.",
+    )
+    monitor.add_argument("inbox", metavar="INBOX",
+                         help="'repro serve' inbox to enqueue repair jobs "
+                              "into (created if missing)")
+    monitor.add_argument(
+        "--probe-script", default=None, metavar="FILE",
+        help="repro/probe-script@1 file: one scripted observation per poll, "
+             "clamping at the last step (the deterministic probe source)",
+    )
+    monitor.add_argument("--design", default=None, metavar="DESIGN.json",
+                         help="use-case-set file of the deployed design")
+    monitor.add_argument(
+        "--spread", type=int, default=None, metavar="N",
+        help="generate a spread benchmark with N use cases instead of "
+             "reading a design file",
+    )
+    monitor.add_argument("--design-seed", type=int, default=3, metavar="S",
+                         help="generator seed for --spread (default: 3)")
+    monitor.add_argument(
+        "--provision", default=None, metavar="RxC",
+        help="mesh dimensions (e.g. 3x3) the baseline is computed on; fault "
+             "tolerance needs spare capacity, so deployments should "
+             "provision",
+    )
+    monitor.add_argument("--period", type=float, default=5.0, metavar="S",
+                         help="seconds between probe polls (default: 5.0)")
+    monitor.add_argument("--once", action="store_true",
+                         help="poll exactly once and exit")
+    monitor.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="exit after N polls (default: poll until interrupted)",
+    )
+    monitor.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="directory for events.jsonl and state.json "
+             "(default: INBOX/monitor/)",
+    )
+    monitor.add_argument(
+        "--replay", action="store_true",
+        help="reconstruct monitor state from the event log and print it; "
+             "probes nothing, writes nothing unless --replay-out is given",
+    )
+    monitor.add_argument(
+        "--replay-out", default=None, metavar="FILE",
+        help="with --replay: write the reconstructed state's canonical "
+             "bytes to FILE (byte-identical to the live state.json)",
+    )
+    _add_common_options(monitor, include_out=False)
 
     return parser
 
@@ -885,6 +961,19 @@ def _print_status(status) -> None:
     for entry in status.get("quarantined", ()):
         print(f"[quarantined] {entry['file']}  after {entry['attempts']} "
               f"attempt(s): {entry['error']}")
+    monitor = status.get("monitor")
+    if monitor is not None:
+        if "error" in monitor:
+            print(f"monitor: event log unreadable: {monitor['error']}")
+        else:
+            print(f"monitor: {monitor['events']} event(s), "
+                  f"{monitor['enqueued']} job(s) enqueued; "
+                  f"failures: {monitor['failures']}; "
+                  f"{monitor['traffic_overrides']} traffic override(s)")
+            last_enqueued = monitor.get("last_enqueued")
+            if last_enqueued is not None:
+                print(f"monitor last enqueue: {last_enqueued['file']} "
+                      f"({last_enqueued['action']})")
     last = status["last_record"]
     if last is not None:
         _print_service_record(last)
@@ -948,6 +1037,79 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _command_monitor(args) -> int:
+    from repro.jobs.spec import UseCaseSource
+
+    if args.replay:
+        from repro.ops.events import canonical_state_bytes, replay_events
+
+        state_dir = (
+            Path(args.state_dir) if args.state_dir
+            else Path(args.inbox) / "monitor"
+        )
+        events_path = state_dir / "events.jsonl"
+        state = replay_events(events_path)
+        payload = canonical_state_bytes(state)
+        if args.replay_out:
+            Path(args.replay_out).write_bytes(payload)
+            print(f"replayed {state.seq} event(s) from {events_path} "
+                  f"-> {args.replay_out}")
+        else:
+            print(payload.decode(), end="")
+        return 0
+
+    if (args.design is None) == (args.spread is None):
+        return _fail("monitor needs a --design DESIGN.json or --spread N "
+                     "(not both)")
+    if args.probe_script is None:
+        return _fail("monitor needs --probe-script FILE (the process-"
+                     "callback source is Python-API only: "
+                     "repro.ops.CallbackProbeSource)")
+    if args.design is not None:
+        # Resolved: the enqueued job files are executed from the inbox's
+        # running/ directory, where a relative design path would not load.
+        source = UseCaseSource(path=str(Path(args.design).resolve()))
+    else:
+        source = UseCaseSource(generator={
+            "kind": "spread",
+            "use_case_count": args.spread,
+            "seed": args.design_seed,
+        })
+    from repro.ops.monitor import Monitor
+    from repro.ops.probe import ScriptProbeSource
+
+    store_path = None
+    if args.cache_dir is not None and not args.no_seed:
+        from repro.jobs.cache import JobCache
+
+        store_path = JobCache(args.cache_dir).store.directory
+    monitor = Monitor(
+        args.inbox,
+        ScriptProbeSource(args.probe_script),
+        source,
+        provision=_parse_provision(args.provision),
+        period_s=args.period,
+        state_dir=args.state_dir,
+        store_path=store_path,
+    )
+    max_polls = 1 if args.once else args.max_polls
+    try:
+        records = monitor.run(max_polls=max_polls)
+    except KeyboardInterrupt:
+        records = []
+        print()
+    for record in records:
+        changes = record["delta"]
+        if record["traffic_changes"]:
+            changes += f", {record['traffic_changes']} traffic change(s)"
+        print(f"[{record['action']}] {record['file']}  {changes}"
+              + (f"  UNREPAIRABLE: {', '.join(record['unrepairable'])}"
+                 if record["unrepairable"] else ""))
+    print(f"{monitor.polls} poll(s), {len(records)} change(s) enqueued; "
+          f"state {monitor.state_path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -960,6 +1122,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "failures": _command_failures,
         "campaign": _command_campaign,
         "serve": _command_serve,
+        "monitor": _command_monitor,
     }
     try:
         return handlers[args.command](args)

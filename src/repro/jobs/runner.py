@@ -36,7 +36,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.design_flow import DesignFlow
 from repro.core.engine import MappingEngine
@@ -383,12 +383,24 @@ def _execute_repair(job: RepairJob, engine: MappingEngine) -> Dict:
     failures = FailureSet.from_dict(job.failures)
     groups = None if job.groups is None else [list(group) for group in job.groups]
     try:
+        # The baseline is always the design-bandwidth mapping: live traffic
+        # re-characterisations splice *against* it, they don't move it.
         baseline = _repair_baseline(job, use_cases, engine)
     except MappingError as exc:
         return _failure_payload(exc)
+    changed_use_cases: Tuple[str, ...] = ()
+    if job.traffic:
+        from repro.ops.events import apply_traffic
+
+        overrides = {
+            (name, source, destination): bandwidth
+            for name, source, destination, bandwidth in job.traffic
+        }
+        use_cases, changed_use_cases = apply_traffic(use_cases, overrides)
     outcome = repair_mapping(
         engine, use_cases, baseline, failures,
         groups=groups, compare_full_remap=job.compare_full_remap,
+        changed_use_cases=changed_use_cases,
     )
     if outcome.repaired is None:
         payload: Dict = {"mapped": False, "unrepairable": list(outcome.unrepairable)}

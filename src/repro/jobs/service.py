@@ -77,6 +77,7 @@ from repro.exceptions import ReproError
 from repro.jobs.faults import FaultInjector, InjectedFault
 from repro.jobs.runner import JobRunner
 from repro.jobs.spec import load_jobs
+from repro.ops.clock import Clock, SystemClock
 
 __all__ = ["JobDirectoryService", "inbox_status", "fleet_status"]
 
@@ -158,6 +159,7 @@ class JobDirectoryService:
         retry_backoff_s: float = 0.05,
         job_timeout_s: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
+        clock: Optional["Clock"] = None,
     ) -> None:
         self.inbox = Path(inbox)
         self.running_dir = self.inbox / "running"
@@ -176,6 +178,7 @@ class JobDirectoryService:
         )
         self.max_attempts = max(1, int(max_attempts))
         self.retry_backoff_s = retry_backoff_s
+        self.clock = clock or SystemClock()
         self.job_timeout_s = job_timeout_s
         self.fault_injector = (
             FaultInjector.from_env() if fault_injector is None else fault_injector
@@ -312,7 +315,7 @@ class JobDirectoryService:
                 attempt_errors.append(f"{type(exc).__name__}: {exc}")
                 if attempt < self.max_attempts:
                     if self.retry_backoff_s:
-                        time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                        self.clock.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
                     continue
                 if not claimed.exists():
                     return None
@@ -425,7 +428,7 @@ class JobDirectoryService:
         if action == "hang":
             # In-process there is nothing to preempt the stall; model the
             # watchdog giving up after the hang.
-            time.sleep(injector.hang_s)
+            self.clock.sleep(injector.hang_s)
             raise InjectedFault(f"injected hang ({token})")
         executed_before = self.runner.executed_jobs
         results = self.runner.run_many(jobs)
@@ -547,7 +550,7 @@ class JobDirectoryService:
             if max_polls is not None and polls >= max_polls:
                 break
             if not self._stop:
-                time.sleep(poll_interval)
+                self.clock.sleep(poll_interval)
         return self.processed_files - processed_before
 
     def stop(self) -> None:
@@ -642,7 +645,7 @@ def inbox_status(inbox: Union[str, Path]) -> Dict:
         jobs += int(record.get("jobs", 0))
         cached += int(record.get("cached", 0))
         executed += int(record.get("executed", 0))
-    return {
+    status = {
         "inbox": str(root),
         "files": counts,
         "manifest": {
@@ -662,6 +665,24 @@ def inbox_status(inbox: Union[str, Path]) -> Dict:
         "quarantined": quarantined,
         "last_record": last,
     }
+    events_path = root / "monitor" / "events.jsonl"
+    if events_path.exists():
+        from repro.ops.events import replay_events
+
+        try:
+            state = replay_events(events_path)
+        except ReproError as exc:
+            status["monitor"] = {"error": str(exc)}
+        else:
+            status["monitor"] = {
+                "events": state.seq,
+                "time": state.time,
+                "failures": state.failures.describe(),
+                "traffic_overrides": len(state.traffic),
+                "enqueued": len(state.enqueued),
+                "last_enqueued": state.enqueued[-1] if state.enqueued else None,
+            }
+    return status
 
 
 def fleet_status(

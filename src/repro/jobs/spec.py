@@ -615,6 +615,13 @@ class RepairJob:
       spare-capacity baseline on (fault tolerance needs headroom — the
       minimal mesh has none, so every failure on it breaks schedulability);
     * neither — the engine's minimal-topology mapping of the design.
+
+    ``traffic`` carries live bandwidth re-characterisations as
+    ``(use_case, source, destination, bytes_per_s)`` rows: the baseline is
+    still computed from the *design* bandwidths, then the overrides are
+    applied (:func:`repro.ops.events.apply_traffic`) and the affected use
+    cases join the splice set.  Serialized only when non-empty so
+    traffic-free repair jobs keep their historical hashes.
     """
 
     KIND = "repair"
@@ -626,6 +633,7 @@ class RepairJob:
     baseline: Optional[Dict] = None
     provision: Optional[Tuple[int, int]] = None
     groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    traffic: Tuple[Tuple[str, str, str, float], ...] = ()
     compare_full_remap: bool = False
 
     def __post_init__(self) -> None:
@@ -641,9 +649,15 @@ class RepairJob:
             raise SpecificationError(
                 "repair job 'baseline' must be {'inline': {...}} or {'path': ...}"
             )
+        for row in self.traffic:
+            if len(row) != 4 or row[3] is None or float(row[3]) <= 0:
+                raise SpecificationError(
+                    "repair job 'traffic' rows must be "
+                    f"[use_case, source, destination, bytes_per_s>0], got {row!r}"
+                )
 
     def to_dict(self) -> Dict:
-        return {
+        document = {
             "kind": self.KIND,
             "use_cases": self.use_cases.to_dict(),
             "failures": self.failures,
@@ -654,6 +668,9 @@ class RepairJob:
             "groups": None if self.groups is None else [list(g) for g in self.groups],
             "compare_full_remap": self.compare_full_remap,
         }
+        if self.traffic:
+            document["traffic"] = [list(row) for row in self.traffic]
+        return document
 
     @classmethod
     def from_dict(cls, document: Dict) -> "RepairJob":
@@ -666,6 +683,10 @@ class RepairJob:
             baseline=document.get("baseline"),
             provision=None if provision is None else (int(provision[0]), int(provision[1])),
             groups=_parse_groups(document.get("groups")),
+            traffic=tuple(
+                (str(row[0]), str(row[1]), str(row[2]), float(row[3]))
+                for row in document.get("traffic") or ()
+            ),
             compare_full_remap=bool(document.get("compare_full_remap", False)),
         )
 

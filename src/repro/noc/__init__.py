@@ -15,7 +15,7 @@ This package models the Æthereal-style network the methodology maps onto:
 """
 
 from repro.noc.topology import Link, Switch, Topology
-from repro.noc.failures import FailureSet
+from repro.noc.failures import FailureDelta, FailureSet
 from repro.noc.slot_table import SlotTable, SlotReservation
 from repro.noc.resources import PathReservation, ResourceState
 from repro.noc.routing import PathSelector, RoutingPolicy
@@ -30,6 +30,7 @@ __all__ = [
     "Link",
     "Switch",
     "Topology",
+    "FailureDelta",
     "FailureSet",
     "SlotTable",
     "SlotReservation",

@@ -22,14 +22,52 @@ another.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
 
 from repro.exceptions import TopologyError
 
-__all__ = ["FailureSet"]
+__all__ = ["FailureSet", "FailureDelta"]
 
 #: a directed link, as in :mod:`repro.noc.topology`
 _Link = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FailureDelta:
+    """What changed between two observed failure states.
+
+    The monitoring loop (:mod:`repro.ops.monitor`) probes the network
+    periodically and reacts to *changes*, not absolute states: a link that
+    was down last poll and is still down needs no new repair.
+    :meth:`FailureSet.diff` reduces two snapshots to the directed links and
+    switches that newly failed or healed between them.
+    """
+
+    failed_links: Tuple[_Link, ...] = ()
+    healed_links: Tuple[_Link, ...] = ()
+    failed_switches: Tuple[int, ...] = ()
+    healed_switches: Tuple[int, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.failed_links or self.healed_links
+                    or self.failed_switches or self.healed_switches)
+
+    def describe(self) -> str:
+        """Short human-readable summary for event logs and CLI output."""
+        parts = []
+        for label, links in (("down", self.failed_links), ("up", self.healed_links)):
+            seen = set()
+            for source, destination in links:
+                if (destination, source) in seen:
+                    continue
+                seen.add((source, destination))
+                arrow = "<->" if (destination, source) in links else "->"
+                parts.append(f"link {source}{arrow}{destination} {label}")
+        parts.extend(f"switch {index} down" for index in self.failed_switches)
+        parts.extend(f"switch {index} up" for index in self.healed_switches)
+        return ", ".join(parts) if parts else "no change"
 
 
 class FailureSet:
@@ -119,6 +157,21 @@ class FailureSet:
     def frozen(self) -> Tuple[Tuple[_Link, ...], Tuple[int, ...]]:
         """Canonical immutable form (hashable, order-independent)."""
         return self.links, self.switches
+
+    def diff(self, observed: "FailureSet") -> FailureDelta:
+        """The delta from this (last-known) state to an observed one.
+
+        ``failed_*`` are resources down in ``observed`` but not here;
+        ``healed_*`` the reverse.  Directed links are compared individually,
+        so a probe that sees only one direction of a channel recover
+        produces exactly that single-direction delta.
+        """
+        return FailureDelta(
+            failed_links=tuple(sorted(observed._links - self._links)),
+            healed_links=tuple(sorted(self._links - observed._links)),
+            failed_switches=tuple(sorted(observed._switches - self._switches)),
+            healed_switches=tuple(sorted(self._switches - observed._switches)),
+        )
 
     def copy(self) -> "FailureSet":
         return FailureSet(links=self._links, switches=self._switches)

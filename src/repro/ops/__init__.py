@@ -1,0 +1,69 @@
+"""Live-operations layer: probing, event logs and the monitoring loop.
+
+The static mapping methodology only pays off operationally when a deployed
+mapping reacts to the network it actually has.  This package closes that
+loop:
+
+* :mod:`repro.ops.clock` — the injectable :class:`Clock` protocol every
+  loop in the repo sleeps through (:class:`SystemClock` in production, a
+  fake in tests, so the entire subsystem is testable without sleeping);
+* :mod:`repro.ops.probe` — the pluggable :class:`ProbeSource` contract
+  (one :class:`Observation` of link/switch failures plus per-flow traffic
+  readings per poll), with a deterministic scripted source for tests/CI
+  and a callback source for real deployments;
+* :mod:`repro.ops.events` — the append-only, crash-replayable
+  ``events.jsonl`` log (schema ``repro/events@1``): replaying it
+  reconstructs monitor state byte-identically, plus the
+  :class:`TrafficEvent` re-characterisation model that re-freezes affected
+  use cases;
+* :mod:`repro.ops.monitor` — the :class:`Monitor` loop itself: probe,
+  diff against the last known state, and enqueue warm
+  :class:`~repro.jobs.spec.RepairJob` files into a ``repro serve`` inbox
+  (full remaps when the splice repair reports unrepairable use cases).
+
+``python -m repro monitor INBOX --probe-script F --period S`` is the CLI
+front end; ``repro serve --status`` surfaces the monitor section of any
+inbox that has one.
+"""
+
+from repro.ops.clock import Clock, FakeClock, SystemClock
+from repro.ops.events import (
+    EVENTS_SCHEMA,
+    MONITOR_STATE_SCHEMA,
+    EventLog,
+    MonitorState,
+    TrafficEvent,
+    apply_traffic,
+    canonical_state_bytes,
+    read_events,
+    replay_events,
+)
+from repro.ops.monitor import Monitor
+from repro.ops.probe import (
+    PROBE_SCRIPT_SCHEMA,
+    CallbackProbeSource,
+    Observation,
+    ProbeSource,
+    ScriptProbeSource,
+)
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "EVENTS_SCHEMA",
+    "MONITOR_STATE_SCHEMA",
+    "EventLog",
+    "MonitorState",
+    "TrafficEvent",
+    "apply_traffic",
+    "canonical_state_bytes",
+    "read_events",
+    "replay_events",
+    "Monitor",
+    "PROBE_SCRIPT_SCHEMA",
+    "Observation",
+    "ProbeSource",
+    "ScriptProbeSource",
+    "CallbackProbeSource",
+]

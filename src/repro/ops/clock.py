@@ -1,0 +1,71 @@
+"""The injectable clock every loop in the repo tells time through.
+
+Loops that sleep — the monitor's poll period, the serve loop's poll
+interval, retry backoff — never call :func:`time.sleep` directly.  They
+take a :class:`Clock`, which in production is the :class:`SystemClock`
+singleton and in tests a :class:`FakeClock` whose ``sleep`` returns
+instantly while advancing virtual time.  That one seam is what makes the
+whole live-operations subsystem (and the service's retry/poll behaviour)
+testable in milliseconds with zero real sleeping.
+
+The protocol is deliberately tiny: ``now()`` is a monotonic float of
+seconds (epoch-free — only differences are meaningful, matching
+:func:`time.monotonic`), ``sleep(seconds)`` blocks for that long.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+class Clock:
+    """Protocol: a monotonic time source with a blocking sleep."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds (differences only)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (no-op for non-positive values)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real thing: :func:`time.monotonic` + :func:`time.sleep`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """Virtual time for tests: ``sleep`` advances instantly and is recorded.
+
+    ``now()`` starts at ``start`` and only moves when ``sleep`` or
+    :meth:`advance` is called, so a test drives exactly the schedule it
+    wants and asserts on :attr:`sleeps` — the durations the code under test
+    *asked* to sleep — without a single real wall-clock stall.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: every duration passed to :meth:`sleep`, in call order
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        if seconds > 0:
+            self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward without recording a sleep."""
+        self._now += float(seconds)

@@ -1,0 +1,173 @@
+"""Pluggable probe sources: where the monitor's observations come from.
+
+A probe source answers one question per poll: *what does the network look
+like right now?* — packaged as an :class:`Observation` holding the absolute
+:class:`~repro.noc.failures.FailureSet` (not a delta; diffing against the
+last known state is the monitor's job) and the full set of active traffic
+overrides (flows currently measured away from their design bandwidth).
+
+Two implementations cover the two deployment modes:
+
+* :class:`ScriptProbeSource` — a deterministic script file (schema
+  ``repro/probe-script@1``), one step per poll, clamping at the last step.
+  This is what tests and the CI smoke drive: the whole
+  fail → repair → heal choreography is data.
+* :class:`CallbackProbeSource` — a callable for real deployments, where
+  the observation comes from hardware path probes
+  (``mark_path_down``-style runtime monitors) or an external telemetry
+  process.
+
+The script shape::
+
+    {
+      "schema": "repro/probe-script@1",
+      "steps": [
+        {"failures": {"links": [[1, 4], [4, 1]], "switches": []},
+         "traffic": [["uc1", "C1", "C2", 25000000.0]]},
+        {"failures": {"links": [], "switches": []}}
+      ]
+    }
+
+Each step is the *complete* observed state: ``failures`` defaults to none,
+``traffic`` to no overrides, and a flow absent from ``traffic`` is at its
+design bandwidth.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Tuple, Union
+
+from repro.exceptions import SerializationError
+from repro.noc.failures import FailureSet
+from repro.ops.events import TrafficEvent
+
+__all__ = [
+    "PROBE_SCRIPT_SCHEMA",
+    "Observation",
+    "ProbeSource",
+    "ScriptProbeSource",
+    "CallbackProbeSource",
+]
+
+PROBE_SCRIPT_SCHEMA = "repro/probe-script@1"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One poll's complete view of the network.
+
+    ``failures`` is the absolute failure state; ``traffic`` the complete
+    set of active overrides (``bandwidth`` is never ``None`` here — a flow
+    back at its design value is simply absent).
+    """
+
+    failures: FailureSet
+    traffic: Tuple[TrafficEvent, ...] = ()
+
+    def traffic_map(self) -> Dict[Tuple[str, str, str], float]:
+        """The overrides as a ``{(use_case, source, destination): bw}`` map."""
+        return {reading.key: float(reading.bandwidth) for reading in self.traffic}
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "Observation":
+        """Build an observation from one script-step-shaped document."""
+        if not isinstance(document, dict):
+            raise SerializationError(
+                f"probe step must be a mapping, got {type(document).__name__}"
+            )
+        readings = []
+        for row in document.get("traffic", ()):
+            try:
+                use_case, source, destination, bandwidth = row
+            except (TypeError, ValueError):
+                raise SerializationError(
+                    "probe traffic rows must be "
+                    f"[use_case, source, destination, bandwidth], got {row!r}"
+                ) from None
+            if bandwidth is None:
+                raise SerializationError(
+                    "probe traffic rows carry absolute bandwidths; omit the "
+                    "row to revert a flow to its design value"
+                )
+            readings.append(TrafficEvent(
+                str(use_case), str(source), str(destination), float(bandwidth)
+            ))
+        return cls(
+            failures=FailureSet.from_dict(document.get("failures") or {}),
+            traffic=tuple(readings),
+        )
+
+
+class ProbeSource:
+    """Protocol: one :class:`Observation` per monitor poll."""
+
+    def observe(self, now: float) -> Observation:
+        """The network's current state, as of clock time ``now``."""
+        raise NotImplementedError
+
+
+class ScriptProbeSource(ProbeSource):
+    """Deterministic observations from a ``repro/probe-script@1`` file.
+
+    Poll ``n`` returns step ``n`` (0-based); polls past the end keep
+    returning the final step, so a script describes a finite choreography
+    followed by a steady state.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        source = Path(path)
+        try:
+            document = json.loads(source.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"cannot read probe script from {source}: {exc}"
+            ) from exc
+        if not isinstance(document, dict) or (
+            document.get("schema") != PROBE_SCRIPT_SCHEMA
+        ):
+            raise SerializationError(
+                f"{source} is not a {PROBE_SCRIPT_SCHEMA} probe script"
+            )
+        steps = document.get("steps")
+        if not isinstance(steps, list) or not steps:
+            raise SerializationError(
+                f"probe script {source} needs a non-empty 'steps' list"
+            )
+        self.path = source
+        self._steps = [Observation.from_dict(step) for step in steps]
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scripted step has been observed at least once."""
+        return self._cursor >= len(self._steps)
+
+    def observe(self, now: float) -> Observation:
+        step = self._steps[min(self._cursor, len(self._steps) - 1)]
+        self._cursor += 1
+        return step
+
+
+class CallbackProbeSource(ProbeSource):
+    """Observations from a callable (the real-deployment adapter).
+
+    The callable receives the clock's ``now`` and returns either an
+    :class:`Observation` or a script-step-shaped dictionary (coerced via
+    :meth:`Observation.from_dict`), so telemetry processes can hand over
+    plain JSON without importing the model classes.
+    """
+
+    def __init__(self, callback: Callable[[float], Union[Observation, Dict]]) -> None:
+        self._callback = callback
+
+    def observe(self, now: float) -> Observation:
+        observed = self._callback(now)
+        if isinstance(observed, Observation):
+            return observed
+        return Observation.from_dict(observed)

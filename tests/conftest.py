@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import (
@@ -13,7 +15,43 @@ from repro import (
     UseCase,
     UseCaseSet,
 )
+from repro.ops.clock import FakeClock
 from repro.units import mbps, us
+
+_FAULT_ENV_PREFIX = "REPRO_FAULT_"
+
+
+@pytest.fixture(autouse=True)
+def _scoped_fault_env():
+    """Keep ``REPRO_FAULT_*`` knobs from leaking between tests.
+
+    ``FaultInjector.from_env`` reads the fault-injection environment at
+    service construction time, and a test whose forked child is reaped on a
+    timeout can leave the variables exported for every test that follows.
+    Snapshot-and-clear them before each test and scrub-and-restore after,
+    so each test sees exactly the fault environment it set itself.
+    """
+    snapshot = {
+        key: value for key, value in os.environ.items()
+        if key.startswith(_FAULT_ENV_PREFIX)
+    }
+    for key in snapshot:
+        del os.environ[key]
+    yield
+    for key in [key for key in os.environ if key.startswith(_FAULT_ENV_PREFIX)]:
+        del os.environ[key]
+    os.environ.update(snapshot)
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    """Virtual time: ``sleep`` returns instantly and records its durations.
+
+    Inject into :class:`repro.ops.Monitor` or
+    :class:`repro.jobs.JobDirectoryService` (``clock=fake_clock``) so poll
+    loops, retry backoff and injected hangs run without real sleeping.
+    """
+    return FakeClock()
 
 
 @pytest.fixture

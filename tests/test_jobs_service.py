@@ -140,11 +140,15 @@ def test_resubmitted_file_names_do_not_clobber_history(tmp_path):
         read_results(service, second[0])[0]["payload"]
 
 
-def test_serve_forever_honours_max_polls_and_stop(tmp_path):
-    service = JobDirectoryService(tmp_path / "inbox")
-    assert service.serve_forever(poll_interval=0.0, max_polls=2) == 0
+def test_serve_forever_honours_max_polls_and_stop(tmp_path, fake_clock):
+    service = JobDirectoryService(tmp_path / "inbox", clock=fake_clock)
+    # a realistic poll interval, but on the fake clock: the loop really
+    # sleeps between polls (not after the last one) without stalling the test
+    assert service.serve_forever(poll_interval=1.5, max_polls=3) == 0
+    assert fake_clock.sleeps == [1.5, 1.5]
     service.stop()
-    assert service.serve_forever(poll_interval=0.0) == 0
+    assert service.serve_forever(poll_interval=1.5) == 0
+    assert fake_clock.sleeps == [1.5, 1.5]  # stopped loop never slept again
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,551 @@
+"""Live-operations loop: monitor, event log, probe sources, virtual time.
+
+Pins the tentpole contracts of the ops layer:
+
+* :meth:`FailureSet.diff` produces the exact :class:`FailureDelta` between
+  two observations, and :func:`apply_traffic` rebuilds (and re-freezes)
+  only the use cases whose bandwidth actually changed;
+* the :class:`Monitor` loop — on a :class:`FakeClock`, with **zero real
+  sleeping** — appends deltas to ``events.jsonl``, enqueues warm
+  :class:`RepairJob` files into a serve inbox, and stays silent on
+  steady-state polls;
+* the event log is crash-replayable: :func:`replay_events` reconstructs
+  monitor state **byte-identically** (property-tested over randomized
+  fail/heal/traffic-change sequences), a restarted monitor resumes its
+  sequence numbers from its own log, a torn final line is forgiven, and a
+  sequence gap or foreign schema is rejected;
+* a monitor-driven repair is bit-identical to a directly-constructed
+  :class:`RepairJob` for the same failure set and executes with
+  ``evaluation_misses == 0`` against the monitor-populated store;
+* traffic re-characterisation events re-evaluate only the groups
+  containing a re-characterised use case (the splice contract), and the
+  final spliced mapping validates clean on the degraded topology.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.engine import MappingEngine
+from repro.core.repair import repair_mapping
+from repro.core.validate import validate_mapping
+from repro.exceptions import SerializationError, SpecificationError
+from repro.gen.synthetic import generate_benchmark
+from repro.jobs import execute_job, inbox_status
+from repro.jobs.spec import RepairJob, UseCaseSource, job_hash, load_jobs
+from repro.noc.failures import FailureDelta, FailureSet
+from repro.noc.topology import Topology
+from repro.ops import (
+    CallbackProbeSource,
+    EventLog,
+    FakeClock,
+    Monitor,
+    Observation,
+    ScriptProbeSource,
+    apply_traffic,
+    canonical_state_bytes,
+    replay_events,
+)
+
+#: the repairable workload test_failures pins: 8 use cases on a 3x3 mesh
+SPARSE8 = dict(kind="spread", use_case_count=8, core_count=16, seed=5,
+               flows_per_use_case=[6, 10])
+
+
+def _design():
+    return generate_benchmark(**SPARSE8)
+
+
+def _write_script(path, steps):
+    path.write_text(json.dumps(
+        {"schema": "repro/probe-script@1", "steps": steps}
+    ))
+    return path
+
+
+def _monitor(tmp_path, steps, clock, **kwargs):
+    script = _write_script(tmp_path / "probe.json", steps)
+    kwargs.setdefault("provision", (3, 3))
+    kwargs.setdefault("period_s", 2.0)
+    return Monitor(
+        tmp_path / "inbox", ScriptProbeSource(script),
+        UseCaseSource(generator=dict(SPARSE8)), clock=clock, **kwargs,
+    )
+
+
+# --------------------------------------------------------------------- #
+# FailureSet.diff
+# --------------------------------------------------------------------- #
+def test_failure_diff_reports_directed_deltas():
+    before = FailureSet().mark_link_down(1, 4).mark_switch_down(2)
+    after = FailureSet().mark_link_down(3, 4).mark_switch_down(6)
+
+    delta = before.diff(after)
+    assert delta.failed_links == ((3, 4), (4, 3))
+    assert delta.healed_links == ((1, 4), (4, 1))
+    assert delta.failed_switches == (6,)
+    assert delta.healed_switches == (2,)
+    assert not delta.is_empty
+    described = delta.describe()
+    assert "down" in described and "up" in described
+
+    # folding the delta into `before` reproduces `after` exactly
+    folded = before.copy()
+    for source, destination in delta.failed_links:
+        folded.mark_link_down(source, destination, bidirectional=False)
+    for source, destination in delta.healed_links:
+        folded.mark_link_up(source, destination, bidirectional=False)
+    for index in delta.failed_switches:
+        folded.mark_switch_down(index)
+    for index in delta.healed_switches:
+        folded.mark_switch_up(index)
+    assert folded.content_hash == after.content_hash
+
+
+def test_failure_diff_of_identical_sets_is_empty():
+    failures = FailureSet().mark_link_down(0, 1)
+    delta = failures.diff(failures.copy())
+    assert delta.is_empty
+    assert delta == FailureDelta()
+    assert delta.describe() == "no change"
+
+
+# --------------------------------------------------------------------- #
+# apply_traffic: re-characterisation
+# --------------------------------------------------------------------- #
+def test_apply_traffic_rebuilds_only_changed_use_cases():
+    design = _design()
+    target = list(design)[0]
+    flow = target.flows[0]
+
+    updated, changed = apply_traffic(
+        design,
+        {(target.name, flow.source, flow.destination): flow.bandwidth * 2},
+    )
+    assert changed == (target.name,)
+    assert updated[target.name].flow_between(
+        flow.source, flow.destination
+    ).bandwidth == pytest.approx(flow.bandwidth * 2)
+    # the rebuilt use case has a new identity...
+    assert updated[target.name].content_hash() != target.content_hash()
+    # ...while every untouched use case is the *same object*
+    for use_case in design:
+        if use_case.name != target.name:
+            assert updated[use_case.name] is use_case
+    # other flows of the rebuilt use case keep their design values
+    other = target.flows[1]
+    assert updated[target.name].flow_between(
+        other.source, other.destination
+    ).bandwidth == pytest.approx(other.bandwidth)
+
+
+def test_apply_traffic_noop_override_changes_nothing():
+    design = _design()
+    target = list(design)[0]
+    flow = target.flows[0]
+    updated, changed = apply_traffic(
+        design, {(target.name, flow.source, flow.destination): flow.bandwidth}
+    )
+    assert changed == ()
+    assert updated[target.name] is target
+
+
+def test_apply_traffic_rejects_unknown_names():
+    design = _design()
+    target = list(design)[0]
+    with pytest.raises(SpecificationError, match="unknown use case"):
+        apply_traffic(design, {("nope", "a", "b"): 1.0})
+    with pytest.raises(SpecificationError, match="unknown flow"):
+        apply_traffic(design, {(target.name, "ghost", "spook"): 1.0})
+
+
+# --------------------------------------------------------------------- #
+# probe sources
+# --------------------------------------------------------------------- #
+def test_script_probe_steps_and_clamping(tmp_path):
+    script = _write_script(tmp_path / "p.json", [
+        {"failures": {"links": [[1, 4], [4, 1]], "switches": []}},
+        {},
+    ])
+    probe = ScriptProbeSource(script)
+    assert len(probe) == 2 and not probe.exhausted
+    first = probe.observe(0.0)
+    assert first.failures.links == ((1, 4), (4, 1))
+    assert probe.observe(1.0).failures.is_empty
+    assert probe.exhausted
+    # polls past the end keep observing the final step
+    assert probe.observe(2.0).failures.is_empty
+
+
+def test_script_probe_rejects_malformed_scripts(tmp_path):
+    bad_schema = tmp_path / "bad.json"
+    bad_schema.write_text(json.dumps({"schema": "other@1", "steps": [{}]}))
+    with pytest.raises(SerializationError, match="probe script"):
+        ScriptProbeSource(bad_schema)
+    with pytest.raises(SerializationError, match="steps"):
+        ScriptProbeSource(_write_script(tmp_path / "empty.json", []))
+    with pytest.raises(SerializationError, match="traffic rows"):
+        ScriptProbeSource(_write_script(
+            tmp_path / "rows.json", [{"traffic": [["uc", "a", "b"]]}]
+        ))
+    with pytest.raises(SerializationError, match="absolute bandwidths"):
+        ScriptProbeSource(_write_script(
+            tmp_path / "null.json", [{"traffic": [["uc", "a", "b", None]]}]
+        ))
+
+
+def test_callback_probe_coerces_step_dicts():
+    probe = CallbackProbeSource(
+        lambda now: {"failures": {"links": [], "switches": [int(now)]}}
+    )
+    observed = probe.observe(6.0)
+    assert isinstance(observed, Observation)
+    assert observed.failures.switches == (6,)
+    direct = Observation(failures=FailureSet())
+    assert CallbackProbeSource(lambda now: direct).observe(0.0) is direct
+
+
+# --------------------------------------------------------------------- #
+# the monitor loop (virtual time; no real sleeping anywhere)
+# --------------------------------------------------------------------- #
+def test_monitor_fail_heal_cycle_enqueues_warm_repairs(tmp_path, fake_clock):
+    design = _design()
+    target = list(design)[0]
+    flow = target.flows[0]
+    monitor = _monitor(tmp_path, [
+        {},  # steady: nothing logged, nothing enqueued
+        {"failures": {"links": [[1, 4], [4, 1]], "switches": []}},
+        {"failures": {"links": [[1, 4], [4, 1]], "switches": []},
+         "traffic": [[target.name, flow.source, flow.destination,
+                      flow.bandwidth * 1.5]]},
+        {},  # healed and reverted
+    ], clock=fake_clock)
+    records = monitor.run(max_polls=4)
+
+    assert monitor.polls == 4
+    assert len(records) == 3  # the steady first poll produced no record
+    assert fake_clock.sleeps == [2.0, 2.0, 2.0]
+
+    fail, traffic, heal = records
+    assert fail["action"] == "repair" and "down" in fail["delta"]
+    assert traffic["traffic_changes"] == 1 and traffic["delta"] == "no change"
+    assert heal["traffic_changes"] == 1 and "up" in heal["delta"]
+
+    # one enqueued job file per change, named by enqueue-event sequence
+    names = sorted(path.name for path in monitor.inbox.glob("*.json"))
+    assert names == [record["file"] for record in records]
+    # the traffic-step job carries the override; fail/heal jobs do not
+    traffic_job, = load_jobs(monitor.inbox / traffic["file"])
+    assert traffic_job.traffic == (
+        (target.name, flow.source, flow.destination, flow.bandwidth * 1.5),
+    )
+    fail_job, = load_jobs(monitor.inbox / fail["file"])
+    assert fail_job.traffic == ()
+    assert fail_job.failures == FailureSet().mark_link_down(1, 4).to_dict()
+
+    # state.json is exactly the replay of events.jsonl
+    assert monitor.state_path.read_bytes() == canonical_state_bytes(
+        replay_events(monitor.events_path)
+    )
+    assert monitor.state.failures.is_empty and not monitor.state.traffic
+
+
+def test_monitor_restart_replays_its_own_log(tmp_path, fake_clock):
+    steps = [{"failures": {"links": [[1, 4], [4, 1]], "switches": []}}]
+    first = _monitor(tmp_path, steps, clock=fake_clock)
+    first.run(max_polls=1)
+    seq_before = first.state.seq
+    assert seq_before > 0
+
+    # a new monitor over the same state dir starts where the log ends —
+    # the crash-recovery path is the ordinary startup path
+    second = _monitor(tmp_path, [{}], clock=FakeClock(start=100.0))
+    assert second.state.seq == seq_before
+    assert second.state.failures.links == ((1, 4), (4, 1))
+    record = second.poll_once()  # observes the heal
+    assert record is not None and "up" in record["delta"]
+    assert record["seq"] > seq_before
+    assert second.state_path.read_bytes() == canonical_state_bytes(
+        replay_events(second.events_path)
+    )
+
+
+def test_monitor_validates_observations_before_logging(tmp_path, fake_clock):
+    monitor = _monitor(
+        tmp_path, [{"traffic": [["ghost", "a", "b", 1.0]]}], clock=fake_clock
+    )
+    with pytest.raises(SpecificationError, match="unknown use case"):
+        monitor.poll_once()
+    # nothing reached the log or the inbox
+    assert not monitor.events_path.exists()
+    assert list(monitor.inbox.glob("*.json")) == []
+
+
+def test_monitor_escalates_unrepairable_to_full_remap(tmp_path, fake_clock):
+    # on the minimal 2x2 mesh a failed link is unsurvivable by
+    # construction (pinned by test_failures); the monitor must escalate
+    script = _write_script(tmp_path / "p.json", [
+        {"failures": {"links": [[0, 1], [1, 0]], "switches": []}},
+    ])
+    monitor = Monitor(
+        tmp_path / "inbox", ScriptProbeSource(script),
+        UseCaseSource(generator={
+            "kind": "spread", "use_case_count": 3, "core_count": 12, "seed": 1,
+        }),
+        clock=fake_clock,  # no provision: minimal mesh
+    )
+    record = monitor.poll_once()
+    assert record["action"] == "remap"
+    assert record["unrepairable"] == ["uc01"]
+    job, = load_jobs(monitor.inbox / record["file"])
+    assert job.compare_full_remap is True
+    assert monitor.state.enqueued[-1]["action"] == "remap"
+
+
+# --------------------------------------------------------------------- #
+# event log robustness
+# --------------------------------------------------------------------- #
+def test_event_log_forgives_torn_tail_and_rejects_corruption(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.append("link_down", 1.0, {"source": 0, "destination": 1})
+    log.append("link_down", 1.0, {"source": 1, "destination": 0})
+
+    # a torn final line — the crashed-writer signature — is skipped
+    intact = path.read_text()
+    path.write_text(intact + '{"schema": "repro/events@1", "seq": 3, "t"')
+    assert replay_events(path).seq == 2
+
+    # mid-file corruption is an error, not a silent half-replay
+    lines = intact.splitlines()
+    path.write_text("garbage\n" + lines[1] + "\n")
+    with pytest.raises(SerializationError, match="undecodable"):
+        list(replay_events(path))
+
+    # a sequence gap means lost events: refuse to pretend otherwise
+    gapped = json.loads(lines[1])
+    assert gapped["seq"] == 2
+    path.write_text(json.dumps(gapped, sort_keys=True) + "\n")
+    with pytest.raises(SerializationError, match="expected seq 1"):
+        list(replay_events(path))
+
+    # a foreign schema is rejected
+    foreign = dict(json.loads(lines[0]), schema="other@9")
+    path.write_text(json.dumps(foreign, sort_keys=True) + "\n")
+    with pytest.raises(SerializationError, match="repro/events@1"):
+        list(replay_events(path))
+
+    # a missing file is an empty history
+    assert replay_events(tmp_path / "absent.jsonl").seq == 0
+
+
+def test_event_log_rejects_unknown_event_type(tmp_path):
+    log = EventLog(tmp_path / "events.jsonl")
+    with pytest.raises(SerializationError, match="unknown monitor event"):
+        log.append("explode", 0.0, {})
+
+
+# --------------------------------------------------------------------- #
+# traffic deltas splice only the affected groups
+# --------------------------------------------------------------------- #
+def test_traffic_delta_splices_only_groups_with_changed_use_cases():
+    engine = MappingEngine()
+    design = _design()
+    baseline = engine.mapper.map_with_placement(
+        design, Topology.mesh(3, 3), {}, validate=False
+    )
+    target = list(design)[0]
+    flow = target.flows[0]
+    updated, changed = apply_traffic(
+        design,
+        {(target.name, flow.source, flow.destination): flow.bandwidth * 1.5},
+    )
+
+    outcome = repair_mapping(
+        engine, updated, baseline, FailureSet(), changed_use_cases=changed,
+    )
+    assert outcome.repaired is not None
+    assert outcome.changed_use_cases == (target.name,)
+    assert outcome.metrics()["changed_use_cases"] == [target.name]
+    # exactly the groups containing the re-characterised use case re-ran
+    affected = set(outcome.affected_group_ids)
+    for gid, group in enumerate(baseline.groups):
+        assert (target.name in group) == (gid in affected)
+        if gid in affected:
+            continue
+        # everything else is spliced through verbatim
+        for name in group:
+            assert outcome.repaired.configurations[name] \
+                is baseline.configurations[name]
+    # and the spliced mapping validates clean against the *new* bandwidths
+    assert validate_mapping(outcome.repaired, updated).ok
+
+
+def test_repair_metrics_omit_changed_use_cases_when_empty():
+    engine = MappingEngine()
+    design = _design()
+    baseline = engine.mapper.map_with_placement(
+        design, Topology.mesh(3, 3), {}, validate=False
+    )
+    outcome = repair_mapping(
+        engine, design, baseline, FailureSet().mark_link_down(1, 4)
+    )
+    # hash-stability: traffic-free repairs keep their historical metric shape
+    assert "changed_use_cases" not in outcome.metrics()
+
+
+# --------------------------------------------------------------------- #
+# monitor-driven repair == directly-constructed RepairJob (satellite c)
+# --------------------------------------------------------------------- #
+def test_monitor_job_is_bit_identical_to_direct_repair_job(tmp_path, fake_clock):
+    store = tmp_path / "store"
+    monitor = _monitor(
+        tmp_path,
+        [{"failures": {"links": [[1, 4], [4, 1]], "switches": []}}],
+        clock=fake_clock, store_path=store,
+    )
+    record = monitor.poll_once()
+    enqueued, = load_jobs(monitor.inbox / record["file"])
+
+    direct = RepairJob(
+        use_cases=UseCaseSource(generator=dict(SPARSE8)),
+        failures=FailureSet().mark_link_down(1, 4).to_dict(),
+        provision=(3, 3),
+    )
+    # same dataclass, same serialized document, same content hash
+    assert enqueued == direct
+    assert enqueued.to_dict() == direct.to_dict()
+    assert job_hash(enqueued) == job_hash(direct)
+    assert monitor.state.enqueued[-1]["job_hash"] == job_hash(direct)
+
+    # the monitor's local repairability probe populated the store, so the
+    # serve-side execution of its job is fully warm...
+    warm = execute_job(enqueued, store_path=store)
+    assert warm.payload["mapped"] is True
+    assert warm.stats["engine"]["evaluation_misses"] == 0
+    # ...and bit-identical to a cold run of the directly-constructed job
+    cold = execute_job(direct)
+    assert warm.payload == cold.payload
+
+
+# --------------------------------------------------------------------- #
+# property: randomized sequences replay exactly and end schedulable
+# --------------------------------------------------------------------- #
+#: candidate failures chosen not to overlap (a downed switch's links are
+#: implicitly unusable; keeping the pools disjoint keeps every random
+#: combination a valid FailureSet for the 3x3 baseline)
+_LINK_POOL = [(0, 1), (1, 4), (3, 4), (7, 8)]
+_SWITCH_POOL = [2, 6]
+
+
+def _random_steps(rng, design, polls):
+    """Complete-state probe steps for a random fail/heal/traffic walk."""
+    flows = [
+        (use_case.name, flow.source, flow.destination, flow.bandwidth)
+        for use_case in design for flow in use_case.flows
+    ]
+    steps = []
+    for _ in range(polls):
+        links = [pair for pair in _LINK_POOL if rng.random() < 0.4]
+        switches = [index for index in _SWITCH_POOL if rng.random() < 0.25]
+        overrides = [
+            [name, source, destination, bandwidth * rng.uniform(1.05, 1.25)]
+            for name, source, destination, bandwidth in rng.sample(flows, 2)
+            if rng.random() < 0.6
+        ]
+        steps.append({
+            "failures": {
+                "links": [[a, b] for a, b in links]
+                         + [[b, a] for a, b in links],
+                "switches": switches,
+            },
+            "traffic": overrides,
+        })
+    # end on a known-repairable state so the final splice must validate
+    steps.append({
+        "failures": {"links": [[1, 4], [4, 1]], "switches": []},
+        "traffic": steps[-1]["traffic"],
+    })
+    return steps
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_sequences_replay_byte_identically_and_validate(
+    tmp_path, fake_clock, seed
+):
+    rng = random.Random(seed)
+    design = _design()
+    steps = _random_steps(rng, design, polls=5)
+    monitor = _monitor(tmp_path, steps, clock=fake_clock)
+    monitor.run(max_polls=len(steps))
+
+    # replaying the log reconstructs the live monitor's state byte-for-byte
+    replayed = replay_events(monitor.events_path)
+    assert canonical_state_bytes(replayed) == canonical_state_bytes(monitor.state)
+    assert canonical_state_bytes(replayed) == monitor.state_path.read_bytes()
+    # and the replayed state matches the final scripted observation
+    final = Observation.from_dict(steps[-1])
+    assert replayed.failures.content_hash == final.failures.content_hash
+    assert replayed.traffic == final.traffic_map()
+
+    # the final spliced mapping fits the final degraded topology cleanly
+    engine = MappingEngine()
+    baseline = engine.mapper.map_with_placement(
+        design, Topology.mesh(3, 3), {}, validate=False
+    )
+    current, changed = apply_traffic(design, replayed.traffic)
+    outcome = repair_mapping(
+        engine, current, baseline, replayed.failures,
+        changed_use_cases=changed,
+    )
+    assert outcome.repaired is not None
+    report = validate_mapping(outcome.repaired, current)
+    assert report.ok, report.issues
+
+
+# --------------------------------------------------------------------- #
+# status surfaces and analysis sweep
+# --------------------------------------------------------------------- #
+def test_inbox_status_surfaces_monitor_section(tmp_path, fake_clock):
+    monitor = _monitor(
+        tmp_path,
+        [{"failures": {"links": [[1, 4], [4, 1]], "switches": []}}],
+        clock=fake_clock,
+    )
+    monitor.poll_once()
+
+    status = inbox_status(monitor.inbox)
+    section = status["monitor"]
+    assert section["events"] == monitor.state.seq
+    assert section["enqueued"] == 1
+    assert section["failures"] == FailureSet().mark_link_down(1, 4).describe()
+    assert section["last_enqueued"]["action"] == "repair"
+
+    # a corrupt log degrades to an error string, not a crashed status call
+    monitor.events_path.write_text("garbage\ngarbage\n")
+    assert "undecodable" in inbox_status(monitor.inbox)["monitor"]["error"]
+
+    # an inbox without a monitor directory has no section at all
+    other = tmp_path / "plain-inbox"
+    other.mkdir()
+    assert "monitor" not in inbox_status(other)
+
+
+def test_traffic_sweep_reports_headroom():
+    from repro.analysis.failures import traffic_sweep
+
+    design = _design()
+    rows = traffic_sweep(design, scales=(1.0, 1.2), provision=(3, 3))
+    control, scaled = rows
+    assert control.scale == 1.0
+    assert control.schedulable and control.repaired
+    assert control.changed_use_cases == 0 and control.affected_groups == 0
+    assert control.cost_delta == pytest.approx(0.0)
+    # scaling every flow re-characterises every use case
+    assert scaled.changed_use_cases == len(list(design))
+    assert scaled.affected_groups == scaled.groups_total
+    assert scaled.schedulable
+    assert scaled.as_dict()["scale"] == 1.2

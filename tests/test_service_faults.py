@@ -92,14 +92,17 @@ def test_injector_from_env_and_validation():
 # --------------------------------------------------------------------- #
 # retry and quarantine
 # --------------------------------------------------------------------- #
-def test_persistent_kill_quarantines_after_max_attempts(tmp_path):
+def test_persistent_kill_quarantines_after_max_attempts(tmp_path, fake_clock):
     inbox = tmp_path / "inbox"
     _submit(inbox)
     service = JobDirectoryService(
-        inbox, max_attempts=3, retry_backoff_s=0.0,
-        fault_injector=FaultInjector(kill_rate=1.0),
+        inbox, max_attempts=3, retry_backoff_s=0.2,
+        fault_injector=FaultInjector(kill_rate=1.0), clock=fake_clock,
     )
     records = service.run_once()
+
+    # the real exponential backoff schedule ran — in virtual time
+    assert fake_clock.sleeps == [0.2, 0.4]
 
     assert len(records) == 1
     record = records[0]
@@ -219,6 +222,53 @@ def test_randomized_injection_over_20_jobs_always_converges(tmp_path):
     # every file converge to done; assert the split is not degenerate
     assert len(done) >= 10
     assert len(failed) >= 1
+
+
+def test_in_process_hang_runs_in_virtual_time(tmp_path, fake_clock):
+    # A persistent 45 s hang retried once with 0.5 s backoff is a ~90 s
+    # scenario on the wall clock; on the fake clock it is instantaneous,
+    # and the exact sleep schedule the service asked for is assertable.
+    inbox = tmp_path / "inbox"
+    _submit(inbox)
+    service = JobDirectoryService(
+        inbox, max_attempts=2, retry_backoff_s=0.5,
+        fault_injector=FaultInjector(hang_rate=1.0, hang_s=45.0),
+        clock=fake_clock,
+    )
+    records = service.run_once()
+    record = records[0]
+    assert record["status"] == "failed"
+    assert record["quarantined"] is True
+    assert all("InjectedFault" in error for error in record["attempt_errors"])
+    assert fake_clock.sleeps == [45.0, 0.5, 45.0]
+    assert fake_clock.now() == 90.5
+
+
+def test_fault_env_does_not_leak_between_tests(tmp_path):
+    # Regression: REPRO_FAULT_* exported by a test (e.g. one whose forked
+    # child was reaped on a timeout before cleanup) used to leak into every
+    # later service construction.  The autouse _scoped_fault_env fixture
+    # snapshots and clears them per test, so a service built here must see
+    # a clean environment even though the previous test set the variables
+    # via monkeypatch and this file's CLI test exports them for real.
+    import os
+
+    assert not [key for key in os.environ if key.startswith("REPRO_FAULT_")]
+    service = JobDirectoryService(tmp_path / "inbox")
+    assert service.fault_injector is None
+
+    # variables set *during* a test are scrubbed by the fixture's teardown
+    # even when the test never unsets them (the crash-on-timeout case)
+    os.environ["REPRO_FAULT_KILL_RATE"] = "1.0"
+
+
+def test_fault_env_was_scrubbed_after_previous_test(tmp_path):
+    # Runs immediately after the test above, which deliberately left
+    # REPRO_FAULT_KILL_RATE=1.0 exported without cleaning up.
+    import os
+
+    assert "REPRO_FAULT_KILL_RATE" not in os.environ
+    assert JobDirectoryService(tmp_path / "inbox").fault_injector is None
 
 
 # --------------------------------------------------------------------- #
