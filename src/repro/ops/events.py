@@ -166,6 +166,10 @@ class MonitorState:
         self.traffic: Dict[_FlowKey, float] = {}
         self.counts: Dict[str, int] = {}
         self.enqueued: List[Dict] = []
+        #: type of the most recent event; a log whose last event is not an
+        #: ``enqueue`` was interrupted between logging deltas and enqueuing
+        #: the repair (not part of :meth:`to_dict` — it is derivable)
+        self.last_type: Optional[str] = None
 
     def apply(self, event: Dict) -> None:
         """Fold one event document into the state."""
@@ -173,6 +177,7 @@ class MonitorState:
         self.seq = int(event["seq"])
         self.time = float(event["t"])
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.last_type = kind
         if kind == "link_down":
             self.failures.mark_link_down(
                 event["source"], event["destination"], bidirectional=False
@@ -297,6 +302,38 @@ class EventLog:
         self.state = MonitorState()
         for event in read_events(self.path):
             self.state.apply(event)
+        self._mend_tail()
+
+    def _mend_tail(self) -> None:
+        """Make the file end exactly where the replayed history ends.
+
+        :func:`read_events` forgives a torn final line (the signature of a
+        crashed writer) — but an *appender* must not leave it in place, or
+        the next event would concatenate onto the fragment and the merged
+        line would poison every future replay.  A torn tail is truncated
+        away; a valid final event missing only its newline (the event *was*
+        replayed) gets the newline appended.  Either way every append
+        starts on a fresh line.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not raw:
+            return
+        tail = raw.splitlines(keepends=True)[-1]
+        body = tail.strip()
+        if body:
+            try:
+                json.loads(body)
+            except ValueError:
+                # the torn tail replay forgave: drop it
+                with self.path.open("r+b") as log:
+                    log.truncate(len(raw) - len(tail))
+                return
+        if not raw.endswith(b"\n"):
+            with self.path.open("ab") as log:
+                log.write(b"\n")
 
     def append(self, kind: str, t: float, payload: Dict) -> Dict:
         """Append one event; returns the full document written."""

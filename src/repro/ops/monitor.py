@@ -27,6 +27,7 @@ subsystem run under virtual time in tests.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -166,7 +167,8 @@ class Monitor:
         """
         observation.failures.validate_for(self._ensure_baseline().topology)
         design = self._ensure_design()
-        for name, source, destination in observation.traffic_map():
+        for (name, source, destination), bandwidth in \
+                observation.traffic_map().items():
             if name not in design:
                 raise SpecificationError(
                     f"probe reports traffic for unknown use case {name!r}"
@@ -176,10 +178,38 @@ class Monitor:
                     f"probe reports traffic for unknown flow "
                     f"{source!r}->{destination!r} in use case {name!r}"
                 )
+            # NaN fails both comparisons, so this also rejects it
+            if not 0 < bandwidth < math.inf:
+                raise SpecificationError(
+                    f"probe reports non-positive or non-finite bandwidth "
+                    f"{bandwidth!r} for flow {source!r}->{destination!r} "
+                    f"in use case {name!r}"
+                )
 
     # ------------------------------------------------------------------ #
     # the loop
     # ------------------------------------------------------------------ #
+    def recover(self) -> Optional[Dict]:
+        """Finish a poll interrupted between logging deltas and enqueuing.
+
+        Delta events are durable the moment they are appended, but the
+        repair they call for is only durable once the matching ``enqueue``
+        event follows.  A log whose last event is not an ``enqueue`` is the
+        signature of a crash (or an exception) in that window: the failure
+        is already folded into replayed state, so the next observation
+        would produce no delta and the repair would be silently lost.
+        This re-runs the enqueue for the replayed state; :meth:`poll_once`
+        calls it before every probe, so the ordinary restart path heals
+        itself.  Returns the enqueue record, or ``None`` if the log is
+        complete.
+        """
+        state = self.log.state
+        if state.seq == 0 or state.last_type == "enqueue":
+            return None
+        record = self._enqueue_repair(self.clock.now(), None, 0)
+        self._write_state()
+        return record
+
     def poll_once(self) -> Optional[Dict]:
         """One probe → diff → log → enqueue cycle.
 
@@ -188,6 +218,7 @@ class Monitor:
         one probe per period and nothing else), otherwise a record of what
         changed and what was enqueued.
         """
+        recovery = self.recover()
         self.polls += 1
         now = self.clock.now()
         observation = self.probe_source.observe(now)
@@ -195,7 +226,16 @@ class Monitor:
 
         state = self.log.state
         delta = state.failures.diff(observation.failures)
-        observed_traffic = observation.traffic_map()
+        design = self._ensure_design()
+        # a reading at a flow's design bandwidth is not an override — treat
+        # it as absent so it never logs a no-op event (and clears any prior
+        # override for the flow, via the ordinary null-revert path)
+        observed_traffic = {
+            key: bandwidth
+            for key, bandwidth in observation.traffic_map().items()
+            if design[key[0]].flow_between(key[1], key[2]).bandwidth
+            != bandwidth
+        }
         traffic_keys = sorted(set(state.traffic) | set(observed_traffic))
         traffic_changes = [
             (key, observed_traffic.get(key))
@@ -203,7 +243,7 @@ class Monitor:
             if state.traffic.get(key) != observed_traffic.get(key)
         ]
         if delta.is_empty and not traffic_changes:
-            return None
+            return recovery
 
         for source, destination in delta.failed_links:
             self.log.append("link_down", now,
@@ -232,7 +272,9 @@ class Monitor:
         splice enqueues a plain repair; unrepairable use cases escalate to
         a full-remap job (``compare_full_remap=True``).  Its evaluations go
         through the store-attached engine, which is exactly what makes the
-        serve-side execution of the enqueued job warm.
+        serve-side execution of the enqueued job warm.  ``delta`` is
+        ``None`` on the :meth:`recover` path, where the deltas are already
+        in the log and only the enqueue is owed.
         """
         state = self.log.state
         baseline = self._ensure_baseline()
@@ -268,18 +310,22 @@ class Monitor:
             compare_full_remap=unrepairable,
         )
         action = "remap" if unrepairable else "repair"
-        file_name = f"monitor-{state.seq + 1:06d}.json"
+        # the hash suffix keeps an orphan file from a crash between
+        # save_job and the enqueue event from being silently overwritten
+        # by a *different* job that later lands on the same sequence number
+        digest = job_hash(job)
+        file_name = f"monitor-{state.seq + 1:06d}-{digest[:8]}.json"
         save_job(job, self.inbox / file_name)
         self.log.append("enqueue", now, {
             "file": file_name,
-            "job_hash": job_hash(job),
+            "job_hash": digest,
             "kind": job.KIND,
             "action": action,
             "unrepairable": list(outcome.unrepairable),
         })
         return {
             "seq": state.seq,
-            "delta": delta.describe(),
+            "delta": "recovered" if delta is None else delta.describe(),
             "traffic_changes": traffic_changes,
             "file": file_name,
             "action": action,

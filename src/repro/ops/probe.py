@@ -36,6 +36,7 @@ design bandwidth.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Tuple, Union
@@ -92,8 +93,22 @@ class Observation:
                     "probe traffic rows carry absolute bandwidths; omit the "
                     "row to revert a flow to its design value"
                 )
+            try:
+                bandwidth = float(bandwidth)
+            except (TypeError, ValueError):
+                raise SerializationError(
+                    f"probe traffic bandwidth must be a number, "
+                    f"got {bandwidth!r}"
+                ) from None
+            # Python's json happily parses Infinity and NaN; NaN fails
+            # both comparisons, so this rejects it too
+            if not 0 < bandwidth < math.inf:
+                raise SerializationError(
+                    f"probe traffic bandwidth must be positive and finite, "
+                    f"got {bandwidth!r}"
+                )
             readings.append(TrafficEvent(
-                str(use_case), str(source), str(destination), float(bandwidth)
+                str(use_case), str(source), str(destination), bandwidth
             ))
         return cls(
             failures=FailureSet.from_dict(document.get("failures") or {}),

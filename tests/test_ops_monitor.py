@@ -45,6 +45,7 @@ from repro.ops import (
     Monitor,
     Observation,
     ScriptProbeSource,
+    TrafficEvent,
     apply_traffic,
     canonical_state_bytes,
     replay_events,
@@ -284,6 +285,114 @@ def test_monitor_validates_observations_before_logging(tmp_path, fake_clock):
     assert list(monitor.inbox.glob("*.json")) == []
 
 
+def test_monitor_recovers_enqueue_lost_in_crash_window(tmp_path, fake_clock):
+    steps = [{"failures": {"links": [[1, 4], [4, 1]], "switches": []}}] * 2
+    crashed = _monitor(tmp_path, steps, clock=fake_clock)
+
+    # crash (or any exception) between logging the delta events and
+    # logging the enqueue: the failure is durable, the repair is not
+    def boom(now, delta, traffic_changes):
+        raise RuntimeError("crashed before enqueue")
+
+    crashed._enqueue_repair = boom
+    with pytest.raises(RuntimeError):
+        crashed.poll_once()
+    assert crashed.state.last_type == "link_down"
+    assert list(crashed.inbox.glob("monitor-*.json")) == []
+
+    # a restarted monitor replays the log, sees it does not end on an
+    # enqueue, and enqueues the owed repair before its first probe — even
+    # though re-observing the known failure produces no delta
+    restarted = _monitor(tmp_path, steps, clock=FakeClock(start=50.0))
+    record = restarted.poll_once()
+    assert record is not None
+    assert record["delta"] == "recovered" and record["action"] == "repair"
+    assert restarted.state.last_type == "enqueue"
+    job, = load_jobs(restarted.inbox / record["file"])
+    assert job.failures == FailureSet().mark_link_down(1, 4).to_dict()
+    # the log (enqueue included) still replays byte-identically
+    assert restarted.state_path.read_bytes() == canonical_state_bytes(
+        replay_events(restarted.events_path)
+    )
+    # a complete log has nothing to recover
+    assert restarted.recover() is None
+
+
+def test_monitor_rejects_nonpositive_or_nonfinite_bandwidth(
+    tmp_path, fake_clock
+):
+    design = _design()
+    target = list(design)[0]
+    flow = target.flows[0]
+    for bad in (0.0, -1.0, float("inf"), float("nan")):
+        observation = Observation(
+            failures=FailureSet(),
+            traffic=(TrafficEvent(
+                target.name, flow.source, flow.destination, bad
+            ),),
+        )
+        monitor = Monitor(
+            tmp_path / f"inbox-{bad}", CallbackProbeSource(lambda now: observation),
+            UseCaseSource(generator=dict(SPARSE8)),
+            provision=(3, 3), clock=fake_clock,
+        )
+        with pytest.raises(SpecificationError, match="non-positive or "
+                                                     "non-finite"):
+            monitor.poll_once()
+        # the bad reading never reached the log or the inbox
+        assert not monitor.events_path.exists()
+        assert list(monitor.inbox.glob("monitor-*.json")) == []
+
+
+def test_probe_script_rejects_nonpositive_or_nonfinite_bandwidth(tmp_path):
+    for index, bad in enumerate((0.0, -2.0, float("inf"), float("nan"))):
+        with pytest.raises(SerializationError, match="positive and finite"):
+            ScriptProbeSource(_write_script(
+                tmp_path / f"bad-{index}.json",
+                [{"traffic": [["uc", "a", "b", bad]]}],
+            ))
+    with pytest.raises(SerializationError, match="must be a number"):
+        ScriptProbeSource(_write_script(
+            tmp_path / "nonnumeric.json",
+            [{"traffic": [["uc", "a", "b", "fast"]]}],
+        ))
+
+
+def test_monitor_treats_design_bandwidth_reading_as_no_override(
+    tmp_path, fake_clock
+):
+    design = _design()
+    target = list(design)[0]
+    flow = target.flows[0]
+    at_design = [target.name, flow.source, flow.destination, flow.bandwidth]
+    scaled = [target.name, flow.source, flow.destination, flow.bandwidth * 1.5]
+    monitor = _monitor(tmp_path, [
+        {"traffic": [at_design]},  # at the design value: not an override
+        {"traffic": [scaled]},     # a real re-characterisation
+        {"traffic": [at_design]},  # back at the design value: revert
+    ], clock=fake_clock)
+
+    # a reading equal to the design bandwidth is a steady-state poll:
+    # nothing logged, nothing stored, nothing enqueued
+    assert monitor.poll_once() is None
+    assert not monitor.events_path.exists()
+    assert monitor.state.traffic == {}
+
+    record = monitor.poll_once()
+    assert record["traffic_changes"] == 1
+    assert monitor.state.traffic == {
+        (target.name, flow.source, flow.destination): flow.bandwidth * 1.5
+    }
+
+    # returning to the design value clears the override (a null-revert
+    # traffic event), rather than storing a no-op override forever
+    record = monitor.poll_once()
+    assert record["traffic_changes"] == 1
+    assert monitor.state.traffic == {}
+    job, = load_jobs(monitor.inbox / record["file"])
+    assert job.traffic == ()
+
+
 def test_monitor_escalates_unrepairable_to_full_remap(tmp_path, fake_clock):
     # on the minimal 2x2 mesh a failed link is unsurvivable by
     # construction (pinned by test_failures); the monitor must escalate
@@ -346,6 +455,46 @@ def test_event_log_rejects_unknown_event_type(tmp_path):
     log = EventLog(tmp_path / "events.jsonl")
     with pytest.raises(SerializationError, match="unknown monitor event"):
         log.append("explode", 0.0, {})
+
+
+def test_event_log_mends_torn_tail_before_appending(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.append("link_down", 1.0, {"source": 0, "destination": 1})
+    log.append("link_down", 1.0, {"source": 1, "destination": 0})
+    intact = path.read_text()
+
+    # a torn final line must be truncated on open, not appended onto —
+    # otherwise the next event concatenates into one undecodable mid-file
+    # line and every future replay raises
+    path.write_text(intact + '{"schema": "repro/events@1", "seq": 3, "t"')
+    reopened = EventLog(path)
+    assert reopened.state.seq == 2
+    assert path.read_text() == intact
+    reopened.append("link_up", 2.0, {"source": 0, "destination": 1})
+    reopened.append("link_up", 2.0, {"source": 1, "destination": 0})
+    replayed = replay_events(path)
+    assert replayed.seq == 4
+    assert replayed.failures.is_empty
+    assert canonical_state_bytes(replayed) == \
+        canonical_state_bytes(reopened.state)
+
+
+def test_event_log_terminates_valid_unterminated_tail(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.append("link_down", 1.0, {"source": 0, "destination": 1})
+    log.append("link_down", 1.0, {"source": 1, "destination": 0})
+    intact = path.read_text()
+
+    # the final event is complete JSON but lost its newline: it *was*
+    # replayed, so it must be kept — terminated, not truncated
+    path.write_text(intact.rstrip("\n"))
+    reopened = EventLog(path)
+    assert reopened.state.seq == 2
+    assert path.read_text() == intact
+    reopened.append("switch_down", 2.0, {"index": 5})
+    assert replay_events(path).seq == 3
 
 
 # --------------------------------------------------------------------- #
